@@ -1,0 +1,68 @@
+// Ablation: how the SoftPHY threshold eta trades delivered-correct bits
+// against delivered-wrong bits (misses), and where the paper's choice
+// eta = 6 sits. Also sweeps the chip-level interference penalty used to
+// calibrate the testbed simulator against constant-envelope co-channel
+// interference.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ppr;
+using namespace ppr::bench;
+
+void EtaSweep() {
+  std::printf("# eta sweep at 6.9 Kbits/s/node (postamble on):\n");
+  std::printf("%-6s%-16s%-16s%-12s\n", "eta", "correct_Mbit", "wrong_Kbit",
+              "median_FDR");
+  for (const double eta : {0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 16.0}) {
+    sim::SchemeConfig scheme;
+    scheme.scheme = sim::Scheme::kPpr;
+    scheme.postamble = true;
+    scheme.eta = eta;
+    const auto result =
+        RunTestbed(kMediumLoad, /*carrier_sense=*/false, {scheme});
+    std::size_t correct = 0, wrong = 0;
+    for (const auto& link : result.links) {
+      correct += link.schemes[0].delivered_bits;
+      wrong += link.schemes[0].wrong_bits;
+    }
+    std::printf("%-6.0f%-16.3f%-16.3f%-12.4f\n", eta,
+                static_cast<double>(correct) / 1e6,
+                static_cast<double>(wrong) / 1e3,
+                LinkFdrCdf(result, 0).Median());
+  }
+  std::printf("\n");
+}
+
+void InterferencePenaltySweep() {
+  std::printf("# interference penalty sweep (PPR postamble, 6.9 "
+              "Kbits/s/node):\n");
+  std::printf("%-10s%-14s%-14s\n", "penalty", "median_FDR", "links");
+  for (const double penalty : {1.0, 2.0, 3.0, 5.0}) {
+    auto config = sim::MakePaperConfig(kMediumLoad, /*carrier_sense=*/false,
+                                       kSimDuration, /*seed=*/42);
+    config.receiver.interference_penalty = penalty;
+    const sim::TestbedExperiment experiment(config);
+    sim::SchemeConfig scheme;
+    scheme.scheme = sim::Scheme::kPpr;
+    scheme.postamble = true;
+    const auto result = experiment.Run({scheme});
+    std::printf("%-10.1f%-14.4f%-14zu\n", penalty,
+                LinkFdrCdf(result, 0).Median(), result.links.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation",
+              "Design-choice sweeps: SoftPHY threshold eta (section 3.2) "
+              "and the chip-level\ninterference penalty calibration "
+              "(DESIGN.md).");
+  EtaSweep();
+  InterferencePenaltySweep();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace ppr::bench {
+
+std::vector<sim::SchemeConfig> PaperSchemes(std::size_t num_fragments,
+                                            double eta) {
+  std::vector<sim::SchemeConfig> schemes;
+  for (const auto scheme :
+       {sim::Scheme::kPacketCrc, sim::Scheme::kFragmentedCrc,
+        sim::Scheme::kPpr}) {
+    for (const bool post : {false, true}) {
+      sim::SchemeConfig c;
+      c.scheme = scheme;
+      c.postamble = post;
+      c.num_fragments = num_fragments;
+      c.eta = eta;
+      schemes.push_back(c);
+    }
+  }
+  return schemes;
+}
+
+sim::ExperimentResult RunTestbed(double load_bps, bool carrier_sense,
+                                 const std::vector<sim::SchemeConfig>& schemes,
+                                 const sim::ReceptionObserver& observer,
+                                 double duration_s) {
+  const auto config =
+      sim::MakePaperConfig(load_bps, carrier_sense, duration_s, /*seed=*/42);
+  const sim::TestbedExperiment experiment(config);
+  return experiment.Run(schemes, observer);
+}
+
+void PrintCdf(const std::string& label, const CdfCollector& cdf,
+              std::size_t points) {
+  std::printf("# %s (n=%zu", label.c_str(), cdf.Count());
+  if (!cdf.Empty()) {
+    std::printf(", median=%.4g", cdf.Median());
+  }
+  std::printf(")\n");
+  for (const auto& [x, f] : cdf.CdfPoints(points)) {
+    std::printf("%.6g\t%.4f\n", x, f);
+  }
+  std::printf("\n");
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+CdfCollector LinkFdrCdf(const sim::ExperimentResult& result,
+                        std::size_t scheme_index) {
+  CdfCollector cdf;
+  for (const auto& link : result.links) {
+    if (link.frames_sent == 0) continue;
+    cdf.Add(link.Fdr(scheme_index));
+  }
+  return cdf;
+}
+
+CdfCollector LinkThroughputCdf(const sim::ExperimentResult& result,
+                               const std::vector<sim::SchemeConfig>& schemes,
+                               std::size_t scheme_index) {
+  CdfCollector cdf;
+  for (const auto& link : result.links) {
+    if (link.frames_sent == 0) continue;
+    cdf.Add(link.ThroughputBps(scheme_index, schemes[scheme_index],
+                               result.payload_octets, result.duration_s));
+  }
+  return cdf;
+}
+
+}  // namespace ppr::bench

@@ -1,0 +1,54 @@
+// Shared driver code for the per-figure benchmark binaries. Each bench
+// regenerates one table or figure of the paper: it runs the testbed (or
+// waveform link) experiment at the paper's parameters, prints the same
+// rows/series the paper plots, and finishes with a one-line summary of
+// the headline comparison.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/experiment.h"
+
+namespace ppr::bench {
+
+// The paper's three offered loads (bits/s per node, section 7.2).
+inline constexpr double kModerateLoad = 3'500.0;
+inline constexpr double kMediumLoad = 6'900.0;
+inline constexpr double kHighLoad = 13'800.0;
+
+// Simulated seconds per experiment. Long enough for stable per-link
+// statistics, short enough that every bench finishes in seconds.
+inline constexpr double kSimDuration = 40.0;
+
+// The six delivery variants of Figures 8-10: {Packet CRC, Fragmented
+// CRC, PPR} x {no postamble, postamble}.
+std::vector<sim::SchemeConfig> PaperSchemes(std::size_t num_fragments = 30,
+                                            double eta = 6.0);
+
+// Runs the 27-node testbed at the given load/carrier-sense setting with
+// the paper's frame size.
+sim::ExperimentResult RunTestbed(double load_bps, bool carrier_sense,
+                                 const std::vector<sim::SchemeConfig>& schemes,
+                                 const sim::ReceptionObserver& observer = nullptr,
+                                 double duration_s = kSimDuration);
+
+// Prints "x<TAB>F(x)" rows for a CDF, preceded by "# label".
+void PrintCdf(const std::string& label, const CdfCollector& cdf,
+              std::size_t points = 25);
+
+// Prints a gnuplot-style comment header for a figure/table.
+void PrintHeader(const std::string& figure, const std::string& description);
+
+// Per-link FDR samples for one scheme index.
+CdfCollector LinkFdrCdf(const sim::ExperimentResult& result,
+                        std::size_t scheme_index);
+
+// Per-link goodput samples (bits/s) for one scheme index.
+CdfCollector LinkThroughputCdf(const sim::ExperimentResult& result,
+                               const std::vector<sim::SchemeConfig>& schemes,
+                               std::size_t scheme_index);
+
+}  // namespace ppr::bench

@@ -1,0 +1,38 @@
+// Shared driver for Figures 8, 9, and 10: the per-link equivalent frame
+// delivery rate CDF under the six scheme variants, at a given offered
+// load and carrier-sense setting.
+#pragma once
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ppr::bench {
+
+inline void RunFdrFigure(double load_bps, bool carrier_sense) {
+  const auto schemes = PaperSchemes();
+  const auto result = RunTestbed(load_bps, carrier_sense, schemes);
+
+  std::printf("links: %zu, transmissions: %zu, duration: %.0fs\n\n",
+              result.links.size(), result.total_transmissions,
+              result.duration_s);
+
+  for (std::size_t k = 0; k < schemes.size(); ++k) {
+    PrintCdf(schemes[k].Name(), LinkFdrCdf(result, k));
+  }
+
+  // Headline comparison: median FDR ratios against the status quo.
+  const double base = LinkFdrCdf(result, 0).Median();  // Packet CRC, no post
+  std::printf("summary (median per-link FDR, ratio vs Packet CRC/no "
+              "postamble):\n");
+  for (std::size_t k = 0; k < schemes.size(); ++k) {
+    const double median = LinkFdrCdf(result, k).Median();
+    std::printf("  %-38s %.4f", schemes[k].Name().c_str(), median);
+    if (base > 0.0) {
+      std::printf("  (%.2fx)", median / base);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace ppr::bench

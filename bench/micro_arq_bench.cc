@@ -1,0 +1,107 @@
+// Microbenchmarks for the PP-ARQ receiver algorithms: the O(L^3)
+// dynamic-programming chunking, the run-length transform, and the
+// feedback codec. These run per received packet, so their cost bounds
+// the receiver's feedback latency.
+#include <benchmark/benchmark.h>
+
+#include "arq/chunking.h"
+#include "arq/feedback.h"
+#include "common/rng.h"
+#include "softphy/runlength.h"
+
+namespace {
+
+using namespace ppr;
+
+std::vector<bool> RandomLabels(Rng& rng, std::size_t n, double p_bad,
+                               double p_stay) {
+  // Two-state Markov labels: bursts of bad codewords, like collisions.
+  std::vector<bool> labels(n, true);
+  bool bad = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bad) {
+      bad = rng.Bernoulli(p_stay);
+    } else {
+      bad = rng.Bernoulli(p_bad);
+    }
+    labels[i] = !bad;
+  }
+  return labels;
+}
+
+void BM_RunLengthTransform(benchmark::State& state) {
+  Rng rng(11);
+  const auto labels = RandomLabels(
+      rng, static_cast<std::size_t>(state.range(0)), 0.02, 0.8);
+  for (auto _ : state) {
+    auto form = softphy::ToRunLengthForm(labels);
+    benchmark::DoNotOptimize(form);
+  }
+}
+BENCHMARK(BM_RunLengthTransform)->Arg(608)->Arg(3068);
+
+void BM_DpChunking(benchmark::State& state) {
+  Rng rng(12);
+  // Construct a run-length form with exactly range(0) bad runs.
+  const auto L = static_cast<std::size_t>(state.range(0));
+  softphy::RunLengthForm form;
+  form.leading_good = 10;
+  for (std::size_t i = 0; i < L; ++i) {
+    form.bad.push_back(1 + rng.UniformInt(8));
+    form.good_after.push_back(rng.UniformInt(40));
+  }
+  arq::ChunkingConfig config;
+  config.packet_bits = 12000;
+  for (auto _ : state) {
+    auto result = arq::ComputeOptimalChunks(form, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DpChunking)->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_FeedbackEncode(benchmark::State& state) {
+  Rng rng(13);
+  const std::size_t total = 3068;
+  BitVec body;
+  for (std::size_t i = 0; i < total * 4; ++i) {
+    body.PushBack(rng.Bernoulli(0.5));
+  }
+  arq::FeedbackPacket fb;
+  fb.seq = 1;
+  std::size_t cursor = 0;
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t offset = cursor + 20 + rng.UniformInt(100);
+    const std::size_t length = 1 + rng.UniformInt(30);
+    if (offset + length >= total) break;
+    fb.requests.push_back(arq::CodewordRange{offset, length});
+    cursor = offset + length;
+  }
+  for (auto _ : state) {
+    auto wire = arq::EncodeFeedback(fb, body, total, 4, 32);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_FeedbackEncode);
+
+void BM_FeedbackDecode(benchmark::State& state) {
+  Rng rng(14);
+  const std::size_t total = 3068;
+  BitVec body;
+  for (std::size_t i = 0; i < total * 4; ++i) {
+    body.PushBack(rng.Bernoulli(0.5));
+  }
+  arq::FeedbackPacket fb;
+  fb.seq = 1;
+  fb.requests = {{100, 30}, {500, 12}, {1500, 60}, {2900, 20}};
+  const BitVec wire = arq::EncodeFeedback(fb, body, total, 4, 32);
+  for (auto _ : state) {
+    auto decoded = arq::DecodeFeedback(wire, total, 4, 32);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_FeedbackDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Microbenchmarks for the PHY hot paths (google-benchmark): DSSS
+// despreading (the per-codeword cost of producing SoftPHY hints), MSK
+// modulation/demodulation, and waveform sync correlation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "frame/frame_format.h"
+#include "phy/channel.h"
+#include "phy/chip_sequences.h"
+#include "phy/despreader.h"
+#include "phy/frame_sync.h"
+#include "phy/msk_modem.h"
+#include "phy/spreader.h"
+
+namespace {
+
+using namespace ppr;
+
+void BM_DespreadHard(benchmark::State& state) {
+  const phy::ChipCodebook codebook;
+  Rng rng(1);
+  BitVec bits;
+  const auto codewords = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < codewords * 4; ++i) {
+    bits.PushBack(rng.Bernoulli(0.5));
+  }
+  BitVec chips = phy::SpreadBits(codebook, bits);
+  // Sprinkle chip errors so the decoder does real work.
+  for (std::size_t i = 0; i < chips.size(); i += 13) chips.Flip(i);
+
+  for (auto _ : state) {
+    auto decoded = phy::DespreadHard(codebook, chips);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codewords));
+}
+BENCHMARK(BM_DespreadHard)->Arg(64)->Arg(512)->Arg(3068);
+
+void BM_DecodeHardSingle(benchmark::State& state) {
+  const phy::ChipCodebook codebook;
+  Rng rng(2);
+  std::vector<phy::ChipWord> words(1024);
+  for (auto& w : words) w = static_cast<phy::ChipWord>(rng.Next());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    int distance = 0;
+    benchmark::DoNotOptimize(
+        codebook.DecodeHard(words[i++ & 1023], &distance));
+  }
+}
+BENCHMARK(BM_DecodeHardSingle);
+
+void BM_MskModulate(benchmark::State& state) {
+  phy::ModemConfig config;
+  config.samples_per_chip = 4;
+  const phy::MskModulator mod(config);
+  Rng rng(3);
+  BitVec chips;
+  for (int i = 0; i < state.range(0); ++i) chips.PushBack(rng.Bernoulli(0.5));
+  for (auto _ : state) {
+    auto wave = mod.Modulate(chips);
+    benchmark::DoNotOptimize(wave);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MskModulate)->Arg(1024)->Arg(16384);
+
+void BM_MskDemodulate(benchmark::State& state) {
+  phy::ModemConfig config;
+  config.samples_per_chip = 4;
+  const phy::MskModulator mod(config);
+  const phy::MskDemodulator demod(config);
+  Rng rng(4);
+  BitVec chips;
+  for (int i = 0; i < state.range(0); ++i) chips.PushBack(rng.Bernoulli(0.5));
+  auto wave = mod.Modulate(chips);
+  phy::AddAwgn(wave, 0.3, rng);
+  for (auto _ : state) {
+    auto soft = demod.Demodulate(wave, 0, chips.size());
+    benchmark::DoNotOptimize(soft);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MskDemodulate)->Arg(1024)->Arg(16384);
+
+void BM_SyncCorrelatorScan(benchmark::State& state) {
+  phy::ModemConfig config;
+  config.samples_per_chip = 4;
+  const phy::ChipCodebook codebook;
+  const phy::MskModulator mod(config);
+  const auto pattern = frame::PreamblePatternOctets();
+  const phy::WaveformCorrelator correlator(
+      mod.Modulate(phy::SpreadBits(codebook, BitVec::FromBytes(pattern))));
+
+  Rng rng(5);
+  phy::SampleVec air(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : air) s = phy::Sample{rng.Normal(), rng.Normal()};
+
+  for (auto _ : state) {
+    auto hits = correlator.FindPeaks(air, 0.6, 128);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SyncCorrelatorScan)->Arg(8192)->Arg(32768);
+
+void BM_ChipErrorMask(benchmark::State& state) {
+  Rng rng(6);
+  const double p = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::SampleChipErrorMask(rng, p));
+  }
+}
+BENCHMARK(BM_ChipErrorMask)->Arg(1)->Arg(50)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

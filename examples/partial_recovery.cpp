@@ -1,0 +1,89 @@
+// Partial packet recovery under a collision: demonstrates postamble
+// decoding (section 4 of the paper). A strong frame captures the
+// receiver while a weaker frame is on the air; the weak frame's
+// preamble is destroyed, yet the receiver recovers its intact tail by
+// synchronizing on the postamble and rolling back — then shows which
+// codewords the SoftPHY threshold rule would keep.
+//
+//   $ ./examples/partial_recovery
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "phy/channel.h"
+#include "ppr/receiver_pipeline.h"
+#include "softphy/classifier.h"
+#include "softphy/runlength.h"
+
+int main() {
+  using namespace ppr;
+
+  core::PipelineConfig config;
+  config.modem.samples_per_chip = 4;
+  config.max_payload_octets = 256;
+  const core::FrameModulator sender(config.modem);
+  const core::ReceiverPipeline receiver(config);
+  Rng rng(7);
+
+  // Two senders, two frames. Frame B is 6 dB stronger (closer) and
+  // starts while frame A is still in the air.
+  const std::size_t octets = 150;
+  std::vector<std::uint8_t> payload_a(octets), payload_b(octets);
+  for (auto& b : payload_a) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  for (auto& b : payload_b) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+
+  frame::FrameHeader ha;
+  ha.length = octets;
+  ha.src = 0xA;
+  ha.dst = 1;
+  ha.seq = 100;
+  frame::FrameHeader hb = ha;
+  hb.src = 0xB;
+  hb.seq = 200;
+
+  auto wave_a = sender.Modulate(ha, payload_a);
+  auto wave_b = sender.Modulate(hb, payload_b);
+  phy::ApplyCarrierOffset(wave_a, 0.0, 0.4);
+  phy::ApplyCarrierOffset(wave_b, 0.0, 2.9);
+  phy::ApplyGain(wave_b, 2.0);  // +6 dB
+
+  // Frame B starts 40% into frame A: it wipes out A's tail...
+  const std::size_t start_a = 500;
+  const std::size_t start_b = start_a + (wave_a.size() * 2) / 5;
+  phy::SampleVec air(start_b + wave_b.size() + 500, phy::Sample{0.0, 0.0});
+  phy::MixInto(air, wave_a, start_a);
+  phy::MixInto(air, wave_b, start_b);
+  phy::AddAwgn(air, 0.25, rng);
+
+  const auto frames = receiver.Process(air);
+  std::printf("recovered %zu frames from the collision\n\n", frames.size());
+
+  const softphy::ThresholdClassifier classifier;  // eta = 6
+  for (const auto& f : frames) {
+    const auto symbols = f.PayloadSymbols();
+    const auto labels = classifier.Label(symbols);
+    const auto runs = softphy::ToRunLengthForm(labels);
+
+    std::size_t good = 0;
+    for (const bool b : labels) {
+      if (b) ++good;
+    }
+    std::printf("frame src=0x%X seq=%u via %s: %zu/%zu payload codewords "
+                "labeled good (%zu bad runs)\n",
+                f.header.src, f.header.seq,
+                f.sync == core::RecoveredFrame::SyncSource::kPreamble
+                    ? "preamble"
+                    : "postamble -> rolled back through the sample buffer",
+                good, labels.size(), runs.NumBadRuns());
+    for (std::size_t i = 0; i < runs.NumBadRuns(); ++i) {
+      std::printf("  bad run %zu: codewords [%zu, %zu)\n", i,
+                  runs.BadRunOffset(i),
+                  runs.BadRunOffset(i) + runs.bad[i]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("the status quo would have delivered %s of these frames.\n",
+              frames.size() >= 2 ? "at most one" : "none");
+  return 0;
+}

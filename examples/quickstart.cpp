@@ -1,0 +1,86 @@
+// Quickstart: send one frame over a noisy channel and recover it with
+// the full PPR receiver pipeline, printing the SoftPHY hints that
+// annotate every decoded codeword.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "phy/channel.h"
+#include "ppr/receiver_pipeline.h"
+
+int main() {
+  using namespace ppr;
+
+  // 1. Configure the modem (4 samples per 2 Mchip/s chip) and build the
+  //    sender and receiver.
+  core::PipelineConfig config;
+  config.modem.samples_per_chip = 4;
+  config.max_payload_octets = 256;
+  const core::FrameModulator sender(config.modem);
+  const core::ReceiverPipeline receiver(config);
+
+  // 2. Frame a payload: the header carries length/addresses/seq, and the
+  //    frame format appends CRC-32, a trailer replica, and a postamble.
+  const std::string message =
+      "PPR: partial packet recovery demo -- bits don't share fate!";
+  frame::FrameHeader header;
+  header.length = static_cast<std::uint16_t>(message.size());
+  header.dst = 0x0002;
+  header.src = 0x0001;
+  header.seq = 1;
+  auto wave = sender.Modulate(
+      header, {reinterpret_cast<const std::uint8_t*>(message.data()),
+               message.size()});
+
+  // 3. The channel: place the frame in a capture window and add noise at
+  //    a chip SNR of 4 dB — low enough that some chips flip.
+  Rng rng(2024);
+  phy::ApplyCarrierOffset(wave, 0.0, 0.8);  // unknown carrier phase
+  phy::SampleVec air(wave.size() + 2000, phy::Sample{0.0, 0.0});
+  phy::MixInto(air, wave, 1000);
+  const double sigma =
+      phy::NoiseSigmaForEcN0(std::pow(10.0, 0.4), 1.0,
+                             config.modem.samples_per_chip);
+  phy::AddAwgn(air, sigma, rng);
+
+  // 4. Receive: the pipeline synchronizes (preamble or postamble),
+  //    recovers carrier phase, despreads, and attaches a Hamming-
+  //    distance hint to every 4-bit codeword.
+  const auto frames = receiver.Process(air);
+  if (frames.empty()) {
+    std::printf("no frame recovered -- try a higher SNR\n");
+    return 1;
+  }
+  const auto& f = frames[0];
+  std::printf("recovered frame: src=%u dst=%u seq=%u len=%u (%s sync, "
+              "score %.2f)\n",
+              f.header.src, f.header.dst, f.header.seq, f.header.length,
+              f.sync == core::RecoveredFrame::SyncSource::kPreamble
+                  ? "preamble"
+                  : "postamble",
+              f.sync_score);
+
+  const auto payload = f.PayloadBits().ToBytes();
+  std::printf("payload: %.*s\n", static_cast<int>(payload.size()),
+              reinterpret_cast<const char*>(payload.data()));
+
+  // 5. SoftPHY hints: how confident the PHY was, per codeword.
+  const auto symbols = f.PayloadSymbols();
+  std::size_t worst = 0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    total += symbols[i].hint;
+    if (symbols[i].hint > symbols[worst].hint) worst = i;
+  }
+  std::printf("SoftPHY hints: mean Hamming distance %.2f over %zu "
+              "codewords; worst codeword #%zu at distance %d\n",
+              total / static_cast<double>(symbols.size()), symbols.size(),
+              worst, symbols[worst].hamming_distance);
+  std::printf("threshold rule (eta=6): %s\n",
+              symbols[worst].hint <= 6.0
+                  ? "every codeword labeled good"
+                  : "some codewords would be re-requested by PP-ARQ");
+  return 0;
+}

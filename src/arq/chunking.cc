@@ -1,0 +1,150 @@
+#include "arq/chunking.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ppr::arq {
+namespace {
+
+double Log2AtLeastOne(double x) { return std::log2(std::max(1.0, x)); }
+
+// Builds the chunk descriptor for bad runs [i, j].
+Chunk MakeChunk(const softphy::RunLengthForm& runs, std::size_t i,
+                std::size_t j) {
+  Chunk c;
+  c.first_bad_run = i;
+  c.last_bad_run = j;
+  c.offset_codewords = runs.BadRunOffset(i);
+  const std::size_t end =
+      runs.BadRunOffset(j) + runs.bad[j];  // end of last bad run
+  c.length_codewords = end - c.offset_codewords;
+  return c;
+}
+
+}  // namespace
+
+double IntactChunkCost(const softphy::RunLengthForm& runs,
+                       const ChunkingConfig& config, std::size_t i,
+                       std::size_t j) {
+  assert(i <= j && j < runs.NumBadRuns());
+  const double log_s = Log2AtLeastOne(static_cast<double>(config.packet_bits));
+  const double bpc = static_cast<double>(config.bits_per_codeword);
+  if (i == j) {
+    // Equation 4: describe one run (log S for the offset, log lambda^b
+    // for the length) and cover the following good run with a checksum
+    // (or the run itself when shorter than a checksum).
+    const double lambda_b = static_cast<double>(runs.bad[i]) * bpc;
+    const double lambda_g = static_cast<double>(runs.good_after[i]) * bpc;
+    return log_s + Log2AtLeastOne(lambda_b) +
+           std::min(lambda_g, static_cast<double>(config.checksum_bits));
+  }
+  // Equation 5, non-split alternative: one (offset, length) descriptor
+  // (2 log S) plus re-sending every good run interior to the chunk.
+  double interior_good = 0.0;
+  for (std::size_t l = i; l < j; ++l) {
+    interior_good += static_cast<double>(runs.good_after[l]) * bpc;
+  }
+  return 2.0 * log_s + interior_good;
+}
+
+ChunkingResult ComputeOptimalChunks(const softphy::RunLengthForm& runs,
+                                    const ChunkingConfig& config) {
+  ChunkingResult result;
+  const std::size_t L = runs.NumBadRuns();
+  if (L == 0) return result;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // cost[i][j]: optimal cost of covering bad runs [i, j].
+  // split[i][j]: chosen split point k (chunks [i,k] and [k+1,j]), or
+  // SIZE_MAX when the chunk is left intact.
+  std::vector<std::vector<double>> cost(L, std::vector<double>(L, kInf));
+  std::vector<std::vector<std::size_t>> split(
+      L, std::vector<std::size_t>(L, std::numeric_limits<std::size_t>::max()));
+
+  for (std::size_t i = 0; i < L; ++i) {
+    cost[i][i] = IntactChunkCost(runs, config, i, i);
+  }
+  for (std::size_t span = 2; span <= L; ++span) {
+    for (std::size_t i = 0; i + span <= L; ++i) {
+      const std::size_t j = i + span - 1;
+      double best = IntactChunkCost(runs, config, i, j);
+      std::size_t best_split = std::numeric_limits<std::size_t>::max();
+      for (std::size_t k = i; k < j; ++k) {
+        const double c = cost[i][k] + cost[k + 1][j];
+        if (c < best) {
+          best = c;
+          best_split = k;
+        }
+      }
+      cost[i][j] = best;
+      split[i][j] = best_split;
+    }
+  }
+
+  // Reconstruct the optimal partition.
+  struct Range {
+    std::size_t i, j;
+  };
+  std::vector<Range> stack{{0, L - 1}};
+  std::vector<Chunk> chunks;
+  while (!stack.empty()) {
+    const Range r = stack.back();
+    stack.pop_back();
+    const std::size_t k = split[r.i][r.j];
+    if (k == std::numeric_limits<std::size_t>::max()) {
+      chunks.push_back(MakeChunk(runs, r.i, r.j));
+    } else {
+      // Push right first so chunks come out in packet order.
+      stack.push_back(Range{k + 1, r.j});
+      stack.push_back(Range{r.i, k});
+    }
+  }
+  // The stack reconstruction emits left ranges last; sort by offset to
+  // guarantee packet order regardless of traversal details.
+  std::sort(chunks.begin(), chunks.end(),
+            [](const Chunk& a, const Chunk& b) {
+              return a.offset_codewords < b.offset_codewords;
+            });
+
+  result.chunks = std::move(chunks);
+  result.cost_bits = cost[0][L - 1];
+  return result;
+}
+
+ChunkingResult ComputeOptimalChunksBruteForce(
+    const softphy::RunLengthForm& runs, const ChunkingConfig& config) {
+  ChunkingResult best;
+  const std::size_t L = runs.NumBadRuns();
+  if (L == 0) return best;
+  if (L > 20) {
+    throw std::invalid_argument("brute force limited to L <= 20");
+  }
+  best.cost_bits = std::numeric_limits<double>::infinity();
+
+  // Bit b of `mask` set means "there is a partition boundary after bad
+  // run b" (b in [0, L-1)).
+  const std::size_t num_masks = std::size_t{1} << (L - 1);
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    double total = 0.0;
+    std::vector<Chunk> chunks;
+    std::size_t start = 0;
+    for (std::size_t b = 0; b < L; ++b) {
+      const bool boundary = (b == L - 1) || ((mask >> b) & 1u);
+      if (boundary) {
+        total += IntactChunkCost(runs, config, start, b);
+        chunks.push_back(MakeChunk(runs, start, b));
+        start = b + 1;
+      }
+    }
+    if (total < best.cost_bits) {
+      best.cost_bits = total;
+      best.chunks = std::move(chunks);
+    }
+  }
+  return best;
+}
+
+}  // namespace ppr::arq

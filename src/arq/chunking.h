@@ -1,0 +1,64 @@
+// PP-ARQ receiver-side chunking (section 5.1): given the run-length
+// representation of a partially-received packet, choose which chunks
+// (consecutive groups of bad runs, possibly swallowing the short good
+// runs between them) to request for retransmission, minimizing the
+// expected feedback-plus-retransmission bit cost.
+//
+// Cost model, following Equations 4 and 5 of the paper with lengths in
+// bits:
+//   C(c_ii)  = log2(S) + log2(lambda^b_i) + min(lambda^g_i, lambda_C)
+//   C(c_ij)  = min( 2*log2(S) + sum_{l=i..j-1} lambda^g_l,
+//                   min_{k in [i, j)} C(c_ik) + C(c_k+1,j) )
+// where S is the packet size in bits and lambda_C the checksum length.
+// The recursion exhibits optimal substructure over partitions of the bad
+// runs into consecutive chunks; the memoized implementation is O(L^3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "softphy/runlength.h"
+
+namespace ppr::arq {
+
+struct ChunkingConfig {
+  std::size_t packet_bits = 0;    // S
+  std::size_t checksum_bits = 32; // lambda_C
+  std::size_t bits_per_codeword = 4;
+};
+
+// One chunk the receiver asks the sender to retransmit: bad runs
+// [first_bad_run, last_bad_run] inclusive, with precomputed codeword
+// extent within the packet.
+struct Chunk {
+  std::size_t first_bad_run = 0;
+  std::size_t last_bad_run = 0;
+  std::size_t offset_codewords = 0;  // start of first bad run
+  std::size_t length_codewords = 0;  // through the end of the last bad run
+
+  bool operator==(const Chunk&) const = default;
+};
+
+struct ChunkingResult {
+  std::vector<Chunk> chunks;  // in packet order
+  double cost_bits = 0.0;     // optimal DP cost
+};
+
+// Runs the dynamic program on a packet's run-length form. Returns no
+// chunks when the packet has no bad runs.
+ChunkingResult ComputeOptimalChunks(const softphy::RunLengthForm& runs,
+                                    const ChunkingConfig& config);
+
+// Exhaustive reference: enumerates all 2^(L-1) partitions of the bad
+// runs into consecutive chunks and returns the cheapest under the same
+// cost model. Exponential; only for testing small inputs against the DP.
+ChunkingResult ComputeOptimalChunksBruteForce(
+    const softphy::RunLengthForm& runs, const ChunkingConfig& config);
+
+// Cost of one chunk [i, j] left intact (the non-split alternative in the
+// DP); exposed for tests and for the feedback-size accounting.
+double IntactChunkCost(const softphy::RunLengthForm& runs,
+                       const ChunkingConfig& config, std::size_t i,
+                       std::size_t j);
+
+}  // namespace ppr::arq

@@ -1,0 +1,195 @@
+#include "arq/feedback.h"
+
+#include <bit>
+#include <cassert>
+
+#include "common/crc.h"
+
+namespace ppr::arq {
+namespace {
+
+constexpr unsigned kSeqBits = 16;
+constexpr unsigned kCountBits = 16;
+
+// 4-bit alignment so retransmitted segments begin on carrier codeword
+// boundaries (each carrier codeword conveys 4 payload bits).
+void PadToNibble(BitVec& bits) {
+  while (bits.size() % 4 != 0) bits.PushBack(false);
+}
+
+std::size_t NibbleAlign(std::size_t pos) { return (pos + 3) & ~std::size_t{3}; }
+
+}  // namespace
+
+unsigned RangeFieldWidth(std::size_t total_codewords) {
+  // Enough bits to express any offset in [0, total] and any length in
+  // [0, total].
+  unsigned width = std::bit_width(total_codewords);
+  return width == 0 ? 1 : width;
+}
+
+std::vector<CodewordRange> ComputeGaps(
+    const std::vector<CodewordRange>& requests, std::size_t total_codewords) {
+  std::vector<CodewordRange> gaps;
+  std::size_t cursor = 0;
+  for (const auto& r : requests) {
+    assert(r.offset >= cursor);
+    if (r.offset > cursor) {
+      gaps.push_back(CodewordRange{cursor, r.offset - cursor});
+    }
+    cursor = r.offset + r.length;
+  }
+  if (cursor < total_codewords) {
+    gaps.push_back(CodewordRange{cursor, total_codewords - cursor});
+  }
+  return gaps;
+}
+
+BitVec EncodeFeedback(const FeedbackPacket& feedback,
+                      const BitVec& assembled_bits,
+                      std::size_t total_codewords,
+                      std::size_t bits_per_codeword,
+                      std::size_t checksum_bits) {
+  assert(assembled_bits.size() == total_codewords * bits_per_codeword);
+  const unsigned width = RangeFieldWidth(total_codewords);
+  BitVec wire;
+  wire.AppendUint(feedback.seq, kSeqBits);
+  wire.AppendUint(feedback.requests.size(), kCountBits);
+  for (const auto& r : feedback.requests) {
+    wire.AppendUint(r.offset, width);
+    wire.AppendUint(r.length, width);
+  }
+  // Gap verification data in deterministic order.
+  for (const auto& gap : ComputeGaps(feedback.requests, total_codewords)) {
+    const std::size_t gap_bits = gap.length * bits_per_codeword;
+    const BitVec gap_data =
+        assembled_bits.Slice(gap.offset * bits_per_codeword, gap_bits);
+    if (gap_bits < checksum_bits) {
+      wire.AppendBits(gap_data);  // literal bits, cheaper than a checksum
+    } else {
+      wire.AppendUint(Crc32Bits(gap_data), 32);
+    }
+  }
+  return wire;
+}
+
+std::optional<DecodedFeedback> DecodeFeedback(const BitVec& wire,
+                                              std::size_t total_codewords,
+                                              std::size_t bits_per_codeword,
+                                              std::size_t checksum_bits) {
+  const unsigned width = RangeFieldWidth(total_codewords);
+  std::size_t pos = 0;
+  const auto have = [&](std::size_t n) { return pos + n <= wire.size(); };
+
+  if (!have(kSeqBits + kCountBits)) return std::nullopt;
+  DecodedFeedback out;
+  out.feedback.seq = static_cast<std::uint16_t>(wire.ReadUint(pos, kSeqBits));
+  pos += kSeqBits;
+  const std::size_t count = wire.ReadUint(pos, kCountBits);
+  pos += kCountBits;
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!have(2u * width)) return std::nullopt;
+    CodewordRange r;
+    r.offset = wire.ReadUint(pos, width);
+    pos += width;
+    r.length = wire.ReadUint(pos, width);
+    pos += width;
+    // Structural validation: ranges must be in order and in bounds.
+    if (r.length == 0 || r.offset < cursor ||
+        r.offset + r.length > total_codewords) {
+      return std::nullopt;
+    }
+    cursor = r.offset + r.length;
+    out.feedback.requests.push_back(r);
+  }
+
+  for (const auto& gap :
+       ComputeGaps(out.feedback.requests, total_codewords)) {
+    GapCheck check;
+    check.range = gap;
+    const std::size_t gap_bits = gap.length * bits_per_codeword;
+    if (gap_bits < checksum_bits) {
+      if (!have(gap_bits)) return std::nullopt;
+      check.literal = true;
+      check.literal_bits = wire.Slice(pos, gap_bits);
+      pos += gap_bits;
+    } else {
+      if (!have(32)) return std::nullopt;
+      check.crc32 = static_cast<std::uint32_t>(wire.ReadUint(pos, 32));
+      pos += 32;
+    }
+    out.gaps.push_back(std::move(check));
+  }
+  return out;
+}
+
+BitVec EncodeRetransmission(const RetransmissionPacket& packet,
+                            std::size_t total_codewords,
+                            std::size_t bits_per_codeword) {
+  const unsigned width = RangeFieldWidth(total_codewords);
+  BitVec wire;
+  wire.AppendUint(packet.seq, kSeqBits);
+  wire.AppendUint(packet.segments.size(), kCountBits);
+  for (const auto& seg : packet.segments) {
+    wire.AppendUint(seg.range.offset, width);
+    wire.AppendUint(seg.range.length, width);
+  }
+  // Align so every segment's payload bits begin on a carrier codeword
+  // boundary and per-codeword SoftPHY hints map one-to-one.
+  PadToNibble(wire);
+  for (const auto& seg : packet.segments) {
+    assert(seg.bits.size() == seg.range.length * bits_per_codeword);
+    wire.AppendBits(seg.bits);
+    PadToNibble(wire);
+  }
+  return wire;
+}
+
+std::optional<RetransmissionPacket> DecodeRetransmission(
+    const BitVec& wire, std::size_t total_codewords,
+    std::size_t bits_per_codeword) {
+  const unsigned width = RangeFieldWidth(total_codewords);
+  std::size_t pos = 0;
+  const auto have = [&](std::size_t n) { return pos + n <= wire.size(); };
+
+  if (!have(kSeqBits + kCountBits)) return std::nullopt;
+  RetransmissionPacket out;
+  out.seq = static_cast<std::uint16_t>(wire.ReadUint(pos, kSeqBits));
+  pos += kSeqBits;
+  const std::size_t count = wire.ReadUint(pos, kCountBits);
+  pos += kCountBits;
+
+  std::vector<CodewordRange> ranges;
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!have(2u * width)) return std::nullopt;
+    CodewordRange r;
+    r.offset = wire.ReadUint(pos, width);
+    pos += width;
+    r.length = wire.ReadUint(pos, width);
+    pos += width;
+    if (r.length == 0 || r.offset < cursor ||
+        r.offset + r.length > total_codewords) {
+      return std::nullopt;
+    }
+    cursor = r.offset + r.length;
+    ranges.push_back(r);
+  }
+
+  pos = NibbleAlign(pos);
+  for (const auto& r : ranges) {
+    const std::size_t seg_bits = r.length * bits_per_codeword;
+    if (!have(seg_bits)) return std::nullopt;
+    RetransmitSegment seg;
+    seg.range = r;
+    seg.bits = wire.Slice(pos, seg_bits);
+    pos += seg_bits;
+    pos = NibbleAlign(pos);
+    out.segments.push_back(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace ppr::arq

@@ -1,0 +1,100 @@
+// Wire encoding of PP-ARQ control packets (section 5.2).
+//
+// Feedback (receiver -> sender): the requested chunks as fixed-width
+// (offset, length) codeword ranges, followed by verification data for
+// every gap (packet region not covered by a request): a CRC-32 of the
+// receiver's bits when the gap is long, or the literal bits when the gap
+// is shorter than a checksum (the min(lambda^g, lambda_C) rule of
+// Equation 4). Gap layout is derived deterministically from the chunk
+// list on both sides, so no per-gap framing is needed.
+//
+// Retransmission (sender -> receiver): the requested segments (offset,
+// length, bits), 4-bit aligned so each retransmitted codeword occupies
+// whole codewords of the carrier frame and inherits per-codeword hints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "arq/chunking.h"
+
+namespace ppr::arq {
+
+// A codeword range [offset, offset + length).
+struct CodewordRange {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+
+  bool operator==(const CodewordRange&) const = default;
+};
+
+struct FeedbackPacket {
+  std::uint16_t seq = 0;
+  std::vector<CodewordRange> requests;  // in packet order, non-overlapping
+
+  bool operator==(const FeedbackPacket&) const = default;
+};
+
+struct RetransmitSegment {
+  CodewordRange range;
+  BitVec bits;  // range.length * bits_per_codeword bits
+
+  bool operator==(const RetransmitSegment&) const = default;
+};
+
+struct RetransmissionPacket {
+  std::uint16_t seq = 0;
+  std::vector<RetransmitSegment> segments;
+
+  bool operator==(const RetransmissionPacket&) const = default;
+};
+
+// Width in bits of one offset/length field for a packet of
+// `total_codewords` codewords (the ceil(log2) the cost model denotes
+// log S).
+unsigned RangeFieldWidth(std::size_t total_codewords);
+
+// The gaps complementary to `requests` within [0, total_codewords).
+std::vector<CodewordRange> ComputeGaps(
+    const std::vector<CodewordRange>& requests, std::size_t total_codewords);
+
+// Encodes feedback including gap verification data computed over
+// `assembled_bits` (the receiver's current packet image,
+// total_codewords * bits_per_codeword bits).
+BitVec EncodeFeedback(const FeedbackPacket& feedback,
+                      const BitVec& assembled_bits,
+                      std::size_t total_codewords,
+                      std::size_t bits_per_codeword,
+                      std::size_t checksum_bits);
+
+// Decoded feedback as seen by the sender: the requests plus, for each
+// gap, either the literal receiver bits or their CRC-32.
+struct GapCheck {
+  CodewordRange range;
+  bool literal = false;
+  BitVec literal_bits;      // when literal
+  std::uint32_t crc32 = 0;  // when !literal
+};
+
+struct DecodedFeedback {
+  FeedbackPacket feedback;
+  std::vector<GapCheck> gaps;
+};
+
+std::optional<DecodedFeedback> DecodeFeedback(const BitVec& wire,
+                                              std::size_t total_codewords,
+                                              std::size_t bits_per_codeword,
+                                              std::size_t checksum_bits);
+
+BitVec EncodeRetransmission(const RetransmissionPacket& packet,
+                            std::size_t total_codewords,
+                            std::size_t bits_per_codeword);
+
+std::optional<RetransmissionPacket> DecodeRetransmission(
+    const BitVec& wire, std::size_t total_codewords,
+    std::size_t bits_per_codeword);
+
+}  // namespace ppr::arq

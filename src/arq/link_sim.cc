@@ -1,0 +1,220 @@
+#include "arq/link_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "common/crc.h"
+#include "phy/channel.h"
+
+namespace ppr::arq {
+namespace {
+
+// Decodes one logical nibble through the codebook with injected chip
+// errors; shared by both synthetic channels.
+phy::DecodedSymbol TransmitNibble(const phy::ChipCodebook& codebook,
+                                  std::uint8_t nibble, double chip_error_p,
+                                  Rng& rng) {
+  const phy::ChipWord sent = codebook.Codeword(nibble);
+  const phy::ChipWord received =
+      sent ^ phy::SampleChipErrorMask(rng, chip_error_p);
+  phy::DecodedSymbol d;
+  int distance = 0;
+  d.symbol = static_cast<std::uint8_t>(codebook.DecodeHard(received, &distance));
+  d.hamming_distance = distance;
+  d.hint = static_cast<double>(distance);
+  return d;
+}
+
+}  // namespace
+
+BitVec SymbolsToLogicalBits(const std::vector<phy::DecodedSymbol>& symbols) {
+  BitVec bits;
+  for (const auto& s : symbols) bits.AppendUint(s.symbol, 4);
+  return bits;
+}
+
+ArqRunStats RunPpArqExchange(const BitVec& payload_bits,
+                             const PpArqConfig& config,
+                             const BodyChannel& channel,
+                             std::size_t max_rounds) {
+  ArqRunStats stats;
+  const BitVec body = PpArqSender::MakeBody(payload_bits);
+  PpArqSender sender(body, /*seq=*/1, config);
+  PpArqReceiver receiver(/*seq=*/1, sender.total_codewords(), config);
+
+  // Initial transmission.
+  stats.forward_bits += body.size();
+  ++stats.data_transmissions;
+  receiver.IngestInitial(channel(body));
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const auto fb = receiver.BuildFeedback();
+    if (!fb.has_value()) {
+      stats.success = true;
+      return stats;
+    }
+    const BitVec fb_wire = receiver.EncodeFeedbackWire(*fb);
+    stats.feedback_bits += fb_wire.size();
+
+    const auto decoded_fb =
+        DecodeFeedback(fb_wire, sender.total_codewords(),
+                       config.bits_per_codeword, config.checksum_bits);
+    if (!decoded_fb.has_value()) {
+      throw std::logic_error("feedback round-trip failed");
+    }
+    const RetransmissionPacket retx = sender.HandleFeedback(*decoded_fb);
+    const BitVec retx_wire = EncodeRetransmission(
+        retx, sender.total_codewords(), config.bits_per_codeword);
+    stats.forward_bits += retx_wire.size();
+    stats.retransmission_bits.push_back(retx_wire.size());
+    ++stats.data_transmissions;
+
+    // Each retransmitted segment crosses the channel; descriptors are
+    // carried reliably at this layer.
+    std::vector<ReceivedSegment> received;
+    received.reserve(retx.segments.size());
+    for (const auto& seg : retx.segments) {
+      ReceivedSegment rs;
+      rs.range = seg.range;
+      rs.symbols = channel(seg.bits);
+      received.push_back(std::move(rs));
+    }
+    receiver.IngestRetransmission(received);
+  }
+  stats.success = receiver.Complete();
+  return stats;
+}
+
+ArqRunStats RunWholePacketArq(const BitVec& payload_bits,
+                              const BodyChannel& channel,
+                              std::size_t max_rounds) {
+  ArqRunStats stats;
+  BitVec body = payload_bits;
+  body.AppendUint(Crc32Bits(payload_bits), 32);
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    stats.forward_bits += body.size();
+    ++stats.data_transmissions;
+    if (round > 0) stats.retransmission_bits.push_back(body.size());
+
+    const BitVec received = SymbolsToLogicalBits(channel(body));
+    const BitVec payload = received.Slice(0, received.size() - 32);
+    const auto crc =
+        static_cast<std::uint32_t>(received.ReadUint(received.size() - 32, 32));
+    stats.feedback_bits += 1;  // ACK/NACK
+    if (Crc32Bits(payload) == crc) {
+      stats.success = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+ArqRunStats RunFragmentedArq(const BitVec& payload_bits,
+                             std::size_t num_fragments,
+                             const BodyChannel& channel,
+                             std::size_t max_rounds) {
+  if (payload_bits.size() % 8 != 0) {
+    throw std::invalid_argument("RunFragmentedArq: payload must be octets");
+  }
+  const std::size_t payload_octets = payload_bits.size() / 8;
+  num_fragments = std::min(num_fragments, payload_octets);
+  assert(num_fragments > 0);
+
+  // Fragment extents (octet-aligned, as even as possible).
+  struct Frag {
+    std::size_t bit_offset, bit_len;
+    bool have = false;
+  };
+  std::vector<Frag> frags;
+  const std::size_t base = payload_octets / num_fragments;
+  const std::size_t rem = payload_octets % num_fragments;
+  std::size_t octet = 0;
+  for (std::size_t f = 0; f < num_fragments; ++f) {
+    const std::size_t size = base + (f < rem ? 1 : 0);
+    frags.push_back(Frag{octet * 8, size * 8, false});
+    octet += size;
+  }
+
+  ArqRunStats stats;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool all = true;
+    for (const auto& f : frags) all = all && f.have;
+    if (all) {
+      stats.success = true;
+      return stats;
+    }
+
+    ++stats.data_transmissions;
+    std::size_t round_bits = 0;
+    for (auto& f : frags) {
+      if (f.have) continue;
+      BitVec unit = payload_bits.Slice(f.bit_offset, f.bit_len);
+      unit.AppendUint(Crc32Bits(payload_bits.Slice(f.bit_offset, f.bit_len)),
+                      32);
+      round_bits += unit.size();
+      const BitVec received = SymbolsToLogicalBits(channel(unit));
+      const BitVec frag = received.Slice(0, received.size() - 32);
+      const auto crc = static_cast<std::uint32_t>(
+          received.ReadUint(received.size() - 32, 32));
+      if (Crc32Bits(frag) == crc) f.have = true;
+    }
+    stats.forward_bits += round_bits;
+    if (round > 0) stats.retransmission_bits.push_back(round_bits);
+    stats.feedback_bits += num_fragments;  // bitmap
+  }
+  bool all = true;
+  for (const auto& f : frags) all = all && f.have;
+  stats.success = all;
+  return stats;
+}
+
+BodyChannel MakeChipErrorChannel(const phy::ChipCodebook& codebook,
+                                 double chip_error_p, Rng& rng) {
+  Rng* rng_ptr = &rng;
+  const phy::ChipCodebook* cb = &codebook;
+  return [cb, chip_error_p, rng_ptr](const BitVec& bits) {
+    if (bits.size() % 4 != 0) {
+      throw std::invalid_argument("channel: bits not a multiple of 4");
+    }
+    std::vector<phy::DecodedSymbol> out;
+    out.reserve(bits.size() / 4);
+    for (std::size_t i = 0; i < bits.size(); i += 4) {
+      const auto nibble = static_cast<std::uint8_t>(bits.ReadUint(i, 4));
+      out.push_back(TransmitNibble(*cb, nibble, chip_error_p, *rng_ptr));
+    }
+    return out;
+  };
+}
+
+BodyChannel MakeGilbertElliottChannel(const phy::ChipCodebook& codebook,
+                                      const GilbertElliottParams& params,
+                                      Rng& rng) {
+  // State persists across calls (shared_ptr keeps the lambda copyable).
+  auto in_bad = std::make_shared<bool>(false);
+  Rng* rng_ptr = &rng;
+  const phy::ChipCodebook* cb = &codebook;
+  return [cb, params, rng_ptr, in_bad](const BitVec& bits) {
+    if (bits.size() % 4 != 0) {
+      throw std::invalid_argument("channel: bits not a multiple of 4");
+    }
+    std::vector<phy::DecodedSymbol> out;
+    out.reserve(bits.size() / 4);
+    for (std::size_t i = 0; i < bits.size(); i += 4) {
+      if (*in_bad) {
+        if (rng_ptr->Bernoulli(params.p_bad_to_good)) *in_bad = false;
+      } else {
+        if (rng_ptr->Bernoulli(params.p_good_to_bad)) *in_bad = true;
+      }
+      const double p =
+          *in_bad ? params.chip_error_bad : params.chip_error_good;
+      const auto nibble = static_cast<std::uint8_t>(bits.ReadUint(i, 4));
+      out.push_back(TransmitNibble(*cb, nibble, p, *rng_ptr));
+    }
+    return out;
+  };
+}
+
+}  // namespace ppr::arq

@@ -1,0 +1,127 @@
+// PP-ARQ sender and receiver state machines (section 5.2, "the
+// streaming ACK PP-ARQ protocol").
+//
+//   1. The sender transmits the full packet with a checksum appended.
+//   2. The receiver decodes (possibly partially), labels codewords with
+//      the SoftPHY threshold rule, and computes the optimal feedback
+//      chunk set with the dynamic program of section 5.1.
+//   3. The receiver sends the compact feedback packet (empty when the
+//      packet checksum verifies).
+//   4. The sender retransmits exactly the requested runs, plus any gap
+//      whose verification data (CRC or literal bits) does not match what
+//      it sent — this is how SoftPHY "misses" are caught and repaired.
+//
+// The protocol data unit covered here is the packet body: payload
+// followed by its CRC-32. Transport of feedback/retransmission frames is
+// the link layer's job; tests drive these classes with synthetic
+// DecodedSymbol streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arq/chunking.h"
+#include "arq/feedback.h"
+#include "common/bitvec.h"
+#include "phy/despreader.h"
+#include "softphy/classifier.h"
+
+namespace ppr::arq {
+
+struct PpArqConfig {
+  double eta = softphy::kDefaultEta;  // SoftPHY threshold
+  std::size_t bits_per_codeword = 4;
+  std::size_t checksum_bits = 32;
+  // After this many feedback rounds without convergence the receiver
+  // requests a full resend; after 2x this many it reports failure.
+  std::size_t max_partial_rounds = 8;
+};
+
+// A retransmitted segment as decoded at the receiver: hints accompany
+// each codeword so the receiver can decide whether the new copy is more
+// trustworthy than what it holds.
+struct ReceivedSegment {
+  CodewordRange range;
+  std::vector<phy::DecodedSymbol> symbols;  // one per codeword in range
+};
+
+// Sender side: owns the original packet body bits (payload || CRC-32).
+class PpArqSender {
+ public:
+  PpArqSender(BitVec body_bits, std::uint16_t seq, const PpArqConfig& config);
+
+  const BitVec& body_bits() const { return body_; }
+  std::uint16_t seq() const { return seq_; }
+  std::size_t total_codewords() const {
+    return body_.size() / config_.bits_per_codeword;
+  }
+
+  // Builds the retransmission answering `feedback`: all requested
+  // ranges, plus any gap whose verification data mismatches the original
+  // (a receiver-side miss). Ranges are merged/sorted.
+  RetransmissionPacket HandleFeedback(const DecodedFeedback& feedback) const;
+
+  // Convenience: packet body for the initial transmission.
+  static BitVec MakeBody(const BitVec& payload_bits);
+
+ private:
+  BitVec body_;
+  std::uint16_t seq_;
+  PpArqConfig config_;
+};
+
+// Receiver side: assembles the packet body across rounds.
+class PpArqReceiver {
+ public:
+  PpArqReceiver(std::uint16_t seq, std::size_t total_codewords,
+                const PpArqConfig& config);
+
+  // Initial reception of the whole body (one DecodedSymbol per
+  // codeword). Also used for full resends.
+  void IngestInitial(const std::vector<phy::DecodedSymbol>& symbols);
+
+  // Patches the body with retransmitted segments. Segments the receiver
+  // asked for replace stored codewords when the new hint is at least as
+  // good; unsolicited segments (gap corrections: the sender detected the
+  // stored bits were wrong) replace stored codewords when the new copy
+  // looks good, and otherwise force the codeword bad so the next round
+  // re-requests it.
+  void IngestRetransmission(const std::vector<ReceivedSegment>& segments);
+
+  // True once the assembled payload verifies against the assembled
+  // CRC-32 (the last 32 bits of the body).
+  bool Complete() const;
+
+  // Feedback for the next round; nullopt when Complete(). After
+  // max_partial_rounds the request escalates to the entire body.
+  std::optional<FeedbackPacket> BuildFeedback();
+
+  // Wire encoding of the given feedback against the current assembly
+  // (exposes the size the receiver actually pays).
+  BitVec EncodeFeedbackWire(const FeedbackPacket& feedback) const;
+
+  // Assembled body/payload.
+  const BitVec& AssembledBody() const { return bits_; }
+  BitVec AssembledPayload() const;
+
+  std::size_t rounds() const { return rounds_; }
+  std::size_t total_codewords() const { return hints_.size(); }
+
+ private:
+  std::vector<bool> Labels() const;
+
+  PpArqConfig config_;
+  std::uint16_t seq_;
+  BitVec bits_;                        // current body image
+  std::vector<double> hints_;          // per-codeword best hint so far
+  std::vector<CodewordRange> last_requests_;
+  std::size_t rounds_ = 0;
+  bool received_anything_ = false;
+};
+
+// True when `range` appears (exactly or as a sub-range) in `requests`.
+bool CoveredByRequests(const CodewordRange& range,
+                       const std::vector<CodewordRange>& requests);
+
+}  // namespace ppr::arq

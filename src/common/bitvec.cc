@@ -1,0 +1,137 @@
+#include "common/bitvec.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ppr {
+
+BitVec::BitVec(std::size_t n, bool value)
+    : words_((n + kWordBits - 1) / kWordBits,
+             value ? ~std::uint64_t{0} : std::uint64_t{0}),
+      size_(n) {
+  if (value && size_ % kWordBits != 0) {
+    // Keep unused high bits of the last word zero so PopCount and
+    // equality can operate on whole words.
+    words_.back() &= (std::uint64_t{1} << (size_ % kWordBits)) - 1;
+  }
+}
+
+BitVec BitVec::FromString(std::string_view bits) {
+  BitVec v;
+  for (char c : bits) {
+    if (c == '0') {
+      v.PushBack(false);
+    } else if (c == '1') {
+      v.PushBack(true);
+    } else {
+      throw std::invalid_argument("BitVec::FromString: bad character");
+    }
+  }
+  return v;
+}
+
+BitVec BitVec::FromBytes(std::span<const std::uint8_t> bytes) {
+  BitVec v;
+  for (std::uint8_t b : bytes) v.AppendUint(b, 8);
+  return v;
+}
+
+bool BitVec::Get(std::size_t i) const {
+  assert(i < size_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::Set(std::size_t i, bool value) {
+  assert(i < size_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::Flip(std::size_t i) {
+  assert(i < size_);
+  words_[i / kWordBits] ^= std::uint64_t{1} << (i % kWordBits);
+}
+
+void BitVec::PushBack(bool bit) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  if (bit) words_.back() |= std::uint64_t{1} << (size_ % kWordBits);
+  ++size_;
+}
+
+void BitVec::AppendUint(std::uint64_t value, unsigned width) {
+  assert(width <= 64);
+  for (unsigned i = width; i-- > 0;) {
+    PushBack((value >> i) & 1u);
+  }
+}
+
+void BitVec::AppendBits(const BitVec& other) {
+  for (std::size_t i = 0; i < other.size_; ++i) PushBack(other.Get(i));
+}
+
+std::uint64_t BitVec::ReadUint(std::size_t pos, unsigned width) const {
+  assert(width <= 64);
+  assert(pos + width <= size_);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(Get(pos + i));
+  }
+  return value;
+}
+
+BitVec BitVec::Slice(std::size_t pos, std::size_t count) const {
+  assert(pos + count <= size_);
+  BitVec out;
+  for (std::size_t i = 0; i < count; ++i) out.PushBack(Get(pos + i));
+  return out;
+}
+
+std::vector<std::uint8_t> BitVec::ToBytes() const {
+  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (Get(i)) out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+  }
+  return out;
+}
+
+std::string BitVec::ToString() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(Get(i) ? '1' : '0');
+  return s;
+}
+
+std::size_t BitVec::HammingDistance(const BitVec& other) const {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVec::HammingDistance: size mismatch");
+  }
+  std::size_t d = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    d += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+  }
+  return d;
+}
+
+std::size_t BitVec::PopCount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+void BitVec::Clear() {
+  words_.clear();
+  size_ = 0;
+}
+
+}  // namespace ppr

@@ -1,0 +1,78 @@
+// Compact growable bit vector used throughout PPR for payload bits,
+// chip streams, and the bit-efficient PP-ARQ feedback encoding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppr {
+
+// A sequence of bits with O(1) append and random access. Bits are stored
+// LSB-first within each 64-bit word; the logical order of bits is the
+// append order. This is the common currency between the framing layer
+// (payload bits), the spreader (bits -> chips), and the feedback codec
+// (variable-width fields).
+class BitVec {
+ public:
+  BitVec() = default;
+
+  // Constructs a vector of `n` bits, all initialised to `value`.
+  explicit BitVec(std::size_t n, bool value = false);
+
+  // Builds a BitVec from a string of '0'/'1' characters. Any other
+  // character throws std::invalid_argument. Intended for tests and for
+  // writing down known chip sequences readably.
+  static BitVec FromString(std::string_view bits);
+
+  // Unpacks bytes MSB-first (network order within a byte), the convention
+  // used by 802.15.4 framing in this codebase.
+  static BitVec FromBytes(std::span<const std::uint8_t> bytes);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(std::size_t i) const;
+  void Set(std::size_t i, bool value);
+  // Flips bit `i`; used by the channel models to inject chip errors.
+  void Flip(std::size_t i);
+
+  void PushBack(bool bit);
+  // Appends the low `width` bits of `value`, most-significant first.
+  // Width must be <= 64.
+  void AppendUint(std::uint64_t value, unsigned width);
+  void AppendBits(const BitVec& other);
+
+  // Reads `width` bits starting at `pos`, most-significant first.
+  // Requires pos + width <= size().
+  std::uint64_t ReadUint(std::size_t pos, unsigned width) const;
+
+  // Extracts bits [pos, pos + count) as a new vector.
+  BitVec Slice(std::size_t pos, std::size_t count) const;
+
+  // Packs to bytes MSB-first; the final byte is zero-padded if size() is
+  // not a multiple of 8.
+  std::vector<std::uint8_t> ToBytes() const;
+
+  std::string ToString() const;
+
+  // Number of positions at which *this and `other` differ. Sizes must
+  // match. This is the Hamming-distance primitive behind the SoftPHY hint.
+  std::size_t HammingDistance(const BitVec& other) const;
+
+  // Number of set bits.
+  std::size_t PopCount() const;
+
+  bool operator==(const BitVec& other) const;
+
+  void Clear();
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ppr

@@ -1,0 +1,102 @@
+#include "frame/frame_format.h"
+
+#include <cassert>
+
+#include "common/crc.h"
+
+namespace ppr::frame {
+namespace {
+
+void AppendU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void AppendU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t ReadU16(std::span<const std::uint8_t> bytes, std::size_t pos) {
+  return static_cast<std::uint16_t>((bytes[pos] << 8) | bytes[pos + 1]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeHeader(const FrameHeader& header) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderOctets);
+  AppendU16(out, header.length);
+  AppendU16(out, header.dst);
+  AppendU16(out, header.src);
+  AppendU16(out, header.seq);
+  const std::uint16_t crc = Crc16({out.data(), kHeaderFieldOctets});
+  AppendU16(out, crc);
+  return out;
+}
+
+std::optional<FrameHeader> DecodeHeader(std::span<const std::uint8_t> octets) {
+  if (octets.size() < kHeaderOctets) return std::nullopt;
+  const std::uint16_t expect = Crc16(octets.subspan(0, kHeaderFieldOctets));
+  const std::uint16_t got = ReadU16(octets, kHeaderFieldOctets);
+  if (expect != got) return std::nullopt;
+  FrameHeader h;
+  h.length = ReadU16(octets, 0);
+  h.dst = ReadU16(octets, 2);
+  h.src = ReadU16(octets, 4);
+  h.seq = ReadU16(octets, 6);
+  return h;
+}
+
+FrameLayout::FrameLayout(std::size_t payload_octets)
+    : payload_octets_(payload_octets) {}
+
+std::vector<std::uint8_t> BuildFrameOctets(
+    const FrameHeader& header, std::span<const std::uint8_t> payload) {
+  assert(header.length == payload.size());
+  const FrameLayout layout(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(layout.TotalOctets());
+
+  for (std::size_t i = 0; i < kPreambleOctets; ++i) {
+    out.push_back(kPreambleOctet);
+  }
+  out.push_back(kSfdOctet);
+
+  const auto header_octets = EncodeHeader(header);
+  out.insert(out.end(), header_octets.begin(), header_octets.end());
+
+  out.insert(out.end(), payload.begin(), payload.end());
+  AppendU32(out, PayloadCrc(payload));
+
+  // Trailer replicates the header (fields + its own CRC-16).
+  out.insert(out.end(), header_octets.begin(), header_octets.end());
+
+  for (std::size_t i = 0; i < kPostambleOctets; ++i) {
+    out.push_back(kPostambleOctet);
+  }
+  out.push_back(kPostSfdOctet);
+
+  assert(out.size() == layout.TotalOctets());
+  return out;
+}
+
+std::uint32_t PayloadCrc(std::span<const std::uint8_t> payload) {
+  return Crc32(payload);
+}
+
+std::vector<std::uint8_t> PreamblePatternOctets() {
+  std::vector<std::uint8_t> out(kPreambleOctets, kPreambleOctet);
+  out.push_back(kSfdOctet);
+  return out;
+}
+
+std::vector<std::uint8_t> PostamblePatternOctets() {
+  std::vector<std::uint8_t> out(kPostambleOctets, kPostambleOctet);
+  out.push_back(kPostSfdOctet);
+  return out;
+}
+
+}  // namespace ppr::frame

@@ -1,0 +1,117 @@
+// PPR frame format (Figure 2 of the paper).
+//
+// On-air octet layout:
+//
+//   PREAMBLE  4 x 0x00          } standard 802.15.4 sync
+//   SFD       0xA7              }
+//   LEN       2 octets          } header: payload length (octets),
+//   DST       2 octets          }   destination, source, sequence
+//   SRC       2 octets          }
+//   SEQ       2 octets          }
+//   HCRC      2 octets CRC-16 over LEN..SEQ
+//   PAYLOAD   N octets
+//   PCRC      4 octets CRC-32 over PAYLOAD
+//   LEN'      \
+//   DST'       } trailer: replica of the header fields plus its own
+//   SRC'       } CRC-16, so a postamble-synchronized receiver can frame
+//   SEQ'       } the packet (section 4)
+//   TCRC      2 octets CRC-16 over LEN'..SEQ'
+//   POSTAMBLE 4 x 0xFF          } postamble sync, distinct from the
+//   PSFD      0xE5              }   preamble so the two are not confused
+//
+// Every octet maps to two 4-bit symbols (low nibble first), each spread
+// to a 32-chip codeword.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace ppr::frame {
+
+inline constexpr std::size_t kPreambleOctets = 4;
+inline constexpr std::uint8_t kPreambleOctet = 0x00;
+inline constexpr std::uint8_t kSfdOctet = 0xA7;
+inline constexpr std::size_t kPostambleOctets = 4;
+inline constexpr std::uint8_t kPostambleOctet = 0xFF;
+inline constexpr std::uint8_t kPostSfdOctet = 0xE5;
+
+inline constexpr std::size_t kHeaderFieldOctets = 8;   // LEN DST SRC SEQ
+inline constexpr std::size_t kHeaderOctets = 10;       // + HCRC
+inline constexpr std::size_t kPayloadCrcOctets = 4;    // PCRC
+inline constexpr std::size_t kTrailerOctets = 10;      // fields + TCRC
+inline constexpr std::size_t kSyncPrefixOctets =
+    kPreambleOctets + 1;  // preamble + SFD
+inline constexpr std::size_t kSyncSuffixOctets =
+    kPostambleOctets + 1;  // postamble + PSFD
+
+// Link-layer addressing and length fields carried in both header and
+// trailer.
+struct FrameHeader {
+  std::uint16_t length = 0;  // payload octets
+  std::uint16_t dst = 0;
+  std::uint16_t src = 0;
+  std::uint16_t seq = 0;
+
+  bool operator==(const FrameHeader&) const = default;
+};
+
+// Serializes the four fields plus CRC-16 (10 octets).
+std::vector<std::uint8_t> EncodeHeader(const FrameHeader& header);
+
+// Parses and CRC-checks 10 octets; nullopt when the CRC fails.
+std::optional<FrameHeader> DecodeHeader(std::span<const std::uint8_t> octets);
+
+// Layout bookkeeping for a frame with a given payload size. All offsets
+// are in octets from the start of the on-air frame (first preamble
+// octet); symbol offsets are octet offsets times two.
+class FrameLayout {
+ public:
+  explicit FrameLayout(std::size_t payload_octets);
+
+  std::size_t payload_octets() const { return payload_octets_; }
+
+  std::size_t HeaderOffset() const { return kSyncPrefixOctets; }
+  std::size_t PayloadOffset() const { return HeaderOffset() + kHeaderOctets; }
+  std::size_t PayloadCrcOffset() const {
+    return PayloadOffset() + payload_octets_;
+  }
+  std::size_t TrailerOffset() const {
+    return PayloadCrcOffset() + kPayloadCrcOctets;
+  }
+  std::size_t PostambleOffset() const {
+    return TrailerOffset() + kTrailerOctets;
+  }
+  std::size_t TotalOctets() const {
+    return PostambleOffset() + kSyncSuffixOctets;
+  }
+
+  std::size_t TotalSymbols() const { return TotalOctets() * 2; }
+  std::size_t TotalChips() const { return TotalSymbols() * 32; }
+
+  // Octets between SFD and postamble (header..trailer): the region a
+  // preamble-synchronized receiver decodes.
+  std::size_t BodyOctets() const {
+    return TotalOctets() - kSyncPrefixOctets - kSyncSuffixOctets;
+  }
+
+ private:
+  std::size_t payload_octets_;
+};
+
+// Builds the complete on-air octet sequence for a frame.
+std::vector<std::uint8_t> BuildFrameOctets(const FrameHeader& header,
+                                           std::span<const std::uint8_t> payload);
+
+// CRC-32 of a payload (the PCRC field value).
+std::uint32_t PayloadCrc(std::span<const std::uint8_t> payload);
+
+// Reference sync-pattern octets for the correlators.
+std::vector<std::uint8_t> PreamblePatternOctets();   // 0x00 x4, 0xA7
+std::vector<std::uint8_t> PostamblePatternOctets();  // 0xFF x4, 0xE5
+
+}  // namespace ppr::frame

@@ -1,0 +1,89 @@
+#include "phy/channel.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace ppr::phy {
+
+double QFunction(double x) { return 0.5 * std::erfc(x / std::numbers::sqrt2); }
+
+double ChipErrorProbability(double ec_n0_linear) {
+  if (ec_n0_linear <= 0.0) return 0.5;
+  return QFunction(std::sqrt(2.0 * ec_n0_linear));
+}
+
+double NoiseSigmaForEcN0(double ec_n0_linear, double amplitude,
+                         int samples_per_chip) {
+  assert(ec_n0_linear > 0.0);
+  const double pulse_energy = static_cast<double>(samples_per_chip);
+  return amplitude * std::sqrt(pulse_energy / (2.0 * ec_n0_linear));
+}
+
+void AddAwgn(SampleVec& samples, double sigma, Rng& rng) {
+  if (sigma <= 0.0) return;
+  for (auto& s : samples) {
+    s += Sample{rng.Normal(0.0, sigma), rng.Normal(0.0, sigma)};
+  }
+}
+
+void ApplyGain(SampleVec& samples, double gain) {
+  for (auto& s : samples) s *= gain;
+}
+
+void ApplyCarrierOffset(SampleVec& samples, double cfo, double phase) {
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    const double theta =
+        2.0 * std::numbers::pi * cfo * static_cast<double>(n) + phase;
+    samples[n] *= Sample{std::cos(theta), std::sin(theta)};
+  }
+}
+
+void MixInto(SampleVec& mix, const SampleVec& signal, std::size_t offset,
+             double gain) {
+  if (mix.size() < offset + signal.size()) {
+    mix.resize(offset + signal.size(), Sample{0.0, 0.0});
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    mix[offset + i] += gain * signal[i];
+  }
+}
+
+std::uint32_t SampleChipErrorMask(Rng& rng, double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return 0xFFFFFFFFu;
+  std::uint32_t mask = 0;
+  if (p < 0.1) {
+    // Geometric skipping: jump straight to the next error position.
+    const double log1mp = std::log1p(-p);
+    double position = 0.0;
+    for (;;) {
+      double u = rng.UniformDouble();
+      if (u < 1e-300) u = 1e-300;
+      position += std::floor(std::log(u) / log1mp) + 1.0;
+      if (position > 32.0) break;
+      mask |= std::uint32_t{1} << (static_cast<std::uint32_t>(position) - 1);
+    }
+  } else {
+    for (int i = 0; i < 32; ++i) {
+      if (rng.Bernoulli(p)) mask |= std::uint32_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+SampleVec FractionalDelay(const SampleVec& signal, double delay_samples) {
+  assert(delay_samples >= 0.0);
+  const auto whole = static_cast<std::size_t>(std::floor(delay_samples));
+  const double frac = delay_samples - static_cast<double>(whole);
+  SampleVec out(signal.size() + whole + 1, Sample{0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    // Linear interpolation distributes sample i across output positions
+    // whole+i and whole+i+1.
+    out[whole + i] += (1.0 - frac) * signal[i];
+    out[whole + i + 1] += frac * signal[i];
+  }
+  return out;
+}
+
+}  // namespace ppr::phy

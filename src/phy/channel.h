@@ -1,0 +1,56 @@
+// Complex-baseband channel models: AWGN, gain/attenuation, delay,
+// carrier offset, and superposition of concurrent transmissions
+// (collisions). These stand in for the over-the-air channel between the
+// CC2420 senders and the USRP receivers of the paper's testbed.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "phy/msk_modem.h"
+
+namespace ppr::phy {
+
+// Gaussian Q function: P(N(0,1) > x).
+double QFunction(double x);
+
+// Probability of a chip error for antipodal chips through a matched
+// filter at chip SNR (Ec/N0) `ec_n0_linear`: Q(sqrt(2 * Ec/N0)). This is
+// the link between the waveform channel and the chip-level testbed
+// simulator — both produce the same chip error statistics at equal SNR.
+double ChipErrorProbability(double ec_n0_linear);
+
+// Noise standard deviation per real dimension that realizes a target
+// chip-level Ec/N0 for half-sine MSK pulses with the given amplitude and
+// oversampling. Derivation: matched-filter signal level = A * Ep where
+// Ep = sum p^2[m] = sps; noise variance after the filter = sigma^2 * Ep;
+// Ec = A^2 * Ep and N0 = 2 sigma^2, so Ec/N0 = A^2 * Ep / (2 sigma^2).
+double NoiseSigmaForEcN0(double ec_n0_linear, double amplitude,
+                         int samples_per_chip);
+
+// Adds white Gaussian noise (independent per real dimension) in place.
+void AddAwgn(SampleVec& samples, double sigma, Rng& rng);
+
+// Scales a signal by a (voltage) gain.
+void ApplyGain(SampleVec& samples, double gain);
+
+// Applies a carrier frequency/phase offset: s[n] *= exp(j*(2*pi*cfo*n + phase)),
+// with `cfo` in cycles per sample.
+void ApplyCarrierOffset(SampleVec& samples, double cfo, double phase);
+
+// Adds `signal` into `mix` starting at sample `offset`, growing `mix` if
+// needed. Models concurrent transmissions superposing at a receiver.
+void MixInto(SampleVec& mix, const SampleVec& signal, std::size_t offset,
+             double gain = 1.0);
+
+// Returns `signal` delayed by a fractional number of samples using linear
+// interpolation; used to model senders whose chip clocks are not aligned
+// to the receiver sample grid.
+SampleVec FractionalDelay(const SampleVec& signal, double delay_samples);
+
+// Draws a 32-chip error mask where each chip flips independently with
+// probability `p`. Used by the chip-level testbed simulator; the
+// geometric-skip sampler keeps the common low-error-rate case cheap.
+std::uint32_t SampleChipErrorMask(Rng& rng, double p);
+
+}  // namespace ppr::phy

@@ -1,0 +1,61 @@
+// DSSS despreading with SoftPHY hints.
+//
+// This is the code path the whole paper hinges on: every 32-chip window
+// is decoded to the nearest codeword and annotated with a confidence
+// hint. Both the waveform receiver (matched-filter chips) and the
+// chip-level testbed simulator (SINR-driven chip flips) feed this same
+// despreader, so hint statistics are produced by one implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::phy {
+
+// Which PHY hint accompanies each decoded symbol (section 3.1 lays out
+// three options; Hamming distance is the one the paper evaluates).
+enum class HintKind {
+  kHammingDistance,     // hard-decision decoding distance (section 3.2)
+  kSoftCorrelation,     // soft-decision correlation margin
+  kMatchedFilterEnergy  // mean |matched filter output| across the codeword
+};
+
+// One decoded symbol plus its SoftPHY annotation. `hint` follows the
+// monotonicity contract of section 3.3: *lower* is always more
+// confident, regardless of HintKind (correlation-style metrics are
+// negated internally so that one comparison direction serves all kinds).
+struct DecodedSymbol {
+  std::uint8_t symbol = 0;  // 4-bit value
+  double hint = 0.0;        // lower = more confident
+  int hamming_distance = 0; // always populated for diagnostics
+};
+
+// Despreads a hard chip stream. The chip count must be a multiple of 32.
+std::vector<DecodedSymbol> DespreadHard(const ChipCodebook& codebook,
+                                        const BitVec& chips);
+
+// Despreads a soft chip stream (one double per chip, sign = decision).
+// `kind` selects how the hint is derived:
+//  - kHammingDistance: slice signs to hard chips, decode, distance hint.
+//  - kSoftCorrelation: soft decode; hint = -(margin / codeword energy).
+//  - kMatchedFilterEnergy: hard decode; hint = -(mean |soft chip|).
+std::vector<DecodedSymbol> DespreadSoft(const ChipCodebook& codebook,
+                                        const std::vector<double>& soft_chips,
+                                        HintKind kind);
+
+// Reassembles the bit stream from decoded symbols (inverse of the
+// spreader's nibble ordering).
+BitVec DecodedSymbolsToBits(const std::vector<DecodedSymbol>& symbols);
+
+// Reorders transmission-order symbols (low nibble of each octet first)
+// into logical nibble order (high nibble first, so symbol k carries bits
+// [4k, 4k+4) of the octet stream). Requires an even symbol count.
+std::vector<DecodedSymbol> ToLogicalNibbleOrder(
+    std::vector<DecodedSymbol> symbols);
+
+}  // namespace ppr::phy

@@ -1,0 +1,68 @@
+#include "phy/frame_sync.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppr::phy {
+
+WaveformCorrelator::WaveformCorrelator(SampleVec reference)
+    : reference_(std::move(reference)) {
+  for (const auto& s : reference_) reference_energy_ += std::norm(s);
+}
+
+double WaveformCorrelator::ScoreAt(const SampleVec& rx, std::size_t n) const {
+  return ScoreAt(rx, n, nullptr);
+}
+
+double WaveformCorrelator::ScoreAt(const SampleVec& rx, std::size_t n,
+                                   double* phase) const {
+  if (reference_.empty() || n + reference_.size() > rx.size()) return 0.0;
+  Sample acc{0.0, 0.0};
+  double rx_energy = 0.0;
+  for (std::size_t m = 0; m < reference_.size(); ++m) {
+    const Sample& r = rx[n + m];
+    acc += std::conj(reference_[m]) * r;
+    rx_energy += std::norm(r);
+  }
+  const double denom = std::sqrt(reference_energy_ * rx_energy);
+  if (denom <= 0.0) return 0.0;
+  if (phase != nullptr) *phase = std::arg(acc);
+  return std::abs(acc) / denom;
+}
+
+std::vector<SyncHit> WaveformCorrelator::FindPeaks(
+    const SampleVec& rx, double threshold, std::size_t min_separation) const {
+  std::vector<SyncHit> hits;
+  if (rx.size() < reference_.size()) return hits;
+  const std::size_t last = rx.size() - reference_.size();
+  for (std::size_t n = 0; n <= last; ++n) {
+    double phase = 0.0;
+    const double score = ScoreAt(rx, n, &phase);
+    if (score < threshold) continue;
+    if (!hits.empty() && n - hits.back().sample_offset < min_separation) {
+      // Within the separation window keep only the stronger hit.
+      if (score > hits.back().score) {
+        hits.back() = SyncHit{n, score, phase};
+      }
+      continue;
+    }
+    hits.push_back(SyncHit{n, score, phase});
+  }
+  return hits;
+}
+
+SyncHit WaveformCorrelator::BestInRange(const SampleVec& rx, std::size_t from,
+                                        std::size_t to) const {
+  SyncHit best;
+  to = std::min(to, rx.size());
+  for (std::size_t n = from; n < to; ++n) {
+    double phase = 0.0;
+    const double score = ScoreAt(rx, n, &phase);
+    if (score > best.score) {
+      best = SyncHit{n, score, phase};
+    }
+  }
+  return best;
+}
+
+}  // namespace ppr::phy

@@ -1,0 +1,43 @@
+#include "phy/sample_buffer.h"
+
+#include <cassert>
+
+namespace ppr::phy {
+
+SampleRingBuffer::SampleRingBuffer(std::size_t capacity)
+    : data_(capacity, Sample{0.0, 0.0}) {
+  assert(capacity > 0);
+}
+
+void SampleRingBuffer::Push(Sample s) {
+  data_[static_cast<std::size_t>(end_ % data_.size())] = s;
+  ++end_;
+}
+
+void SampleRingBuffer::PushAll(const SampleVec& samples) {
+  for (const auto& s : samples) Push(s);
+}
+
+std::uint64_t SampleRingBuffer::OldestAvailable() const {
+  return end_ > data_.size() ? end_ - data_.size() : 0;
+}
+
+bool SampleRingBuffer::Contains(std::uint64_t index) const {
+  return index >= OldestAvailable() && index < end_;
+}
+
+Sample SampleRingBuffer::At(std::uint64_t index) const {
+  if (!Contains(index)) return Sample{0.0, 0.0};
+  return data_[static_cast<std::size_t>(index % data_.size())];
+}
+
+SampleVec SampleRingBuffer::Window(std::uint64_t first,
+                                   std::size_t count) const {
+  SampleVec out(count, Sample{0.0, 0.0});
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = At(first + i);
+  }
+  return out;
+}
+
+}  // namespace ppr::phy

@@ -1,0 +1,49 @@
+// Circular buffer of received samples enabling postamble "roll back"
+// (section 4): the receiver keeps as many samples as one maximally-sized
+// packet occupies, so that when a postamble is detected it can decode the
+// packet body it never synchronized on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "phy/msk_modem.h"
+
+namespace ppr::phy {
+
+// Fixed-capacity ring buffer with absolute (monotonically increasing)
+// sample indexing. Push() advances the stream; samples older than
+// capacity are overwritten and reads of them return zero (and can be
+// detected via OldestAvailable()).
+class SampleRingBuffer {
+ public:
+  explicit SampleRingBuffer(std::size_t capacity);
+
+  void Push(Sample s);
+  void PushAll(const SampleVec& samples);
+
+  // Total samples ever pushed; the next Push() receives this index.
+  std::uint64_t EndIndex() const { return end_; }
+
+  // Oldest absolute index still retained.
+  std::uint64_t OldestAvailable() const;
+
+  // True if the absolute index is still in the buffer.
+  bool Contains(std::uint64_t index) const;
+
+  // Sample at absolute index; zero if evicted or not yet written.
+  Sample At(std::uint64_t index) const;
+
+  // Copies [first, first + count) into a contiguous vector; evicted or
+  // future positions read as zero. This is the rollback primitive: the
+  // receiver pipeline asks for the window preceding a postamble hit.
+  SampleVec Window(std::uint64_t first, std::size_t count) const;
+
+  std::size_t Capacity() const { return data_.size(); }
+
+ private:
+  SampleVec data_;
+  std::uint64_t end_ = 0;  // absolute index one past the newest sample
+};
+
+}  // namespace ppr::phy

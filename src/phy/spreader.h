@@ -1,0 +1,30 @@
+// DSSS spreading: packet bits -> 4-bit symbols -> 32-chip codewords.
+//
+// Follows the 802.15.4 convention of splitting each octet into two 4-bit
+// symbols, low nibble first. The chip stream is what the modulator turns
+// into a waveform and what the chip-level testbed simulator perturbs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::phy {
+
+// Maps a bit stream to symbols. The bit count must be a multiple of 4;
+// framing layers guarantee this by construction (whole octets).
+std::vector<std::uint8_t> BitsToSymbols(const BitVec& bits);
+
+// Inverse of BitsToSymbols.
+BitVec SymbolsToBits(const std::vector<std::uint8_t>& symbols);
+
+// Spreads symbols to a chip stream (32 chips per symbol, chip 0 first).
+BitVec SpreadSymbols(const ChipCodebook& codebook,
+                     const std::vector<std::uint8_t>& symbols);
+
+// Convenience: bits -> chips in one step.
+BitVec SpreadBits(const ChipCodebook& codebook, const BitVec& bits);
+
+}  // namespace ppr::phy

@@ -1,0 +1,42 @@
+#include "phy/timing_recovery.h"
+
+#include <cmath>
+
+namespace ppr::phy {
+
+TimingEstimate FindChipTiming(const MskDemodulator& demod,
+                              const SampleVec& samples,
+                              std::size_t search_span,
+                              std::size_t probe_chips) {
+  TimingEstimate best;
+  best.metric = -1.0;
+  for (std::size_t offset = 0; offset < search_span; ++offset) {
+    double metric = 0.0;
+    for (std::size_t k = 0; k < probe_chips; ++k) {
+      metric += std::abs(demod.DemodulateChip(samples, offset, k));
+    }
+    if (metric > best.metric) {
+      best.metric = metric;
+      best.offset_samples = offset;
+    }
+  }
+  return best;
+}
+
+MuellerMullerTracker::MuellerMullerTracker(double gain) : gain_(gain) {}
+
+double MuellerMullerTracker::Update(double soft_now) {
+  const double decision_now = soft_now >= 0.0 ? 1.0 : -1.0;
+  if (primed_) {
+    // e[k] = d[k-1] * x[k] - d[k] * x[k-1]; positive error means we are
+    // sampling late, so the correction moves the window earlier.
+    const double error = prev_decision_ * soft_now - decision_now * prev_soft_;
+    correction_ -= gain_ * error;
+  }
+  prev_soft_ = soft_now;
+  prev_decision_ = decision_now;
+  primed_ = true;
+  return correction_;
+}
+
+}  // namespace ppr::phy

@@ -1,0 +1,121 @@
+#include "ppr/link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numbers>
+
+#include "phy/channel.h"
+
+namespace ppr::core {
+namespace {
+
+// Fills a vector of all-bad codewords: the ARQ layer treats these as
+// "nothing useful received".
+std::vector<phy::DecodedSymbol> AllBad(std::size_t count) {
+  std::vector<phy::DecodedSymbol> out(count);
+  for (auto& s : out) {
+    s.symbol = 0;
+    s.hint = std::numeric_limits<double>::infinity();
+    s.hamming_distance = phy::kChipsPerSymbol;
+  }
+  return out;
+}
+
+}  // namespace
+
+arq::BodyChannel MakeWaveformChannel(const WaveformChannelParams& params) {
+  struct State {
+    WaveformChannelParams params;
+    FrameModulator modulator;
+    ReceiverPipeline pipeline;
+    Rng rng;
+    std::uint16_t next_seq = 1;
+
+    explicit State(const WaveformChannelParams& p)
+        : params(p),
+          modulator(p.pipeline.modem),
+          pipeline(p.pipeline),
+          rng(p.seed) {}
+  };
+  auto state = std::make_shared<State>(params);
+
+  return [state](const BitVec& bits) -> std::vector<phy::DecodedSymbol> {
+    auto& s = *state;
+    const std::size_t nibbles = bits.size() / 4;
+    // Pad the body to whole octets for framing.
+    BitVec padded = bits;
+    while (padded.size() % 8 != 0) padded.PushBack(false);
+    const auto payload = padded.ToBytes();
+
+    frame::FrameHeader header;
+    header.length = static_cast<std::uint16_t>(payload.size());
+    header.dst = 2;
+    header.src = 1;
+    header.seq = s.next_seq++;
+
+    phy::SampleVec wave = s.modulator.Modulate(header, payload);
+    // Each transmitter has its own carrier phase; the receiver recovers
+    // it from the sync correlation.
+    phy::ApplyCarrierOffset(wave, 0.0,
+                            s.rng.UniformDouble(0.0, 2.0 * std::numbers::pi));
+
+    // Guard padding so sync search starts and ends in noise.
+    const int sps = s.params.pipeline.modem.samples_per_chip;
+    const std::size_t guard = static_cast<std::size_t>(64 * sps);
+    phy::SampleVec air(wave.size() + 2 * guard, phy::Sample{0.0, 0.0});
+    phy::MixInto(air, wave, guard);
+
+    // Collision: a concurrent burst overlapping part of the frame.
+    if (s.rng.Bernoulli(s.params.collision_probability)) {
+      std::vector<std::uint8_t> junk(s.params.interferer_octets);
+      for (auto& b : junk) {
+        b = static_cast<std::uint8_t>(s.rng.UniformInt(256));
+      }
+      phy::SampleVec burst = s.modulator.ModulateOctets(junk);
+      phy::ApplyCarrierOffset(
+          burst, 0.0, s.rng.UniformDouble(0.0, 2.0 * std::numbers::pi));
+      const double gain =
+          std::pow(10.0, s.params.interferer_relative_db / 20.0);
+      const std::size_t span = air.size() > burst.size()
+                                   ? air.size() - burst.size()
+                                   : 1;
+      const std::size_t offset = s.rng.UniformInt(span);
+      phy::MixInto(air, burst, offset, gain);
+    }
+
+    const double sigma = phy::NoiseSigmaForEcN0(
+        std::pow(10.0, s.params.ec_n0_db / 10.0),
+        s.params.pipeline.modem.amplitude, sps);
+    phy::AddAwgn(air, sigma, s.rng);
+
+    const auto frames = s.pipeline.Process(air);
+    // Use the recovered frame matching this transmission's seq (there is
+    // at most one expected frame per call).
+    for (const auto& f : frames) {
+      if (f.header.seq != header.seq || f.header.length != payload.size()) {
+        continue;
+      }
+      auto symbols = f.PayloadSymbols();
+      if (symbols.size() < nibbles) break;
+      symbols.resize(nibbles);  // drop padding codewords
+      return symbols;
+    }
+    return AllBad(nibbles);
+  };
+}
+
+arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
+                                  const arq::PpArqConfig& arq_config,
+                                  const WaveformChannelParams& params,
+                                  Rng& payload_rng) {
+  BitVec payload;
+  for (std::size_t i = 0; i < payload_octets; ++i) {
+    payload.AppendUint(payload_rng.UniformInt(256), 8);
+  }
+  const auto channel = MakeWaveformChannel(params);
+  return arq::RunPpArqExchange(payload, arq_config, channel);
+}
+
+}  // namespace ppr::core

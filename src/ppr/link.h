@@ -1,0 +1,49 @@
+// Point-to-point PPR link over the waveform PHY: every data-direction
+// transmission (initial packets and PP-ARQ retransmissions) is framed,
+// modulated, pushed through an AWGN + collision channel, and recovered
+// by the full receiver pipeline. This is the configuration of the
+// paper's section 7.5 experiment (one GNU Radio sender, one receiver,
+// 250-byte packets, Figure 16).
+//
+// Feedback frames are modeled as reliable out-of-band messages: they
+// are tiny compared to data frames and the paper's reverse link is
+// likewise assumed to function.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arq/link_sim.h"
+#include "common/rng.h"
+#include "ppr/receiver_pipeline.h"
+
+namespace ppr::core {
+
+struct WaveformChannelParams {
+  PipelineConfig pipeline;
+  double ec_n0_db = 6.0;  // chip-level SNR of the link
+  // Probability that a given transmission suffers a collision from a
+  // concurrent sender, the power of that interferer relative to the
+  // signal, and the octet length of the interfering burst.
+  double collision_probability = 0.0;
+  double interferer_relative_db = 0.0;
+  std::size_t interferer_octets = 300;
+  std::uint64_t seed = 1;
+};
+
+// Builds an arq::BodyChannel that carries body bits inside real frames
+// over the waveform: pad to octets, frame, modulate, add noise (and a
+// colliding burst with the configured probability), then run the
+// receiver pipeline and return the payload codewords with their hints.
+// When the pipeline fails to recover the frame at all, every codeword
+// comes back with an infinitely-bad hint (the ARQ layer then re-requests
+// everything it still needs).
+arq::BodyChannel MakeWaveformChannel(const WaveformChannelParams& params);
+
+// One PP-ARQ packet exchange over the waveform channel.
+arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
+                                  const arq::PpArqConfig& arq_config,
+                                  const WaveformChannelParams& params,
+                                  Rng& payload_rng);
+
+}  // namespace ppr::core

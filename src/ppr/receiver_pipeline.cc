@@ -1,0 +1,267 @@
+#include "ppr/receiver_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "phy/spreader.h"
+
+namespace ppr::core {
+namespace {
+
+constexpr std::size_t kChipsPerOctet = 2 * phy::kChipsPerSymbol;
+
+phy::SampleVec ModulatePattern(const phy::ModemConfig& modem,
+                               const std::vector<std::uint8_t>& octets) {
+  const phy::ChipCodebook codebook;
+  const phy::MskModulator modulator(modem);
+  const BitVec chips =
+      phy::SpreadBits(codebook, BitVec::FromBytes(octets));
+  return modulator.Modulate(chips);
+}
+
+}  // namespace
+
+std::vector<phy::DecodedSymbol> RecoveredFrame::PayloadSymbols() const {
+  const std::size_t first = frame::kHeaderOctets * 2;
+  const std::size_t count = static_cast<std::size_t>(header.length) * 2;
+  if (first + count > body_symbols.size()) return {};
+  return {body_symbols.begin() + static_cast<std::ptrdiff_t>(first),
+          body_symbols.begin() + static_cast<std::ptrdiff_t>(first + count)};
+}
+
+BitVec RecoveredFrame::PayloadBits() const {
+  BitVec bits;
+  for (const auto& s : PayloadSymbols()) bits.AppendUint(s.symbol, 4);
+  return bits;
+}
+
+std::vector<phy::DecodedSymbol> RecoveredFrame::ArqBodySymbols() const {
+  const std::size_t first = frame::kHeaderOctets * 2;
+  const std::size_t count =
+      (static_cast<std::size_t>(header.length) + frame::kPayloadCrcOctets) * 2;
+  if (first + count > body_symbols.size()) return {};
+  return {body_symbols.begin() + static_cast<std::ptrdiff_t>(first),
+          body_symbols.begin() + static_cast<std::ptrdiff_t>(first + count)};
+}
+
+FrameModulator::FrameModulator(const phy::ModemConfig& config)
+    : modulator_(config) {}
+
+phy::SampleVec FrameModulator::Modulate(
+    const frame::FrameHeader& header,
+    std::span<const std::uint8_t> payload) const {
+  return ModulateOctets(frame::BuildFrameOctets(header, payload));
+}
+
+phy::SampleVec FrameModulator::ModulateOctets(
+    std::span<const std::uint8_t> octets) const {
+  const BitVec chips =
+      phy::SpreadBits(codebook_, BitVec::FromBytes(octets));
+  return modulator_.Modulate(chips);
+}
+
+ReceiverPipeline::ReceiverPipeline(const PipelineConfig& config)
+    : config_(config),
+      demod_(config.modem),
+      preamble_correlator_(
+          ModulatePattern(config.modem, frame::PreamblePatternOctets())),
+      postamble_correlator_(
+          ModulatePattern(config.modem, frame::PostamblePatternOctets())) {}
+
+double ReceiverPipeline::PreambleScoreAt(const phy::SampleVec& samples,
+                                         std::size_t n) const {
+  return preamble_correlator_.ScoreAt(samples, n);
+}
+
+double ReceiverPipeline::PostambleScoreAt(const phy::SampleVec& samples,
+                                          std::size_t n) const {
+  return postamble_correlator_.ScoreAt(samples, n);
+}
+
+std::vector<phy::DecodedSymbol> ReceiverPipeline::DecodeSymbols(
+    const phy::SampleVec& samples, std::int64_t chip0_sample,
+    std::size_t num_symbols, double carrier_phase) const {
+  const int sps = config_.modem.samples_per_chip;
+  // Derotate by the sync-derived phase estimate so the I/Q axes align
+  // with the transmission regardless of its carrier phase.
+  const phy::Sample derotate{std::cos(-carrier_phase),
+                             std::sin(-carrier_phase)};
+  std::vector<double> soft(num_symbols * phy::kChipsPerSymbol, 0.0);
+  for (std::size_t k = 0; k < soft.size(); ++k) {
+    const std::int64_t base =
+        chip0_sample + static_cast<std::int64_t>(k) * sps;
+    const phy::Sample c =
+        derotate * demod_.DemodulateChipComplexAt(samples, base);
+    soft[k] = (k % 2 == 0) ? c.real() : c.imag();
+  }
+  return phy::DespreadSoft(codebook_, soft, config_.hint_kind);
+}
+
+std::optional<RecoveredFrame> ReceiverPipeline::DecodeFromPreamble(
+    const phy::SampleVec& samples, const phy::SyncHit& hit) const {
+  const int sps = config_.modem.samples_per_chip;
+  const std::int64_t frame_start = static_cast<std::int64_t>(hit.sample_offset);
+  const std::int64_t header_chip0 =
+      frame_start + static_cast<std::int64_t>(frame::kSyncPrefixOctets *
+                                              kChipsPerOctet) *
+                        sps;
+
+  const auto header_symbols =
+      DecodeSymbols(samples, header_chip0, frame::kHeaderOctets * 2, hit.phase);
+  const auto header_octets =
+      phy::DecodedSymbolsToBits(header_symbols).ToBytes();
+  const auto header = frame::DecodeHeader(header_octets);
+  if (!header.has_value()) return std::nullopt;
+  if (header->length > config_.max_payload_octets) return std::nullopt;
+
+  const frame::FrameLayout layout(header->length);
+  const auto body_tx =
+      DecodeSymbols(samples, header_chip0, layout.BodyOctets() * 2, hit.phase);
+
+  RecoveredFrame frame;
+  frame.sync = RecoveredFrame::SyncSource::kPreamble;
+  frame.sync_score = hit.score;
+  frame.frame_start_sample = hit.sample_offset;
+  frame.header = *header;
+  frame.body_symbols = phy::ToLogicalNibbleOrder(body_tx);
+  return frame;
+}
+
+std::optional<RecoveredFrame> ReceiverPipeline::DecodeFromPostamble(
+    const phy::SampleVec& samples, const phy::SyncHit& hit) const {
+  const int sps = config_.modem.samples_per_chip;
+  const std::int64_t postamble_chip0 =
+      static_cast<std::int64_t>(hit.sample_offset);
+
+  // Step 1-3 (section 4): roll back the trailer, parse it, verify its
+  // checksum.
+  const std::int64_t trailer_chip0 =
+      postamble_chip0 -
+      static_cast<std::int64_t>(frame::kTrailerOctets * kChipsPerOctet) * sps;
+  const auto trailer_symbols =
+      DecodeSymbols(samples, trailer_chip0, frame::kTrailerOctets * 2,
+                    hit.phase);
+  const auto trailer_octets =
+      phy::DecodedSymbolsToBits(trailer_symbols).ToBytes();
+  const auto header = frame::DecodeHeader(trailer_octets);
+  if (!header.has_value()) return std::nullopt;
+  if (header->length > config_.max_payload_octets) return std::nullopt;
+
+  // Step 4: roll back the full frame and decode as much as possible.
+  const frame::FrameLayout layout(header->length);
+  const std::int64_t frame_start =
+      postamble_chip0 -
+      static_cast<std::int64_t>(layout.PostambleOffset() * kChipsPerOctet) *
+          sps;
+  const std::int64_t header_chip0 =
+      frame_start + static_cast<std::int64_t>(frame::kSyncPrefixOctets *
+                                              kChipsPerOctet) *
+                        sps;
+  const auto body_tx =
+      DecodeSymbols(samples, header_chip0, layout.BodyOctets() * 2, hit.phase);
+
+  RecoveredFrame frame;
+  frame.sync = RecoveredFrame::SyncSource::kPostamble;
+  frame.sync_score = hit.score;
+  frame.frame_start_sample =
+      frame_start < 0 ? 0 : static_cast<std::uint64_t>(frame_start);
+  frame.header = *header;
+  frame.header_from_trailer = true;
+  frame.body_symbols = phy::ToLogicalNibbleOrder(body_tx);
+  return frame;
+}
+
+std::vector<RecoveredFrame> ReceiverPipeline::Process(
+    const phy::SampleVec& samples) const {
+  std::vector<RecoveredFrame> frames;
+  const int sps = config_.modem.samples_per_chip;
+  const std::size_t pattern_len = preamble_correlator_.ReferenceLength();
+
+  // Preamble path first, as a live receiver would.
+  const auto pre_hits = preamble_correlator_.FindPeaks(
+      samples, config_.sync_threshold, pattern_len);
+  for (const auto& hit : pre_hits) {
+    if (auto frame = DecodeFromPreamble(samples, hit)) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+
+  // Postamble path recovers frames the preamble path missed.
+  const auto post_hits = postamble_correlator_.FindPeaks(
+      samples, config_.sync_threshold, pattern_len);
+  for (const auto& hit : post_hits) {
+    auto frame = DecodeFromPostamble(samples, hit);
+    if (!frame.has_value()) continue;
+    // Skip frames already recovered via their preamble: same start
+    // offset (within a couple of chips of tolerance).
+    const auto tolerance = static_cast<std::uint64_t>(4 * sps);
+    const bool duplicate =
+        std::any_of(frames.begin(), frames.end(), [&](const RecoveredFrame& f) {
+          const std::uint64_t a = f.frame_start_sample;
+          const std::uint64_t b = frame->frame_start_sample;
+          return (a > b ? a - b : b - a) <= tolerance;
+        });
+    if (!duplicate) frames.push_back(std::move(*frame));
+  }
+
+  std::sort(frames.begin(), frames.end(),
+            [](const RecoveredFrame& a, const RecoveredFrame& b) {
+              return a.frame_start_sample < b.frame_start_sample;
+            });
+  return frames;
+}
+
+StreamingReceiver::StreamingReceiver(const PipelineConfig& config)
+    : config_(config),
+      pipeline_(config),
+      buffer_([&] {
+        // Hold two maximal frames so a frame completing at "now" is
+        // fully in the buffer alongside the next frame's beginning.
+        const frame::FrameLayout layout(config.max_payload_octets);
+        const std::size_t frame_samples =
+            (layout.TotalChips() + 2) *
+            static_cast<std::size_t>(config.modem.samples_per_chip);
+        return 2 * frame_samples;
+      }()) {}
+
+void StreamingReceiver::Push(const phy::SampleVec& samples) {
+  buffer_.PushAll(samples);
+  Scan(/*final_scan=*/false);
+}
+
+void StreamingReceiver::Flush() { Scan(/*final_scan=*/true); }
+
+void StreamingReceiver::Scan(bool final_scan) {
+  const std::uint64_t first = buffer_.OldestAvailable();
+  const std::uint64_t end = buffer_.EndIndex();
+  if (end <= first) return;
+  const auto window =
+      buffer_.Window(first, static_cast<std::size_t>(end - first));
+  const auto found = pipeline_.Process(window);
+  const auto tolerance = static_cast<std::uint64_t>(
+      4 * config_.modem.samples_per_chip);
+  for (const auto& f : found) {
+    if (!final_scan) {
+      // Defer frames whose tail has not fully arrived; decoding them now
+      // would bake in garbage for the missing samples.
+      const frame::FrameLayout layout(f.header.length);
+      const std::uint64_t frame_samples =
+          (layout.TotalChips() + 2) *
+          static_cast<std::uint64_t>(config_.modem.samples_per_chip);
+      if (f.frame_start_sample + frame_samples > window.size()) continue;
+    }
+    const std::uint64_t absolute = first + f.frame_start_sample;
+    const bool seen = std::any_of(
+        frames_.begin(), frames_.end(), [&](const RecoveredFrame& g) {
+          const std::uint64_t a = g.frame_start_sample;
+          return (a > absolute ? a - absolute : absolute - a) <= tolerance;
+        });
+    if (seen) continue;
+    RecoveredFrame copy = f;
+    copy.frame_start_sample = absolute;
+    frames_.push_back(std::move(copy));
+  }
+}
+
+}  // namespace ppr::core

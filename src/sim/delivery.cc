@@ -1,0 +1,107 @@
+#include "sim/delivery.h"
+
+#include <cassert>
+
+#include "frame/frag_crc.h"
+
+namespace ppr::sim {
+
+std::string SchemeConfig::Name() const {
+  std::string base;
+  switch (scheme) {
+    case Scheme::kPacketCrc:
+      base = "Packet CRC";
+      break;
+    case Scheme::kFragmentedCrc:
+      base = "Fragmented CRC";
+      break;
+    case Scheme::kPpr:
+      base = "PPR";
+      break;
+  }
+  base += postamble ? ", postamble decoding" : ", no postamble";
+  return base;
+}
+
+DeliveryOutcome EvaluateDelivery(const ReceptionRecord& record,
+                                 const ReceiverModel& model,
+                                 const SchemeConfig& scheme) {
+  DeliveryOutcome out;
+
+  // Framing: the status quo needs a preamble and an intact header; with
+  // postamble decoding the trailer substitutes for a corrupted header,
+  // and a postamble alone recovers packets whose preamble was lost
+  // (section 4).
+  if (scheme.postamble) {
+    out.acquired = (record.preamble_sync &&
+                    (record.header_ok || record.trailer_ok)) ||
+                   (record.postamble_sync && record.trailer_ok);
+  } else {
+    out.acquired = record.preamble_sync && record.header_ok;
+  }
+  if (!out.acquired) return out;
+
+  const std::size_t payload_first = model.PayloadCwOffset();
+  const std::size_t payload_cws = model.PayloadCwCount();
+  const std::size_t payload_octets = model.Layout().payload_octets();
+  const auto& trace = record.trace;
+
+  switch (scheme.scheme) {
+    case Scheme::kPacketCrc: {
+      // The CRC verifies iff payload and CRC-field codewords all decoded
+      // correctly.
+      const std::size_t crc_cws = frame::kPayloadCrcOctets * 2;
+      bool all_ok = true;
+      for (std::size_t i = 0; i < payload_cws + crc_cws && all_ok; ++i) {
+        all_ok = trace[payload_first + i].correct;
+      }
+      if (all_ok) out.delivered_bits = payload_octets * 8;
+      break;
+    }
+    case Scheme::kFragmentedCrc: {
+      const frame::FragmentPlan plan(payload_octets, scheme.num_fragments);
+      for (std::size_t f = 0; f < plan.num_fragments(); ++f) {
+        const std::size_t first_cw =
+            payload_first + plan.FragmentOffset(f) * 2;
+        const std::size_t n_cws = plan.FragmentSize(f) * 2;
+        bool ok = true;
+        for (std::size_t i = 0; i < n_cws && ok; ++i) {
+          ok = trace[first_cw + i].correct;
+        }
+        if (ok) out.delivered_bits += plan.FragmentSize(f) * 8;
+      }
+      break;
+    }
+    case Scheme::kPpr: {
+      for (std::size_t i = 0; i < payload_cws; ++i) {
+        const auto& cw = trace[payload_first + i];
+        if (static_cast<double>(cw.distance) <= scheme.eta) {
+          if (cw.correct) {
+            out.delivered_bits += 4;
+          } else {
+            out.wrong_bits += 4;  // a SoftPHY miss
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::size_t SchemeAirtimeOctets(const SchemeConfig& scheme,
+                                std::size_t payload_octets) {
+  // Status quo frame: preamble + SFD + header + payload + packet CRC.
+  std::size_t octets = frame::kSyncPrefixOctets + frame::kHeaderOctets +
+                       payload_octets + frame::kPayloadCrcOctets;
+  if (scheme.postamble) {
+    octets += frame::kTrailerOctets + frame::kSyncSuffixOctets;
+  }
+  if (scheme.scheme == Scheme::kFragmentedCrc) {
+    const frame::FragmentPlan plan(payload_octets, scheme.num_fragments);
+    octets += 4 * plan.num_fragments();
+  }
+  return octets;
+}
+
+}  // namespace ppr::sim

@@ -1,0 +1,53 @@
+// Delivery schemes evaluated over reception traces (section 7.2):
+//
+//   1. Packet CRC — whole-packet CRC-32; deliver all payload bits or
+//      none (the status quo).
+//   2. Fragmented CRC — per-fragment CRC-32; deliver the fragments that
+//      verify (section 3.4).
+//   3. PPR — deliver exactly the bits whose codewords have Hamming
+//      distance <= eta (section 3.2; eta = 6 in the paper).
+//
+// Each scheme is evaluated with and without postamble decoding. The
+// evaluation is trace post-processing, as in the paper: every scheme
+// sees the same decoded symbols and hints.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/receiver_model.h"
+
+namespace ppr::sim {
+
+enum class Scheme { kPacketCrc, kFragmentedCrc, kPpr };
+
+struct SchemeConfig {
+  Scheme scheme = Scheme::kPpr;
+  bool postamble = false;        // postamble decoding enabled
+  std::size_t num_fragments = 30;  // FragCRC: chunks per packet (Table 2)
+  double eta = 6.0;                // PPR threshold
+
+  std::string Name() const;
+};
+
+struct DeliveryOutcome {
+  bool acquired = false;           // scheme could frame the packet
+  std::size_t delivered_bits = 0;  // correct payload bits delivered
+  std::size_t wrong_bits = 0;      // incorrect bits delivered (PPR misses)
+};
+
+// Applies one scheme to one reception trace. `payload_cw_offset` /
+// `payload_cw_count` locate the payload codewords in the trace;
+// `crc_cw_count` the packet CRC codewords that follow it.
+DeliveryOutcome EvaluateDelivery(const ReceptionRecord& record,
+                                 const ReceiverModel& model,
+                                 const SchemeConfig& scheme);
+
+// On-air octets per frame under a scheme (for goodput normalization):
+// the status quo frame (preamble..payload CRC) plus the scheme's
+// additions — trailer+postamble for postamble variants, per-fragment
+// CRCs for FragCRC.
+std::size_t SchemeAirtimeOctets(const SchemeConfig& scheme,
+                                std::size_t payload_octets);
+
+}  // namespace ppr::sim

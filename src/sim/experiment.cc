@@ -1,0 +1,115 @@
+#include "sim/experiment.h"
+
+#include <cassert>
+#include <map>
+
+namespace ppr::sim {
+
+double LinkResult::Fdr(std::size_t scheme_index) const {
+  if (frames_sent == 0) return 0.0;
+  return schemes[scheme_index].equivalent_frames_delivered /
+         static_cast<double>(frames_sent);
+}
+
+double LinkResult::ThroughputBps(std::size_t scheme_index,
+                                 const SchemeConfig& scheme,
+                                 std::size_t payload_octets,
+                                 double duration_s) const {
+  if (duration_s <= 0.0) return 0.0;
+  const double overhead_factor =
+      static_cast<double>(payload_octets) /
+      static_cast<double>(SchemeAirtimeOctets(scheme, payload_octets));
+  return static_cast<double>(schemes[scheme_index].delivered_bits) *
+         overhead_factor / duration_s;
+}
+
+TestbedExperiment::TestbedExperiment(const ExperimentConfig& config)
+    : config_(config),
+      topology_(config.testbed),
+      medium_(topology_.Positions(), config.medium) {}
+
+ExperimentResult TestbedExperiment::Run(
+    const std::vector<SchemeConfig>& schemes,
+    const ReceptionObserver& observer) const {
+  // Build the traffic schedule once; every receiver hears the same air.
+  std::vector<std::size_t> senders;
+  senders.reserve(topology_.NumSenders());
+  for (std::size_t i = 0; i < topology_.NumSenders(); ++i) {
+    senders.push_back(topology_.SenderId(i));
+  }
+
+  ReceiverModel model(medium_, config_.receiver);
+  TrafficConfig traffic = config_.traffic;
+  traffic.frame_total_chips = model.Layout().TotalChips();
+  traffic.payload_bits = config_.receiver.payload_octets * 8;
+  const auto schedule = GenerateSchedule(traffic, medium_, senders);
+
+  // Frames sent per sender (denominator of every link FDR).
+  std::map<std::size_t, std::size_t> frames_sent;
+  for (const auto& t : schedule) ++frames_sent[t.sender];
+
+  const std::size_t payload_bits = config_.receiver.payload_octets * 8;
+
+  ExperimentResult result;
+  result.total_transmissions = schedule.size();
+  result.duration_s = traffic.duration_s;
+  result.payload_octets = config_.receiver.payload_octets;
+
+  // Audible links, in deterministic order.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> link_index;
+  for (std::size_t r = 0; r < topology_.NumReceivers(); ++r) {
+    const std::size_t receiver = topology_.ReceiverId(r);
+    for (std::size_t s = 0; s < topology_.NumSenders(); ++s) {
+      const std::size_t sender = topology_.SenderId(s);
+      const double snr = medium_.LinkSnrDb(sender, receiver);
+      if (snr < config_.min_link_snr_db) continue;
+      LinkResult link;
+      link.sender = sender;
+      link.receiver = receiver;
+      link.snr_db = snr;
+      link.frames_sent = frames_sent.count(sender) ? frames_sent[sender] : 0;
+      link.schemes.resize(schemes.size());
+      link_index[{sender, receiver}] = result.links.size();
+      result.links.push_back(link);
+    }
+  }
+
+  for (std::size_t r = 0; r < topology_.NumReceivers(); ++r) {
+    const std::size_t receiver = topology_.ReceiverId(r);
+    model.ProcessReceiver(
+        receiver, schedule, [&](const ReceptionRecord& record) {
+          if (observer) observer(record, model);
+          const auto it = link_index.find({record.sender, receiver});
+          if (it == link_index.end()) return;
+          LinkResult& link = result.links[it->second];
+          for (std::size_t k = 0; k < schemes.size(); ++k) {
+            const auto outcome = EvaluateDelivery(record, model, schemes[k]);
+            auto& stats = link.schemes[k];
+            if (outcome.acquired) ++stats.acquired_frames;
+            stats.delivered_bits += outcome.delivered_bits;
+            stats.wrong_bits += outcome.wrong_bits;
+            stats.equivalent_frames_delivered +=
+                static_cast<double>(outcome.delivered_bits) /
+                static_cast<double>(payload_bits);
+          }
+        });
+  }
+  return result;
+}
+
+ExperimentConfig MakePaperConfig(double offered_load_bps, bool carrier_sense,
+                                 double duration_s, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.testbed.seed = 7;  // fixed topology across loads, like the paper
+  config.medium = IndoorMediumConfig(config.testbed, /*seed=*/11);
+  config.traffic.offered_load_bps = offered_load_bps;
+  config.traffic.carrier_sense = carrier_sense;
+  config.traffic.duration_s = duration_s;
+  config.traffic.seed = seed;
+  config.receiver.payload_octets = 1500;
+  config.receiver.seed = seed ^ 0xABCDEF;
+  config.min_link_snr_db = 3.0;
+  return config;
+}
+
+}  // namespace ppr::sim

@@ -1,0 +1,92 @@
+// Experiment orchestration: one simulated run of the 27-node testbed at
+// a given offered load, evaluated under any set of delivery schemes.
+// This is the engine behind the paper's Figures 3 and 8-15 and Table 2.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/delivery.h"
+#include "sim/medium.h"
+#include "sim/receiver_model.h"
+#include "sim/topology.h"
+#include "sim/traffic.h"
+
+namespace ppr::sim {
+
+struct ExperimentConfig {
+  TestbedConfig testbed;
+  MediumConfig medium;
+  TrafficConfig traffic;
+  ReceiverModelConfig receiver;
+  // Links whose interference-free SNR falls below this never deliver
+  // anything useful and are excluded from per-link distributions,
+  // mirroring the paper's "senders a sink can hear".
+  double min_link_snr_db = 0.0;
+};
+
+// Accumulated statistics for one (sender, receiver) link under one
+// scheme.
+struct LinkSchemeStats {
+  double equivalent_frames_delivered = 0.0;  // sum of per-frame fractions
+  std::size_t delivered_bits = 0;            // correct payload bits
+  std::size_t wrong_bits = 0;                // PPR miss bits
+  std::size_t acquired_frames = 0;
+};
+
+struct LinkResult {
+  std::size_t sender = 0;
+  std::size_t receiver = 0;
+  double snr_db = 0.0;
+  std::size_t frames_sent = 0;  // frames the sender transmitted
+  std::vector<LinkSchemeStats> schemes;  // parallel to the scheme list
+
+  // Equivalent frame delivery rate (Figs. 8-10): equivalent frames
+  // delivered divided by frames transmitted on the link.
+  double Fdr(std::size_t scheme_index) const;
+
+  // Per-link goodput in bits/s, accounting scheme airtime overhead
+  // (Figs. 11-12).
+  double ThroughputBps(std::size_t scheme_index, const SchemeConfig& scheme,
+                       std::size_t payload_octets, double duration_s) const;
+};
+
+struct ExperimentResult {
+  std::vector<LinkResult> links;
+  std::size_t total_transmissions = 0;
+  double duration_s = 0.0;
+  std::size_t payload_octets = 0;
+};
+
+// Observer invoked for every audible reception; used by the
+// figure-specific benches to collect hint statistics (Hamming
+// distributions, miss lengths) from the same run.
+using ReceptionObserver =
+    std::function<void(const ReceptionRecord&, const ReceiverModel&)>;
+
+class TestbedExperiment {
+ public:
+  explicit TestbedExperiment(const ExperimentConfig& config);
+
+  // Simulates one run and evaluates `schemes` over every reception.
+  ExperimentResult Run(const std::vector<SchemeConfig>& schemes,
+                       const ReceptionObserver& observer = nullptr) const;
+
+  const RadioMedium& medium() const { return medium_; }
+  const TestbedTopology& topology() const { return topology_; }
+
+ private:
+  ExperimentConfig config_;
+  TestbedTopology topology_;
+  RadioMedium medium_;
+};
+
+// Canonical experiment configuration matching the paper's setup:
+// 1500-byte frames, 23 senders, 4 receivers, given offered load per
+// node (bits/s) and carrier-sense setting.
+ExperimentConfig MakePaperConfig(double offered_load_bps, bool carrier_sense,
+                                 double duration_s = 60.0,
+                                 std::uint64_t seed = 42);
+
+}  // namespace ppr::sim

@@ -1,0 +1,77 @@
+#include "sim/medium.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ppr::sim {
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double DbmToMilliwatts(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double MilliwattsToDbm(double mw) { return 10.0 * std::log10(mw); }
+
+int CountWallCrossings(const Point& a, const Point& b,
+                       const std::vector<double>& wall_xs,
+                       const std::vector<double>& wall_ys) {
+  int crossings = 0;
+  for (double w : wall_xs) {
+    if ((a.x - w) * (b.x - w) < 0.0) ++crossings;
+  }
+  for (double w : wall_ys) {
+    if ((a.y - w) * (b.y - w) < 0.0) ++crossings;
+  }
+  return crossings;
+}
+
+RadioMedium::RadioMedium(std::vector<Point> positions,
+                         const MediumConfig& config)
+    : positions_(std::move(positions)),
+      config_(config),
+      noise_mw_(DbmToMilliwatts(config.noise_floor_dbm)),
+      rx_power_mw_(positions_.size() * positions_.size(), 0.0) {
+  Rng rng(config_.seed);
+  const std::size_t n = positions_.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double d = std::max(0.5, Distance(positions_[a], positions_[b]));
+      const double path_loss_db =
+          config_.reference_loss_db +
+          10.0 * config_.path_loss_exponent * std::log10(d) +
+          config_.wall_loss_db *
+              CountWallCrossings(positions_[a], positions_[b],
+                                 config_.wall_xs, config_.wall_ys);
+      const double shadowing_db = rng.Normal(0.0, config_.shadowing_sigma_db);
+      const double rx_dbm = config_.tx_power_dbm - path_loss_db - shadowing_db;
+      const double mw = DbmToMilliwatts(rx_dbm);
+      PowerEntry(a, b) = mw;
+      PowerEntry(b, a) = mw;
+    }
+  }
+}
+
+double& RadioMedium::PowerEntry(std::size_t from, std::size_t to) {
+  return rx_power_mw_[from * positions_.size() + to];
+}
+
+const double& RadioMedium::PowerEntry(std::size_t from, std::size_t to) const {
+  return rx_power_mw_[from * positions_.size() + to];
+}
+
+double RadioMedium::RxPowerMw(std::size_t from, std::size_t to) const {
+  assert(from < positions_.size() && to < positions_.size());
+  assert(from != to);
+  return PowerEntry(from, to);
+}
+
+double RadioMedium::RxPowerDbm(std::size_t from, std::size_t to) const {
+  return MilliwattsToDbm(RxPowerMw(from, to));
+}
+
+double RadioMedium::LinkSnrDb(std::size_t from, std::size_t to) const {
+  return RxPowerDbm(from, to) - config_.noise_floor_dbm;
+}
+
+}  // namespace ppr::sim

@@ -1,0 +1,81 @@
+// Radio medium model for the 27-node indoor testbed (Figure 7).
+//
+// Static link gains: log-distance path loss with per-link lognormal
+// shadowing, the standard indoor propagation model. Interference is
+// handled per-codeword by the receiver model (SINR = P_rx divided by
+// noise plus the sum of concurrently received powers), which is where
+// the paper's collision-driven bit errors come from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppr::sim {
+
+struct Point {
+  double x = 0.0;  // meters
+  double y = 0.0;
+};
+
+double Distance(const Point& a, const Point& b);
+
+struct MediumConfig {
+  double tx_power_dbm = 0.0;        // CC2420 default class output
+  double path_loss_exponent = 3.0;  // indoor office
+  double reference_loss_db = 40.0;  // at 1 m, 2.4 GHz
+  double shadowing_sigma_db = 6.0;  // lognormal shadowing per link
+  double noise_floor_dbm = -98.0;   // thermal + receiver noise figure
+  std::uint64_t seed = 1;           // shadowing draws
+  // Multi-wall (COST-231-style) attenuation: each crossing of a wall
+  // line adds `wall_loss_db`. This is what limits a sink to hearing a
+  // handful of the 23 senders in a nine-room office (Figure 7).
+  std::vector<double> wall_xs;  // vertical wall positions (m)
+  std::vector<double> wall_ys;  // horizontal wall positions (m)
+  double wall_loss_db = 8.0;
+};
+
+// Number of wall lines the segment a-b crosses.
+int CountWallCrossings(const Point& a, const Point& b,
+                       const std::vector<double>& wall_xs,
+                       const std::vector<double>& wall_ys);
+
+double DbmToMilliwatts(double dbm);
+double MilliwattsToDbm(double mw);
+
+// Precomputes the static gain matrix between every pair of node
+// positions. Shadowing is symmetric (gain[a][b] == gain[b][a]) and fixed
+// for the lifetime of the medium, modeling a quasi-static indoor
+// environment.
+class RadioMedium {
+ public:
+  RadioMedium(std::vector<Point> positions, const MediumConfig& config);
+
+  std::size_t NumNodes() const { return positions_.size(); }
+  const Point& Position(std::size_t node) const { return positions_[node]; }
+
+  // Received power at `to` for a transmission from `from`.
+  double RxPowerDbm(std::size_t from, std::size_t to) const;
+  double RxPowerMw(std::size_t from, std::size_t to) const;
+
+  double NoiseFloorMw() const { return noise_mw_; }
+  double NoiseFloorDbm() const { return config_.noise_floor_dbm; }
+
+  // SNR (no interference) of the link in dB; used to decide which links
+  // are audible at all.
+  double LinkSnrDb(std::size_t from, std::size_t to) const;
+
+  const MediumConfig& config() const { return config_; }
+
+ private:
+  std::vector<Point> positions_;
+  MediumConfig config_;
+  double noise_mw_;
+  std::vector<double> rx_power_mw_;  // NumNodes x NumNodes, row-major
+
+  double& PowerEntry(std::size_t from, std::size_t to);
+  const double& PowerEntry(std::size_t from, std::size_t to) const;
+};
+
+}  // namespace ppr::sim

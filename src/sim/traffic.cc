@@ -1,0 +1,107 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace ppr::sim {
+namespace {
+
+struct Arrival {
+  double time = 0.0;
+  std::size_t sender = 0;
+  std::uint16_t seq = 0;
+
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+std::vector<Transmission> GenerateSchedule(
+    const TrafficConfig& config, const RadioMedium& medium,
+    const std::vector<std::size_t>& senders) {
+  assert(config.frame_total_chips > 0);
+  const double frame_duration =
+      static_cast<double>(config.frame_total_chips) * kSecondsPerChip;
+  const double arrival_rate =
+      config.offered_load_bps / static_cast<double>(config.payload_bits);
+
+  Rng rng(config.seed);
+
+  // Independent Poisson arrivals per sender.
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      arrivals;
+  std::vector<Rng> sender_rngs;
+  sender_rngs.reserve(senders.size());
+  std::vector<std::uint16_t> seqs(senders.size(), 0);
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    sender_rngs.push_back(rng.Fork());
+    const double first = sender_rngs.back().Exponential(arrival_rate);
+    if (first < config.duration_s) {
+      arrivals.push(Arrival{first, i, 0});
+    }
+  }
+
+  const double cs_threshold_mw = DbmToMilliwatts(config.cs_threshold_dbm);
+
+  std::vector<Transmission> schedule;
+  // Earliest time each sender is free (no self-overlap: a node has one
+  // radio).
+  std::vector<double> sender_free(senders.size(), 0.0);
+
+  while (!arrivals.empty()) {
+    Arrival a = arrivals.top();
+    arrivals.pop();
+
+    double start = std::max(a.time, sender_free[a.sender]);
+
+    if (config.carrier_sense) {
+      // Defer while any already-scheduled transmission is audible above
+      // the CS threshold at this sender. The schedule is generated in
+      // time order, so checking against `schedule` is sufficient.
+      bool deferred = true;
+      while (deferred) {
+        deferred = false;
+        for (const auto& t : schedule) {
+          if (t.End() <= start || t.start_s > start) continue;
+          const double p_mw =
+              medium.RxPowerMw(t.sender, senders[a.sender]);
+          if (p_mw >= cs_threshold_mw) {
+            // Busy: re-sense shortly after this transmission ends plus a
+            // small random backoff to break synchronization.
+            start = t.End() +
+                    sender_rngs[a.sender].Exponential(
+                        1.0 / config.cs_backoff_mean_s);
+            deferred = true;
+            break;
+          }
+        }
+      }
+    }
+
+    if (start < config.duration_s) {
+      Transmission t;
+      t.sender = senders[a.sender];
+      t.seq = seqs[a.sender]++;
+      t.start_s = start;
+      t.duration_s = frame_duration;
+      schedule.push_back(t);
+      sender_free[a.sender] = t.End();
+    }
+
+    // Next arrival for this sender.
+    const double next =
+        a.time + sender_rngs[a.sender].Exponential(arrival_rate);
+    if (next < config.duration_s) {
+      arrivals.push(Arrival{next, a.sender, seqs[a.sender]});
+    }
+  }
+
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Transmission& x, const Transmission& y) {
+              return x.start_s < y.start_s;
+            });
+  return schedule;
+}
+
+}  // namespace ppr::sim

@@ -1,0 +1,58 @@
+#include "softphy/runlength.h"
+
+#include <cassert>
+
+namespace ppr::softphy {
+
+std::vector<Run> ComputeRuns(const std::vector<bool>& labels) {
+  std::vector<Run> runs;
+  for (bool good : labels) {
+    if (!runs.empty() && runs.back().good == good) {
+      ++runs.back().length;
+    } else {
+      runs.push_back(Run{good, 1});
+    }
+  }
+  return runs;
+}
+
+RunLengthForm ToRunLengthForm(const std::vector<bool>& labels) {
+  RunLengthForm form;
+  const auto runs = ComputeRuns(labels);
+  std::size_t i = 0;
+  if (!runs.empty() && runs[0].good) {
+    form.leading_good = runs[0].length;
+    i = 1;
+  }
+  while (i < runs.size()) {
+    assert(!runs[i].good);
+    form.bad.push_back(runs[i].length);
+    ++i;
+    if (i < runs.size() && runs[i].good) {
+      form.good_after.push_back(runs[i].length);
+      ++i;
+    } else {
+      form.good_after.push_back(0);  // bad run ends the packet
+    }
+  }
+  return form;
+}
+
+std::size_t RunLengthForm::BadRunOffset(std::size_t i) const {
+  assert(i < bad.size());
+  std::size_t offset = leading_good;
+  for (std::size_t k = 0; k < i; ++k) {
+    offset += bad[k] + good_after[k];
+  }
+  return offset;
+}
+
+std::size_t RunLengthForm::TotalCodewords() const {
+  std::size_t total = leading_good;
+  for (std::size_t k = 0; k < bad.size(); ++k) {
+    total += bad[k] + good_after[k];
+  }
+  return total;
+}
+
+}  // namespace ppr::softphy

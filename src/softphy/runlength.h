@@ -1,0 +1,43 @@
+// Run-length representation of a labeled packet (expression 2 of the
+// paper): alternating runs of "good" and "bad" codewords,
+// lambda^b_1 lambda^g_1 ... lambda^b_L lambda^g_L. This is the input to
+// the PP-ARQ dynamic program.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppr::softphy {
+
+struct Run {
+  bool good = false;
+  std::size_t length = 0;  // in codewords (symbols)
+
+  bool operator==(const Run&) const = default;
+};
+
+// Collapses per-codeword labels into alternating runs (lengths > 0).
+std::vector<Run> ComputeRuns(const std::vector<bool>& labels);
+
+// The paper's canonical form: L bad runs (lambda^b_i) with the good runs
+// that *follow* each bad run (lambda^g_i, possibly zero for the last).
+// A leading good run (before the first bad run) is never retransmitted
+// and is reported separately.
+struct RunLengthForm {
+  std::size_t leading_good = 0;          // codewords before the first bad run
+  std::vector<std::size_t> bad;          // lambda^b_1 .. lambda^b_L
+  std::vector<std::size_t> good_after;   // lambda^g_1 .. lambda^g_L
+
+  std::size_t NumBadRuns() const { return bad.size(); }
+  bool AllGood() const { return bad.empty(); }
+
+  // Start offset (in codewords) of bad run `i` within the packet.
+  std::size_t BadRunOffset(std::size_t i) const;
+
+  // Total codewords represented.
+  std::size_t TotalCodewords() const;
+};
+
+RunLengthForm ToRunLengthForm(const std::vector<bool>& labels);
+
+}  // namespace ppr::softphy

@@ -1,0 +1,208 @@
+#include "arq/chunking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ppr::arq {
+namespace {
+
+ChunkingConfig DefaultConfig(std::size_t packet_bits = 12000) {
+  ChunkingConfig c;
+  c.packet_bits = packet_bits;
+  c.checksum_bits = 32;
+  c.bits_per_codeword = 4;
+  return c;
+}
+
+softphy::RunLengthForm MakeForm(std::size_t leading,
+                                std::vector<std::size_t> bad,
+                                std::vector<std::size_t> good_after) {
+  softphy::RunLengthForm form;
+  form.leading_good = leading;
+  form.bad = std::move(bad);
+  form.good_after = std::move(good_after);
+  return form;
+}
+
+TEST(ChunkingTest, NoBadRunsYieldsNoChunks) {
+  const auto result =
+      ComputeOptimalChunks(MakeForm(100, {}, {}), DefaultConfig());
+  EXPECT_TRUE(result.chunks.empty());
+  EXPECT_DOUBLE_EQ(result.cost_bits, 0.0);
+}
+
+TEST(ChunkingTest, SingleBadRunIsOneChunk) {
+  const auto form = MakeForm(10, {5}, {20});
+  const auto result = ComputeOptimalChunks(form, DefaultConfig());
+  ASSERT_EQ(result.chunks.size(), 1u);
+  EXPECT_EQ(result.chunks[0].first_bad_run, 0u);
+  EXPECT_EQ(result.chunks[0].last_bad_run, 0u);
+  EXPECT_EQ(result.chunks[0].offset_codewords, 10u);
+  EXPECT_EQ(result.chunks[0].length_codewords, 5u);
+  EXPECT_DOUBLE_EQ(result.cost_bits,
+                   IntactChunkCost(form, DefaultConfig(), 0, 0));
+}
+
+TEST(ChunkingTest, Equation4BaseCost) {
+  // C(c_ii) = log2(S) + log2(lambda_b bits) + min(lambda_g bits, 32).
+  const auto config = DefaultConfig(4096);
+  const auto form = MakeForm(0, {4}, {100});
+  const double expected =
+      std::log2(4096.0) + std::log2(4.0 * 4.0) + 32.0;
+  EXPECT_DOUBLE_EQ(IntactChunkCost(form, config, 0, 0), expected);
+}
+
+TEST(ChunkingTest, Equation4ShortGoodRunSendsBitsNotChecksum) {
+  const auto config = DefaultConfig(4096);
+  // Good run of 3 codewords = 12 bits < 32-bit checksum.
+  const auto form = MakeForm(0, {4}, {3});
+  const double expected = std::log2(4096.0) + std::log2(16.0) + 12.0;
+  EXPECT_DOUBLE_EQ(IntactChunkCost(form, config, 0, 0), expected);
+}
+
+TEST(ChunkingTest, ShortGapsMergeIntoOneChunk) {
+  // Many bad runs separated by 1-codeword good runs: describing each
+  // run individually costs ~log S + log lambda + 4 bits each, whereas
+  // one chunk costs 2 log S + the tiny interior good runs. The DP must
+  // merge.
+  const auto form =
+      MakeForm(50, {2, 3, 1, 2, 4}, {1, 1, 1, 1, 30});
+  const auto result = ComputeOptimalChunks(form, DefaultConfig());
+  ASSERT_EQ(result.chunks.size(), 1u);
+  EXPECT_EQ(result.chunks[0].first_bad_run, 0u);
+  EXPECT_EQ(result.chunks[0].last_bad_run, 4u);
+}
+
+TEST(ChunkingTest, DistantBadRunsStaySeparate) {
+  // Two bad runs separated by a huge good run: resending the good run
+  // (4000 bits) dwarfs the cost of describing two chunks.
+  const auto form = MakeForm(0, {2, 2}, {1000, 10});
+  const auto result = ComputeOptimalChunks(form, DefaultConfig());
+  ASSERT_EQ(result.chunks.size(), 2u);
+  EXPECT_EQ(result.chunks[0].first_bad_run, 0u);
+  EXPECT_EQ(result.chunks[1].first_bad_run, 1u);
+}
+
+TEST(ChunkingTest, ChunksCoverAllBadRunsExactlyOnce) {
+  Rng rng(131);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t L = 1 + rng.UniformInt(12);
+    std::vector<std::size_t> bad(L), good(L);
+    for (std::size_t i = 0; i < L; ++i) {
+      bad[i] = 1 + rng.UniformInt(20);
+      good[i] = rng.UniformInt(60);
+    }
+    if (good.back() == 0) good.back() = 0;  // trailing bad run allowed
+    const auto form = MakeForm(rng.UniformInt(10), bad, good);
+    const auto result = ComputeOptimalChunks(form, DefaultConfig());
+
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (const auto& c : result.chunks) {
+      EXPECT_EQ(c.first_bad_run, covered);
+      EXPECT_GE(c.first_bad_run, prev_end);
+      covered = c.last_bad_run + 1;
+      prev_end = covered;
+      // Chunk extent starts at its first bad run and ends at the end of
+      // its last bad run.
+      EXPECT_EQ(c.offset_codewords, form.BadRunOffset(c.first_bad_run));
+      EXPECT_EQ(c.offset_codewords + c.length_codewords,
+                form.BadRunOffset(c.last_bad_run) + form.bad[c.last_bad_run]);
+    }
+    EXPECT_EQ(covered, L);
+  }
+}
+
+TEST(ChunkingTest, MatchesBruteForceOnRandomInputs) {
+  // The DP must find the same optimal cost as exhaustive enumeration of
+  // all 2^(L-1) partitions (optimal substructure, section 5.1).
+  Rng rng(132);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t L = 1 + rng.UniformInt(9);
+    std::vector<std::size_t> bad(L), good(L);
+    for (std::size_t i = 0; i < L; ++i) {
+      bad[i] = 1 + rng.UniformInt(30);
+      good[i] = rng.UniformInt(40);
+    }
+    const auto form = MakeForm(rng.UniformInt(20), bad, good);
+    const auto config = DefaultConfig(1 + rng.UniformInt(100000));
+
+    const auto dp = ComputeOptimalChunks(form, config);
+    const auto bf = ComputeOptimalChunksBruteForce(form, config);
+    EXPECT_NEAR(dp.cost_bits, bf.cost_bits, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ChunkingTest, DpCostNeverExceedsSingleChunkOrAllSingles) {
+  Rng rng(133);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t L = 2 + rng.UniformInt(10);
+    std::vector<std::size_t> bad(L), good(L);
+    for (std::size_t i = 0; i < L; ++i) {
+      bad[i] = 1 + rng.UniformInt(25);
+      good[i] = rng.UniformInt(50);
+    }
+    const auto form = MakeForm(0, bad, good);
+    const auto config = DefaultConfig();
+    const auto dp = ComputeOptimalChunks(form, config);
+
+    const double one_chunk = IntactChunkCost(form, config, 0, L - 1);
+    double all_singles = 0.0;
+    for (std::size_t i = 0; i < L; ++i) {
+      all_singles += IntactChunkCost(form, config, i, i);
+    }
+    EXPECT_LE(dp.cost_bits, one_chunk + 1e-9);
+    EXPECT_LE(dp.cost_bits, all_singles + 1e-9);
+  }
+}
+
+TEST(ChunkingTest, CostMonotoneInGoodRunLength) {
+  // Growing an interior good run can only increase (or hold) the
+  // optimal cost: either it gets resent (more bits) or the split cost
+  // was already cheaper.
+  const auto config = DefaultConfig();
+  double prev = 0.0;
+  for (std::size_t g = 1; g <= 512; g *= 2) {
+    const auto form = MakeForm(0, {4, 4}, {g, 10});
+    const double cost = ComputeOptimalChunks(form, config).cost_bits;
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(ChunkingTest, BruteForceGuardsAgainstHugeInputs) {
+  std::vector<std::size_t> bad(25, 1), good(25, 1);
+  const auto form = MakeForm(0, bad, good);
+  EXPECT_THROW(ComputeOptimalChunksBruteForce(form, DefaultConfig()),
+               std::invalid_argument);
+}
+
+// Parameterized sweep over packet sizes: DP==bruteforce invariant must
+// hold across the cost model's log S scaling.
+class ChunkingPacketSizeTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkingPacketSizeTest, DpMatchesBruteForce) {
+  Rng rng(134 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t L = 1 + rng.UniformInt(8);
+    std::vector<std::size_t> bad(L), good(L);
+    for (std::size_t i = 0; i < L; ++i) {
+      bad[i] = 1 + rng.UniformInt(15);
+      good[i] = rng.UniformInt(30);
+    }
+    const auto form = MakeForm(0, bad, good);
+    const auto config = DefaultConfig(GetParam());
+    EXPECT_NEAR(ComputeOptimalChunks(form, config).cost_bits,
+                ComputeOptimalChunksBruteForce(form, config).cost_bits, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PacketSizes, ChunkingPacketSizeTest,
+                         ::testing::Values(256, 2000, 12000, 65536));
+
+}  // namespace
+}  // namespace ppr::arq

@@ -1,0 +1,332 @@
+#include "arq/pp_arq.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc.h"
+#include "common/rng.h"
+
+namespace ppr::arq {
+namespace {
+
+BitVec RandomPayload(Rng& rng, std::size_t octets) {
+  BitVec bits;
+  for (std::size_t i = 0; i < octets * 8; ++i) {
+    bits.PushBack(rng.Bernoulli(0.5));
+  }
+  return bits;
+}
+
+// Produces the receiver's view of a body: each codeword decoded either
+// faithfully (hint 0/low) or corrupted (wrong symbol). `corrupt`
+// returns true for codeword indices to trash; `hint_for` supplies the
+// hint for corrupted codewords (default: clearly bad).
+std::vector<phy::DecodedSymbol> Receive(
+    const BitVec& body, const std::function<bool(std::size_t)>& corrupt,
+    double bad_hint = 16.0, double good_hint = 0.0) {
+  std::vector<phy::DecodedSymbol> out;
+  const std::size_t n = body.size() / 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    phy::DecodedSymbol d;
+    const auto true_sym = static_cast<std::uint8_t>(body.ReadUint(i * 4, 4));
+    if (corrupt(i)) {
+      d.symbol = static_cast<std::uint8_t>(true_sym ^ 0x5);
+      d.hint = bad_hint;
+      d.hamming_distance = static_cast<int>(bad_hint);
+    } else {
+      d.symbol = true_sym;
+      d.hint = good_hint;
+      d.hamming_distance = 0;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+PpArqConfig DefaultConfig() {
+  PpArqConfig config;
+  config.eta = 6.0;
+  return config;
+}
+
+TEST(PpArqSenderTest, MakeBodyAppendsCrc) {
+  Rng rng(151);
+  const BitVec payload = RandomPayload(rng, 32);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  EXPECT_EQ(body.size(), payload.size() + 32);
+  EXPECT_EQ(body.ReadUint(payload.size(), 32), Crc32Bits(payload));
+}
+
+TEST(PpArqSenderTest, RejectsRaggedBody) {
+  EXPECT_THROW(PpArqSender(BitVec(13, false), 1, DefaultConfig()),
+               std::invalid_argument);
+}
+
+TEST(PpArqReceiverTest, CleanReceptionCompletesImmediately) {
+  Rng rng(152);
+  const BitVec payload = RandomPayload(rng, 64);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  PpArqReceiver receiver(1, body.size() / 4, DefaultConfig());
+  receiver.IngestInitial(Receive(body, [](std::size_t) { return false; }));
+  EXPECT_TRUE(receiver.Complete());
+  EXPECT_FALSE(receiver.BuildFeedback().has_value());
+  EXPECT_EQ(receiver.AssembledPayload(), payload);
+}
+
+TEST(PpArqReceiverTest, RequestsCoverExactlyTheBadRuns) {
+  Rng rng(153);
+  const BitVec payload = RandomPayload(rng, 128);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const std::size_t n = body.size() / 4;
+  // Bad burst at codewords [40, 50).
+  PpArqReceiver receiver(1, n, DefaultConfig());
+  receiver.IngestInitial(Receive(
+      body, [](std::size_t i) { return i >= 40 && i < 50; }));
+  EXPECT_FALSE(receiver.Complete());
+  const auto fb = receiver.BuildFeedback();
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_EQ(fb->requests.size(), 1u);
+  EXPECT_EQ(fb->requests[0].offset, 40u);
+  EXPECT_EQ(fb->requests[0].length, 10u);
+}
+
+TEST(PpArqReceiverTest, NoRequestContainsOnlyGoodCodewords) {
+  // Section 5.1's invariant: "no segment that is not asked for will
+  // have any 'bad' codewords".
+  Rng rng(154);
+  const BitVec payload = RandomPayload(rng, 256);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const std::size_t n = body.size() / 4;
+
+  std::vector<bool> is_bad(n, false);
+  for (int burst = 0; burst < 8; ++burst) {
+    const std::size_t start = rng.UniformInt(n - 10);
+    const std::size_t len = 1 + rng.UniformInt(9);
+    for (std::size_t i = start; i < start + len; ++i) is_bad[i] = true;
+  }
+  PpArqReceiver receiver(1, n, DefaultConfig());
+  receiver.IngestInitial(
+      Receive(body, [&](std::size_t i) { return is_bad[i]; }));
+  const auto fb = receiver.BuildFeedback();
+  ASSERT_TRUE(fb.has_value());
+
+  std::vector<bool> requested(n, false);
+  for (const auto& r : fb->requests) {
+    for (std::size_t i = r.offset; i < r.offset + r.length; ++i) {
+      requested[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) {
+      EXPECT_TRUE(requested[i]) << "bad codeword " << i << " not requested";
+    }
+  }
+}
+
+TEST(PpArqSenderTest, RetransmitsRequestedRanges) {
+  Rng rng(155);
+  const BitVec payload = RandomPayload(rng, 64);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  PpArqSender sender(body, 1, DefaultConfig());
+
+  DecodedFeedback fb;
+  fb.feedback.seq = 1;
+  fb.feedback.requests = {{10, 5}, {30, 8}};
+  for (const auto& gap :
+       ComputeGaps(fb.feedback.requests, sender.total_codewords())) {
+    GapCheck check;
+    check.range = gap;
+    check.crc32 = Crc32Bits(body.Slice(gap.offset * 4, gap.length * 4));
+    fb.gaps.push_back(check);
+  }
+  const auto retx = sender.HandleFeedback(fb);
+  ASSERT_EQ(retx.segments.size(), 2u);
+  EXPECT_EQ(retx.segments[0].range, (CodewordRange{10, 5}));
+  EXPECT_EQ(retx.segments[0].bits, body.Slice(40, 20));
+  EXPECT_EQ(retx.segments[1].range, (CodewordRange{30, 8}));
+}
+
+TEST(PpArqSenderTest, GapCrcMismatchTriggersGapResend) {
+  // A SoftPHY miss: the receiver's gap CRC won't match the sender's
+  // bits, so the sender must resend that gap even though it was not
+  // requested (step 4 of the protocol).
+  Rng rng(156);
+  const BitVec payload = RandomPayload(rng, 64);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  PpArqSender sender(body, 1, DefaultConfig());
+
+  DecodedFeedback fb;
+  fb.feedback.seq = 1;
+  fb.feedback.requests = {{50, 10}};
+  const auto gaps = ComputeGaps(fb.feedback.requests, sender.total_codewords());
+  ASSERT_EQ(gaps.size(), 2u);
+  // First gap: wrong CRC (receiver holds corrupted bits it thinks are
+  // fine). Second gap: correct CRC.
+  GapCheck bad_gap;
+  bad_gap.range = gaps[0];
+  bad_gap.crc32 = 0xDEADBEEF;
+  fb.gaps.push_back(bad_gap);
+  GapCheck good_gap;
+  good_gap.range = gaps[1];
+  good_gap.crc32 =
+      Crc32Bits(body.Slice(gaps[1].offset * 4, gaps[1].length * 4));
+  fb.gaps.push_back(good_gap);
+
+  const auto retx = sender.HandleFeedback(fb);
+  // Gap [0,50) mismatched and request [50,60) merge into one segment.
+  ASSERT_EQ(retx.segments.size(), 1u);
+  EXPECT_EQ(retx.segments[0].range, (CodewordRange{0, 60}));
+}
+
+TEST(PpArqSenderTest, LiteralGapMismatchDetected) {
+  Rng rng(157);
+  const BitVec payload = RandomPayload(rng, 32);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  PpArqSender sender(body, 1, DefaultConfig());
+
+  DecodedFeedback fb;
+  fb.feedback.seq = 1;
+  fb.feedback.requests = {{4, static_cast<std::size_t>(body.size() / 4 - 4)}};
+  GapCheck gap;  // literal gap of 4 codewords (16 bits < 32)
+  gap.range = {0, 4};
+  gap.literal = true;
+  gap.literal_bits = body.Slice(0, 16);
+  gap.literal_bits.Flip(3);  // receiver holds one wrong bit
+  fb.gaps.push_back(gap);
+
+  const auto retx = sender.HandleFeedback(fb);
+  ASSERT_EQ(retx.segments.size(), 1u);
+  EXPECT_EQ(retx.segments[0].range.offset, 0u);  // merged full resend
+}
+
+TEST(PpArqProtocolTest, OneRoundRecoversBurstLoss) {
+  Rng rng(158);
+  const BitVec payload = RandomPayload(rng, 200);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const std::size_t n = body.size() / 4;
+  const auto config = DefaultConfig();
+
+  PpArqSender sender(body, 1, config);
+  PpArqReceiver receiver(1, n, config);
+  receiver.IngestInitial(Receive(
+      body, [](std::size_t i) { return i >= 100 && i < 140; }));
+
+  const auto fb = receiver.BuildFeedback();
+  ASSERT_TRUE(fb.has_value());
+  const BitVec wire = receiver.EncodeFeedbackWire(*fb);
+  const auto decoded = DecodeFeedback(wire, n, 4, 32);
+  ASSERT_TRUE(decoded.has_value());
+  const auto retx = sender.HandleFeedback(*decoded);
+
+  // Deliver retransmission cleanly.
+  std::vector<ReceivedSegment> segments;
+  for (const auto& seg : retx.segments) {
+    ReceivedSegment rs;
+    rs.range = seg.range;
+    rs.symbols = Receive(seg.bits, [](std::size_t) { return false; });
+    segments.push_back(rs);
+  }
+  receiver.IngestRetransmission(segments);
+  EXPECT_TRUE(receiver.Complete());
+  EXPECT_EQ(receiver.AssembledPayload(), payload);
+}
+
+TEST(PpArqProtocolTest, MissRecoveredViaGapCrc) {
+  // Corrupt codewords whose hints LIE (look good): the first feedback
+  // round won't request them, but the gap CRC mismatch makes the sender
+  // push corrections; the receiver accepts them and completes.
+  Rng rng(159);
+  const BitVec payload = RandomPayload(rng, 100);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const std::size_t n = body.size() / 4;
+  const auto config = DefaultConfig();
+
+  PpArqSender sender(body, 1, config);
+  PpArqReceiver receiver(1, n, config);
+  // Codewords 10..12 are wrong with deceptively good hints (miss);
+  // codewords 60..70 are honestly bad.
+  receiver.IngestInitial(Receive(
+      body,
+      [](std::size_t i) { return (i >= 10 && i < 13) || (i >= 60 && i < 70); },
+      /*bad_hint=*/16.0));
+  // Manually overwrite the miss hints to look good.
+  {
+    auto symbols = Receive(
+        body,
+        [](std::size_t i) {
+          return (i >= 10 && i < 13) || (i >= 60 && i < 70);
+        },
+        16.0);
+    for (std::size_t i = 10; i < 13; ++i) symbols[i].hint = 1.0;
+    PpArqReceiver fresh(1, n, config);
+    fresh.IngestInitial(symbols);
+
+    std::size_t rounds = 0;
+    while (!fresh.Complete() && rounds < 8) {
+      const auto fb = fresh.BuildFeedback();
+      ASSERT_TRUE(fb.has_value());
+      const auto decoded =
+          DecodeFeedback(fresh.EncodeFeedbackWire(*fb), n, 4, 32);
+      ASSERT_TRUE(decoded.has_value());
+      const auto retx = sender.HandleFeedback(*decoded);
+      std::vector<ReceivedSegment> segments;
+      for (const auto& seg : retx.segments) {
+        ReceivedSegment rs;
+        rs.range = seg.range;
+        rs.symbols = Receive(seg.bits, [](std::size_t) { return false; });
+        segments.push_back(rs);
+      }
+      fresh.IngestRetransmission(segments);
+      ++rounds;
+    }
+    EXPECT_TRUE(fresh.Complete());
+    EXPECT_EQ(fresh.AssembledPayload(), payload);
+    EXPECT_LE(rounds, 2u);
+  }
+}
+
+TEST(PpArqReceiverTest, AllGoodButCrcFailEscalatesToFullRequest) {
+  Rng rng(160);
+  const BitVec payload = RandomPayload(rng, 50);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const std::size_t n = body.size() / 4;
+  PpArqReceiver receiver(1, n, DefaultConfig());
+  // Every codeword claims to be good but one is wrong.
+  auto symbols = Receive(body, [](std::size_t i) { return i == 7; },
+                         /*bad_hint=*/0.0);
+  receiver.IngestInitial(symbols);
+  EXPECT_FALSE(receiver.Complete());
+  const auto fb = receiver.BuildFeedback();
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_EQ(fb->requests.size(), 1u);
+  EXPECT_EQ(fb->requests[0], (CodewordRange{0, n}));
+}
+
+TEST(PpArqReceiverTest, BetterHintWinsOnReingestion) {
+  Rng rng(161);
+  const BitVec payload = RandomPayload(rng, 40);
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const std::size_t n = body.size() / 4;
+  PpArqReceiver receiver(1, n, DefaultConfig());
+
+  // First copy: codeword 5 wrong with hint 10.
+  receiver.IngestInitial(Receive(
+      body, [](std::size_t i) { return i == 5; }, /*bad_hint=*/10.0));
+  // Second full copy: everything right with hint 2 — the improvement
+  // must replace codeword 5 (and complete the packet).
+  receiver.IngestInitial(Receive(
+      body, [](std::size_t) { return false; }, 16.0, /*good_hint=*/2.0));
+  EXPECT_TRUE(receiver.Complete());
+}
+
+TEST(CoveredByRequestsTest, SubRangesAndMisses) {
+  const std::vector<CodewordRange> requests{{10, 20}, {50, 5}};
+  EXPECT_TRUE(CoveredByRequests({10, 20}, requests));
+  EXPECT_TRUE(CoveredByRequests({15, 5}, requests));
+  EXPECT_TRUE(CoveredByRequests({50, 5}, requests));
+  EXPECT_FALSE(CoveredByRequests({9, 5}, requests));
+  EXPECT_FALSE(CoveredByRequests({25, 10}, requests));
+  EXPECT_FALSE(CoveredByRequests({48, 5}, requests));
+}
+
+}  // namespace
+}  // namespace ppr::arq

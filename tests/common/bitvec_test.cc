@@ -1,0 +1,197 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppr {
+namespace {
+
+TEST(BitVecTest, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(BitVecTest, SizedConstructorInitializesAllBits) {
+  BitVec zeros(100, false);
+  EXPECT_EQ(zeros.size(), 100u);
+  EXPECT_EQ(zeros.PopCount(), 0u);
+
+  BitVec ones(100, true);
+  EXPECT_EQ(ones.PopCount(), 100u);
+}
+
+TEST(BitVecTest, PushBackAndGet) {
+  BitVec v;
+  v.PushBack(true);
+  v.PushBack(false);
+  v.PushBack(true);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_TRUE(v.Get(2));
+}
+
+TEST(BitVecTest, SetAndFlip) {
+  BitVec v(8, false);
+  v.Set(3, true);
+  EXPECT_TRUE(v.Get(3));
+  v.Flip(3);
+  EXPECT_FALSE(v.Get(3));
+  v.Flip(0);
+  EXPECT_TRUE(v.Get(0));
+}
+
+TEST(BitVecTest, FromStringRoundTrip) {
+  const std::string s = "1101100111000011";
+  const BitVec v = BitVec::FromString(s);
+  EXPECT_EQ(v.ToString(), s);
+}
+
+TEST(BitVecTest, FromStringRejectsBadCharacters) {
+  EXPECT_THROW(BitVec::FromString("10x1"), std::invalid_argument);
+}
+
+TEST(BitVecTest, FromBytesIsMsbFirst) {
+  const std::uint8_t bytes[] = {0xA5};  // 10100101
+  const BitVec v = BitVec::FromBytes(bytes);
+  EXPECT_EQ(v.ToString(), "10100101");
+}
+
+TEST(BitVecTest, ToBytesRoundTrip) {
+  const std::uint8_t bytes[] = {0xDE, 0xAD, 0xBE, 0xEF};
+  const BitVec v = BitVec::FromBytes(bytes);
+  const auto out = v.ToBytes();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0xDE);
+  EXPECT_EQ(out[1], 0xAD);
+  EXPECT_EQ(out[2], 0xBE);
+  EXPECT_EQ(out[3], 0xEF);
+}
+
+TEST(BitVecTest, ToBytesPadsFinalByteWithZeros) {
+  BitVec v = BitVec::FromString("111");
+  const auto out = v.ToBytes();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0xE0);
+}
+
+TEST(BitVecTest, AppendUintMsbFirst) {
+  BitVec v;
+  v.AppendUint(0b1011, 4);
+  EXPECT_EQ(v.ToString(), "1011");
+  v.AppendUint(0x3, 4);
+  EXPECT_EQ(v.ToString(), "10110011");
+}
+
+TEST(BitVecTest, ReadUintInverseOfAppendUint) {
+  BitVec v;
+  v.AppendUint(0xCAFE, 16);
+  v.AppendUint(0x7, 3);
+  EXPECT_EQ(v.ReadUint(0, 16), 0xCAFEu);
+  EXPECT_EQ(v.ReadUint(16, 3), 0x7u);
+}
+
+TEST(BitVecTest, ReadUint64BitBoundary) {
+  BitVec v;
+  v.AppendUint(0xFEDCBA9876543210ull, 64);
+  v.AppendUint(0xA, 4);
+  EXPECT_EQ(v.ReadUint(0, 64), 0xFEDCBA9876543210ull);
+  EXPECT_EQ(v.ReadUint(64, 4), 0xAu);
+  // Unaligned read crossing the word boundary.
+  EXPECT_EQ(v.ReadUint(60, 8), 0x0Au);
+}
+
+TEST(BitVecTest, SliceExtractsRange) {
+  const BitVec v = BitVec::FromString("0011010111");
+  const BitVec s = v.Slice(2, 5);
+  EXPECT_EQ(s.ToString(), "11010");
+}
+
+TEST(BitVecTest, SliceEmptyAndFull) {
+  const BitVec v = BitVec::FromString("1010");
+  EXPECT_EQ(v.Slice(0, 0).size(), 0u);
+  EXPECT_EQ(v.Slice(0, 4), v);
+}
+
+TEST(BitVecTest, AppendBitsConcatenates) {
+  BitVec a = BitVec::FromString("101");
+  const BitVec b = BitVec::FromString("0110");
+  a.AppendBits(b);
+  EXPECT_EQ(a.ToString(), "1010110");
+}
+
+TEST(BitVecTest, HammingDistanceCountsDifferences) {
+  const BitVec a = BitVec::FromString("10101010");
+  const BitVec b = BitVec::FromString("10011010");
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  EXPECT_EQ(a.HammingDistance(a), 0u);
+}
+
+TEST(BitVecTest, HammingDistanceRequiresEqualSizes) {
+  const BitVec a = BitVec::FromString("101");
+  const BitVec b = BitVec::FromString("10");
+  EXPECT_THROW(a.HammingDistance(b), std::invalid_argument);
+}
+
+TEST(BitVecTest, EqualityComparesContentAndSize) {
+  EXPECT_EQ(BitVec::FromString("101"), BitVec::FromString("101"));
+  EXPECT_FALSE(BitVec::FromString("101") == BitVec::FromString("1010"));
+  EXPECT_FALSE(BitVec::FromString("101") == BitVec::FromString("100"));
+}
+
+TEST(BitVecTest, ClearResets) {
+  BitVec v = BitVec::FromString("1111");
+  v.Clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVecTest, RandomRoundTripThroughBytes) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 8 * (1 + rng.UniformInt(64));
+    BitVec v;
+    for (std::size_t i = 0; i < n; ++i) v.PushBack(rng.Bernoulli(0.5));
+    const auto bytes = v.ToBytes();
+    const BitVec back = BitVec::FromBytes(bytes);
+    EXPECT_EQ(v, back);
+  }
+}
+
+// Property sweep: popcount + hamming identities on random vectors.
+class BitVecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitVecPropertyTest, HammingDistanceEqualsXorPopcount) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.UniformInt(300);
+  BitVec a, b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.PushBack(rng.Bernoulli(0.5));
+    b.PushBack(rng.Bernoulli(0.5));
+  }
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.Get(i) != b.Get(i)) ++manual;
+  }
+  EXPECT_EQ(a.HammingDistance(b), manual);
+  EXPECT_EQ(b.HammingDistance(a), manual);  // symmetric
+}
+
+TEST_P(BitVecPropertyTest, SliceThenAppendReconstructs) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const std::size_t n = 2 + rng.UniformInt(200);
+  BitVec v;
+  for (std::size_t i = 0; i < n; ++i) v.PushBack(rng.Bernoulli(0.5));
+  const std::size_t cut = 1 + rng.UniformInt(n - 1);
+  BitVec left = v.Slice(0, cut);
+  const BitVec right = v.Slice(cut, n - cut);
+  left.AppendBits(right);
+  EXPECT_EQ(left, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,133 @@
+#include "frame/frag_crc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppr::frame {
+namespace {
+
+std::vector<std::uint8_t> RandomPayload(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> payload(n);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  return payload;
+}
+
+TEST(FragmentPlanTest, EvenSplit) {
+  const FragmentPlan plan(100, 4);
+  EXPECT_EQ(plan.num_fragments(), 4u);
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(plan.FragmentSize(f), 25u);
+    EXPECT_EQ(plan.FragmentOffset(f), 25u * f);
+  }
+  EXPECT_EQ(plan.WireOctets(), 100u + 16u);
+}
+
+TEST(FragmentPlanTest, UnevenSplitFrontLoadsRemainder) {
+  const FragmentPlan plan(10, 3);  // 4, 3, 3
+  EXPECT_EQ(plan.FragmentSize(0), 4u);
+  EXPECT_EQ(plan.FragmentSize(1), 3u);
+  EXPECT_EQ(plan.FragmentSize(2), 3u);
+  EXPECT_EQ(plan.FragmentOffset(0), 0u);
+  EXPECT_EQ(plan.FragmentOffset(1), 4u);
+  EXPECT_EQ(plan.FragmentOffset(2), 7u);
+}
+
+TEST(FragmentPlanTest, ClampsFragmentsToPayloadSize) {
+  const FragmentPlan plan(3, 10);
+  EXPECT_EQ(plan.num_fragments(), 3u);  // no empty fragments
+}
+
+TEST(FragmentPlanTest, RejectsZeroFragments) {
+  EXPECT_THROW(FragmentPlan(10, 0), std::invalid_argument);
+}
+
+TEST(FragmentPlanTest, OffsetsTileThePayload) {
+  Rng rng(95);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.UniformInt(2000);
+    const std::size_t f = 1 + rng.UniformInt(50);
+    const FragmentPlan plan(n, f);
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < plan.num_fragments(); ++i) {
+      EXPECT_EQ(plan.FragmentOffset(i), covered);
+      covered += plan.FragmentSize(i);
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(FragCrcTest, CleanWireDeliversEverything) {
+  Rng rng(96);
+  const auto payload = RandomPayload(rng, 300);
+  const FragmentPlan plan(payload.size(), 6);
+  const auto wire = BuildFragmentedPayload(payload, plan);
+  ASSERT_EQ(wire.size(), plan.WireOctets());
+
+  const auto result = CheckFragmentedPayload(wire, plan);
+  EXPECT_EQ(result.delivered_octets, payload.size());
+  EXPECT_EQ(result.payload, payload);
+  for (bool ok : result.fragment_ok) EXPECT_TRUE(ok);
+}
+
+TEST(FragCrcTest, CorruptionLosesOnlyTheTouchedFragment) {
+  Rng rng(97);
+  const auto payload = RandomPayload(rng, 300);
+  const FragmentPlan plan(payload.size(), 6);
+  auto wire = BuildFragmentedPayload(payload, plan);
+
+  // Corrupt one byte inside fragment 2's data region.
+  const std::size_t frag2_wire_offset =
+      plan.FragmentOffset(2) + 2 * 4;  // data before it + two CRCs
+  wire[frag2_wire_offset + 1] ^= 0xFF;
+
+  const auto result = CheckFragmentedPayload(wire, plan);
+  EXPECT_FALSE(result.fragment_ok[2]);
+  EXPECT_EQ(result.delivered_octets, payload.size() - plan.FragmentSize(2));
+  for (std::size_t f = 0; f < plan.num_fragments(); ++f) {
+    if (f != 2) EXPECT_TRUE(result.fragment_ok[f]) << f;
+  }
+  // Unaffected fragments deliver their exact bytes.
+  for (std::size_t i = 0; i < plan.FragmentSize(0); ++i) {
+    EXPECT_EQ(result.payload[i], payload[i]);
+  }
+}
+
+TEST(FragCrcTest, CorruptCrcFieldLosesFragment) {
+  Rng rng(98);
+  const auto payload = RandomPayload(rng, 120);
+  const FragmentPlan plan(payload.size(), 3);
+  auto wire = BuildFragmentedPayload(payload, plan);
+  // Last 4 octets are fragment 2's CRC.
+  wire[wire.size() - 1] ^= 0x01;
+  const auto result = CheckFragmentedPayload(wire, plan);
+  EXPECT_FALSE(result.fragment_ok[2]);
+  EXPECT_TRUE(result.fragment_ok[0]);
+  EXPECT_TRUE(result.fragment_ok[1]);
+}
+
+TEST(FragCrcTest, WireSizeMismatchThrows) {
+  const FragmentPlan plan(100, 4);
+  const std::vector<std::uint8_t> short_wire(50, 0);
+  EXPECT_THROW(CheckFragmentedPayload(short_wire, plan),
+               std::invalid_argument);
+}
+
+// Sweep fragment counts (the Table 2 axis): all-clean wires must always
+// deliver the full payload regardless of fragmentation.
+class FragmentCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FragmentCountSweep, CleanRoundTrip) {
+  Rng rng(99);
+  const auto payload = RandomPayload(rng, 1500);
+  const FragmentPlan plan(payload.size(), GetParam());
+  const auto wire = BuildFragmentedPayload(payload, plan);
+  const auto result = CheckFragmentedPayload(wire, plan);
+  EXPECT_EQ(result.payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Counts, FragmentCountSweep,
+                         ::testing::Values(1, 10, 30, 100, 300));
+
+}  // namespace
+}  // namespace ppr::frame

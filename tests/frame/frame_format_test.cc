@@ -1,0 +1,143 @@
+#include "frame/frame_format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppr::frame {
+namespace {
+
+TEST(FrameHeaderTest, EncodeDecodeRoundTrip) {
+  FrameHeader h;
+  h.length = 1500;
+  h.dst = 0xBEEF;
+  h.src = 0xCAFE;
+  h.seq = 42;
+  const auto octets = EncodeHeader(h);
+  ASSERT_EQ(octets.size(), kHeaderOctets);
+  const auto decoded = DecodeHeader(octets);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, h);
+}
+
+TEST(FrameHeaderTest, CrcDetectsCorruption) {
+  FrameHeader h;
+  h.length = 250;
+  h.dst = 1;
+  h.src = 2;
+  h.seq = 3;
+  auto octets = EncodeHeader(h);
+  for (std::size_t i = 0; i < octets.size(); ++i) {
+    auto copy = octets;
+    copy[i] ^= 0x01;
+    EXPECT_FALSE(DecodeHeader(copy).has_value()) << "octet " << i;
+  }
+}
+
+TEST(FrameHeaderTest, RejectsShortInput) {
+  const std::vector<std::uint8_t> octets(kHeaderOctets - 1, 0);
+  EXPECT_FALSE(DecodeHeader(octets).has_value());
+}
+
+TEST(FrameLayoutTest, OffsetsArePacked) {
+  const FrameLayout layout(1500);
+  EXPECT_EQ(layout.HeaderOffset(), kSyncPrefixOctets);
+  EXPECT_EQ(layout.PayloadOffset(), kSyncPrefixOctets + kHeaderOctets);
+  EXPECT_EQ(layout.PayloadCrcOffset(), layout.PayloadOffset() + 1500);
+  EXPECT_EQ(layout.TrailerOffset(), layout.PayloadCrcOffset() + 4);
+  EXPECT_EQ(layout.PostambleOffset(), layout.TrailerOffset() + kTrailerOctets);
+  EXPECT_EQ(layout.TotalOctets(), layout.PostambleOffset() + kSyncSuffixOctets);
+}
+
+TEST(FrameLayoutTest, TotalsForPaperFrameSizes) {
+  // 1500-byte payload: 34 octets of overhead.
+  EXPECT_EQ(FrameLayout(1500).TotalOctets(), 1534u);
+  EXPECT_EQ(FrameLayout(250).TotalOctets(), 284u);
+  EXPECT_EQ(FrameLayout(1500).TotalSymbols(), 2 * 1534u);
+  EXPECT_EQ(FrameLayout(1500).TotalChips(), 64 * 1534u);
+}
+
+TEST(FrameLayoutTest, BodyExcludesSyncFields) {
+  const FrameLayout layout(100);
+  EXPECT_EQ(layout.BodyOctets(),
+            kHeaderOctets + 100 + kPayloadCrcOctets + kTrailerOctets);
+}
+
+TEST(BuildFrameOctetsTest, LayoutAndContents) {
+  Rng rng(91);
+  std::vector<std::uint8_t> payload(64);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  FrameHeader h;
+  h.length = static_cast<std::uint16_t>(payload.size());
+  h.dst = 7;
+  h.src = 9;
+  h.seq = 1;
+
+  const auto octets = BuildFrameOctets(h, payload);
+  const FrameLayout layout(payload.size());
+  ASSERT_EQ(octets.size(), layout.TotalOctets());
+
+  // Sync prefix.
+  for (std::size_t i = 0; i < kPreambleOctets; ++i) {
+    EXPECT_EQ(octets[i], kPreambleOctet);
+  }
+  EXPECT_EQ(octets[kPreambleOctets], kSfdOctet);
+
+  // Header parses.
+  const auto hdr = DecodeHeader(
+      std::span(octets).subspan(layout.HeaderOffset(), kHeaderOctets));
+  ASSERT_TRUE(hdr.has_value());
+  EXPECT_EQ(*hdr, h);
+
+  // Payload is verbatim.
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(octets[layout.PayloadOffset() + i], payload[i]);
+  }
+
+  // Trailer replicates the header bytes exactly.
+  const auto trailer = DecodeHeader(
+      std::span(octets).subspan(layout.TrailerOffset(), kTrailerOctets));
+  ASSERT_TRUE(trailer.has_value());
+  EXPECT_EQ(*trailer, h);
+
+  // Sync suffix.
+  for (std::size_t i = 0; i < kPostambleOctets; ++i) {
+    EXPECT_EQ(octets[layout.PostambleOffset() + i], kPostambleOctet);
+  }
+  EXPECT_EQ(octets[layout.PostambleOffset() + kPostambleOctets], kPostSfdOctet);
+}
+
+TEST(BuildFrameOctetsTest, PayloadCrcMatches) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  FrameHeader h;
+  h.length = 5;
+  const auto octets = BuildFrameOctets(h, payload);
+  const FrameLayout layout(5);
+  const std::uint32_t embedded =
+      (static_cast<std::uint32_t>(octets[layout.PayloadCrcOffset()]) << 24) |
+      (static_cast<std::uint32_t>(octets[layout.PayloadCrcOffset() + 1]) << 16) |
+      (static_cast<std::uint32_t>(octets[layout.PayloadCrcOffset() + 2]) << 8) |
+      static_cast<std::uint32_t>(octets[layout.PayloadCrcOffset() + 3]);
+  EXPECT_EQ(embedded, PayloadCrc(payload));
+}
+
+TEST(SyncPatternsTest, AreDistinct) {
+  const auto pre = PreamblePatternOctets();
+  const auto post = PostamblePatternOctets();
+  EXPECT_EQ(pre.size(), post.size());
+  EXPECT_NE(pre, post);
+  // Both the run and the delimiter differ, so even partial overlaps do
+  // not alias.
+  EXPECT_NE(pre.front(), post.front());
+  EXPECT_NE(pre.back(), post.back());
+}
+
+TEST(BuildFrameOctetsTest, EmptyPayload) {
+  FrameHeader h;
+  h.length = 0;
+  const auto octets = BuildFrameOctets(h, {});
+  EXPECT_EQ(octets.size(), FrameLayout(0).TotalOctets());
+}
+
+}  // namespace
+}  // namespace ppr::frame

@@ -1,0 +1,163 @@
+#include "phy/frame_sync.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "frame/frame_format.h"
+#include "phy/channel.h"
+#include "phy/spreader.h"
+
+namespace ppr::phy {
+namespace {
+
+SampleVec ModulateOctets(const ModemConfig& config,
+                         const std::vector<std::uint8_t>& octets) {
+  const ChipCodebook cb;
+  const MskModulator mod(config);
+  return mod.Modulate(SpreadBits(cb, BitVec::FromBytes(octets)));
+}
+
+ModemConfig TestModem() {
+  ModemConfig config;
+  config.samples_per_chip = 4;
+  return config;
+}
+
+TEST(WaveformCorrelatorTest, PerfectMatchScoresOne) {
+  const auto ref = ModulateOctets(TestModem(), frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+  EXPECT_NEAR(corr.ScoreAt(ref, 0), 1.0, 1e-9);
+}
+
+TEST(WaveformCorrelatorTest, ScoreBoundedByOne) {
+  Rng rng(81);
+  const auto ref = ModulateOctets(TestModem(), frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+  SampleVec junk(ref.size() * 3);
+  for (auto& s : junk) s = Sample{rng.Normal(), rng.Normal()};
+  for (std::size_t n = 0; n + ref.size() <= junk.size(); n += 7) {
+    const double score = corr.ScoreAt(junk, n);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0 + 1e-9);
+  }
+}
+
+TEST(WaveformCorrelatorTest, FindsEmbeddedPatternUnderNoise) {
+  Rng rng(82);
+  const auto config = TestModem();
+  const auto ref = ModulateOctets(config, frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+
+  const std::size_t offset = 777;
+  SampleVec air(offset + ref.size() + 500, Sample{0.0, 0.0});
+  MixInto(air, ref, offset);
+  AddAwgn(air, 0.4, rng);
+
+  const auto hits = corr.FindPeaks(air, 0.6, ref.size());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].sample_offset, offset);
+  EXPECT_GT(hits[0].score, 0.6);
+}
+
+TEST(WaveformCorrelatorTest, InvariantToPhaseRotation) {
+  const auto config = TestModem();
+  const auto ref = ModulateOctets(config, frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+  SampleVec rotated = ref;
+  ApplyCarrierOffset(rotated, 0.0, 1.1);  // constant phase offset
+  EXPECT_NEAR(corr.ScoreAt(rotated, 0), 1.0, 1e-9);
+}
+
+TEST(WaveformCorrelatorTest, PreambleAndPostambleAreDistinguishable) {
+  // The two sync patterns must not trigger each other's correlators,
+  // otherwise a postamble could masquerade as a preamble (section 4
+  // requires a well-known sequence that "differentiates it from a
+  // preamble").
+  const auto config = TestModem();
+  const auto pre = ModulateOctets(config, frame::PreamblePatternOctets());
+  const auto post = ModulateOctets(config, frame::PostamblePatternOctets());
+  const WaveformCorrelator pre_corr(pre);
+  const WaveformCorrelator post_corr(post);
+  EXPECT_LT(pre_corr.ScoreAt(post, 0), 0.5);
+  EXPECT_LT(post_corr.ScoreAt(pre, 0), 0.5);
+}
+
+TEST(WaveformCorrelatorTest, FindPeaksSeparatesTwoPatterns) {
+  Rng rng(83);
+  const auto config = TestModem();
+  const auto ref = ModulateOctets(config, frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+
+  const std::size_t first = 200, second = 200 + 3 * ref.size();
+  SampleVec air(second + ref.size() + 200, Sample{0.0, 0.0});
+  MixInto(air, ref, first);
+  MixInto(air, ref, second);
+  AddAwgn(air, 0.2, rng);
+
+  const auto hits = corr.FindPeaks(air, 0.6, ref.size());
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].sample_offset, first);
+  EXPECT_EQ(hits[1].sample_offset, second);
+}
+
+TEST(WaveformCorrelatorTest, NearbyPeaksKeepTheStronger) {
+  // Two candidate offsets within the separation window: FindPeaks must
+  // keep the higher-scoring one.
+  const auto config = TestModem();
+  const auto ref = ModulateOctets(config, frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+  SampleVec air(ref.size() + 100, Sample{0.0, 0.0});
+  MixInto(air, ref, 50);
+  const auto hits = corr.FindPeaks(air, 0.3, ref.size());
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].sample_offset, 50u);
+}
+
+TEST(WaveformCorrelatorTest, BestInRangeFindsMaximum) {
+  const auto config = TestModem();
+  const auto ref = ModulateOctets(config, frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+  SampleVec air(ref.size() + 64, Sample{0.0, 0.0});
+  MixInto(air, ref, 17);
+  const auto best = corr.BestInRange(air, 0, air.size());
+  EXPECT_EQ(best.sample_offset, 17u);
+  EXPECT_NEAR(best.score, 1.0, 1e-9);
+}
+
+TEST(WaveformCorrelatorTest, EmptyOrShortInputYieldsNoHits) {
+  const auto config = TestModem();
+  const auto ref = ModulateOctets(config, frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+  const SampleVec tiny(10, Sample{1.0, 0.0});
+  EXPECT_TRUE(corr.FindPeaks(tiny, 0.5, 4).empty());
+  EXPECT_EQ(corr.ScoreAt(tiny, 0), 0.0);
+}
+
+// Sweep noise levels: detection must hold at moderate noise and the
+// score must degrade monotonically on average.
+class SyncNoiseSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyncNoiseSweepTest, DetectsPatternAtModerateNoise) {
+  const double sigma = GetParam();
+  Rng rng(84);
+  const auto config = TestModem();
+  const auto ref = ModulateOctets(config, frame::PreamblePatternOctets());
+  const WaveformCorrelator corr(ref);
+
+  int detected = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    SampleVec air(ref.size() + 400, Sample{0.0, 0.0});
+    MixInto(air, ref, 123);
+    AddAwgn(air, sigma, rng);
+    const auto best = corr.BestInRange(air, 0, air.size());
+    if (best.sample_offset == 123 && best.score >= 0.5) ++detected;
+  }
+  EXPECT_GE(detected, 18) << "sigma = " << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, SyncNoiseSweepTest,
+                         ::testing::Values(0.1, 0.3, 0.5));
+
+}  // namespace
+}  // namespace ppr::phy

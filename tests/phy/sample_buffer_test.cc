@@ -1,0 +1,84 @@
+#include "phy/sample_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr::phy {
+namespace {
+
+Sample S(double v) { return Sample{v, -v}; }
+
+TEST(SampleRingBufferTest, StartsEmpty) {
+  SampleRingBuffer buf(8);
+  EXPECT_EQ(buf.EndIndex(), 0u);
+  EXPECT_EQ(buf.OldestAvailable(), 0u);
+  EXPECT_FALSE(buf.Contains(0));
+}
+
+TEST(SampleRingBufferTest, PushAndReadBack) {
+  SampleRingBuffer buf(8);
+  for (int i = 0; i < 5; ++i) buf.Push(S(i));
+  EXPECT_EQ(buf.EndIndex(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(buf.Contains(i));
+    EXPECT_EQ(buf.At(i), S(static_cast<double>(i)));
+  }
+}
+
+TEST(SampleRingBufferTest, EvictsOldestBeyondCapacity) {
+  SampleRingBuffer buf(4);
+  for (int i = 0; i < 10; ++i) buf.Push(S(i));
+  EXPECT_EQ(buf.EndIndex(), 10u);
+  EXPECT_EQ(buf.OldestAvailable(), 6u);
+  EXPECT_FALSE(buf.Contains(5));
+  EXPECT_TRUE(buf.Contains(6));
+  for (std::uint64_t i = 6; i < 10; ++i) {
+    EXPECT_EQ(buf.At(i), S(static_cast<double>(i)));
+  }
+}
+
+TEST(SampleRingBufferTest, EvictedAndFutureReadAsZero) {
+  SampleRingBuffer buf(4);
+  for (int i = 0; i < 8; ++i) buf.Push(S(i + 1));
+  EXPECT_EQ(buf.At(0), (Sample{0.0, 0.0}));   // evicted
+  EXPECT_EQ(buf.At(99), (Sample{0.0, 0.0}));  // not yet written
+}
+
+TEST(SampleRingBufferTest, WindowSpansEvictionBoundary) {
+  SampleRingBuffer buf(4);
+  for (int i = 0; i < 6; ++i) buf.Push(S(i));  // retains 2..5
+  const auto window = buf.Window(1, 4);        // 1 evicted, 2..4 live
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_EQ(window[0], (Sample{0.0, 0.0}));
+  EXPECT_EQ(window[1], S(2));
+  EXPECT_EQ(window[2], S(3));
+  EXPECT_EQ(window[3], S(4));
+}
+
+TEST(SampleRingBufferTest, PushAllMatchesIndividualPushes) {
+  SampleRingBuffer a(16), b(16);
+  SampleVec chunk;
+  for (int i = 0; i < 10; ++i) chunk.push_back(S(i * 2));
+  a.PushAll(chunk);
+  for (const auto& s : chunk) b.Push(s);
+  EXPECT_EQ(a.EndIndex(), b.EndIndex());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.At(i), b.At(i));
+  }
+}
+
+TEST(SampleRingBufferTest, RollbackWindowOfOneMaxPacket) {
+  // The postamble use case: buffer sized to a packet; after the whole
+  // packet has streamed in, every sample of it is still retrievable.
+  const std::size_t packet = 1000;
+  SampleRingBuffer buf(packet);
+  for (std::size_t i = 0; i < packet; ++i) {
+    buf.Push(S(static_cast<double>(i)));
+  }
+  const auto window = buf.Window(0, packet);
+  for (std::size_t i = 0; i < packet; ++i) {
+    EXPECT_EQ(window[i], S(static_cast<double>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace ppr::phy

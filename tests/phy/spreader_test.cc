@@ -1,0 +1,84 @@
+#include "phy/spreader.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppr::phy {
+namespace {
+
+TEST(SpreaderTest, BitsToSymbolsLowNibbleFirst) {
+  // Octet 0xA7: low nibble 0x7 is transmitted first (802.15.4
+  // convention), then high nibble 0xA.
+  const std::uint8_t bytes[] = {0xA7};
+  const auto symbols = BitsToSymbols(BitVec::FromBytes(bytes));
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], 0x7);
+  EXPECT_EQ(symbols[1], 0xA);
+}
+
+TEST(SpreaderTest, MultiOctetOrdering) {
+  const std::uint8_t bytes[] = {0x12, 0x34};
+  const auto symbols = BitsToSymbols(BitVec::FromBytes(bytes));
+  ASSERT_EQ(symbols.size(), 4u);
+  EXPECT_EQ(symbols[0], 0x2);
+  EXPECT_EQ(symbols[1], 0x1);
+  EXPECT_EQ(symbols[2], 0x4);
+  EXPECT_EQ(symbols[3], 0x3);
+}
+
+TEST(SpreaderTest, SymbolsToBitsInverts) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec bits;
+    const std::size_t octets = 1 + rng.UniformInt(100);
+    for (std::size_t i = 0; i < octets * 8; ++i) {
+      bits.PushBack(rng.Bernoulli(0.5));
+    }
+    EXPECT_EQ(SymbolsToBits(BitsToSymbols(bits)), bits);
+  }
+}
+
+TEST(SpreaderTest, RejectsNonNibbleInput) {
+  EXPECT_THROW(BitsToSymbols(BitVec::FromString("101")),
+               std::invalid_argument);
+}
+
+TEST(SpreaderTest, SpreadProducesThirtyTwoChipsPerSymbol) {
+  const ChipCodebook cb;
+  const std::vector<std::uint8_t> symbols{0, 5, 15};
+  const BitVec chips = SpreadSymbols(cb, symbols);
+  EXPECT_EQ(chips.size(), 3u * kChipsPerSymbol);
+}
+
+TEST(SpreaderTest, SpreadEmitsCodebookRows) {
+  const ChipCodebook cb;
+  const std::vector<std::uint8_t> symbols{9};
+  const BitVec chips = SpreadSymbols(cb, symbols);
+  for (int i = 0; i < kChipsPerSymbol; ++i) {
+    EXPECT_EQ(chips.Get(static_cast<std::size_t>(i)), cb.Chip(9, i));
+  }
+}
+
+TEST(SpreaderTest, SpreadBitsRoundTripThroughCleanDecode) {
+  const ChipCodebook cb;
+  Rng rng(32);
+  BitVec bits;
+  for (int i = 0; i < 8 * 64; ++i) bits.PushBack(rng.Bernoulli(0.5));
+  const BitVec chips = SpreadBits(cb, bits);
+  ASSERT_EQ(chips.size(), (bits.size() / 4) * kChipsPerSymbol);
+
+  // Decode each window and reassemble.
+  std::vector<std::uint8_t> symbols;
+  for (std::size_t pos = 0; pos < chips.size(); pos += kChipsPerSymbol) {
+    ChipWord w = 0;
+    for (int i = 0; i < kChipsPerSymbol; ++i) {
+      if (chips.Get(pos + static_cast<std::size_t>(i))) w |= ChipWord{1} << i;
+    }
+    symbols.push_back(static_cast<std::uint8_t>(cb.DecodeHard(w, nullptr)));
+  }
+  EXPECT_EQ(SymbolsToBits(symbols), bits);
+}
+
+}  // namespace
+}  // namespace ppr::phy

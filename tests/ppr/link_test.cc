@@ -1,0 +1,113 @@
+#include "ppr/link.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr::core {
+namespace {
+
+WaveformChannelParams CleanParams() {
+  WaveformChannelParams params;
+  params.pipeline.modem.samples_per_chip = 4;
+  params.pipeline.max_payload_octets = 600;
+  params.ec_n0_db = 12.0;  // effectively error-free
+  params.seed = 31;
+  return params;
+}
+
+BitVec RandomPayloadBits(Rng& rng, std::size_t octets) {
+  BitVec bits;
+  for (std::size_t i = 0; i < octets * 8; ++i) {
+    bits.PushBack(rng.Bernoulli(0.5));
+  }
+  return bits;
+}
+
+TEST(WaveformChannelTest, CleanChannelDeliversExactBits) {
+  const auto channel = MakeWaveformChannel(CleanParams());
+  Rng rng(221);
+  const BitVec payload = RandomPayloadBits(rng, 120);
+  const auto symbols = channel(payload);
+  ASSERT_EQ(symbols.size(), payload.size() / 4);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(symbols[i].symbol, payload.ReadUint(i * 4, 4));
+  }
+}
+
+TEST(WaveformChannelTest, HandlesNonOctetBodies) {
+  // Retransmission wires are nibble- but not octet-aligned; the channel
+  // must pad and trim transparently.
+  const auto channel = MakeWaveformChannel(CleanParams());
+  Rng rng(222);
+  BitVec payload;
+  for (int i = 0; i < 101; ++i) payload.AppendUint(rng.UniformInt(16), 4);
+  ASSERT_NE(payload.size() % 8, 0u);
+  const auto symbols = channel(payload);
+  ASSERT_EQ(symbols.size(), 101u);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(symbols[i].symbol, payload.ReadUint(i * 4, 4));
+  }
+}
+
+TEST(WaveformChannelTest, NoisyChannelReportsBadHints) {
+  auto params = CleanParams();
+  params.ec_n0_db = -2.0;  // chip errors ~21%: plenty of corruption
+  const auto channel = MakeWaveformChannel(params);
+  Rng rng(223);
+  const BitVec payload = RandomPayloadBits(rng, 200);
+  const auto symbols = channel(payload);
+  double mean_hint = 0.0;
+  for (const auto& s : symbols) mean_hint += std::min(s.hint, 32.0);
+  mean_hint /= static_cast<double>(symbols.size());
+  EXPECT_GT(mean_hint, 1.0);
+}
+
+TEST(WaveformPpArqTest, CompletesOverCleanLink) {
+  arq::PpArqConfig arq_config;
+  Rng rng(224);
+  const auto stats =
+      RunWaveformPpArq(150, arq_config, CleanParams(), rng);
+  EXPECT_TRUE(stats.success);
+  EXPECT_EQ(stats.data_transmissions, 1u);
+}
+
+TEST(WaveformPpArqTest, RecoversFromCollisions) {
+  auto params = CleanParams();
+  params.collision_probability = 0.5;
+  params.interferer_relative_db = 0.0;  // equal power: real damage
+  params.interferer_octets = 60;
+  params.seed = 41;
+  arq::PpArqConfig arq_config;
+  Rng rng(225);
+  const auto stats = RunWaveformPpArq(250, arq_config, params, rng);
+  EXPECT_TRUE(stats.success);
+}
+
+TEST(WaveformPpArqTest, PartialRetransmissionsSmallerThanPacket) {
+  // The Figure 16 property on the real waveform link: retransmission
+  // frames are (median) well below the 250-byte packet size.
+  auto params = CleanParams();
+  params.collision_probability = 0.6;
+  params.interferer_relative_db = 0.0;
+  params.interferer_octets = 60;
+  params.seed = 42;
+  arq::PpArqConfig arq_config;
+  Rng rng(226);
+
+  std::vector<std::size_t> retx_bits;
+  for (int i = 0; i < 6; ++i) {
+    const auto stats = RunWaveformPpArq(250, arq_config, params, rng);
+    EXPECT_TRUE(stats.success);
+    retx_bits.insert(retx_bits.end(), stats.retransmission_bits.begin(),
+                     stats.retransmission_bits.end());
+  }
+  ASSERT_FALSE(retx_bits.empty());
+  std::size_t below_full = 0;
+  for (const auto bits : retx_bits) {
+    if (bits < 250 * 8) ++below_full;
+  }
+  // The majority of retransmissions are partial.
+  EXPECT_GT(2 * below_full, retx_bits.size());
+}
+
+}  // namespace
+}  // namespace ppr::core

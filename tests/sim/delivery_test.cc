@@ -1,0 +1,194 @@
+#include "sim/delivery.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+
+namespace ppr::sim {
+namespace {
+
+// Builds a synthetic reception record over a model with 100-octet
+// payloads; `wrong` marks payload codeword indices decoded incorrectly
+// (with a high hint), `lying` marks wrong codewords with a *good* hint
+// (SoftPHY misses).
+struct Fixture {
+  std::vector<Point> positions{{0, 0}, {2, 0}};
+  MediumConfig mconfig;
+  RadioMedium medium;
+  ReceiverModel model;
+
+  Fixture()
+      : medium((mconfig.shadowing_sigma_db = 0.0, positions), mconfig),
+        model(medium, [] {
+          ReceiverModelConfig c;
+          c.payload_octets = 100;
+          return c;
+        }()) {}
+
+  ReceptionRecord MakeRecord(const std::vector<std::size_t>& wrong,
+                             const std::vector<std::size_t>& lying = {}) {
+    ReceptionRecord r;
+    r.sender = 0;
+    r.receiver = 1;
+    r.preamble_sync = true;
+    r.postamble_sync = true;
+    r.header_ok = true;
+    r.trailer_ok = true;
+    r.trace.resize(model.Layout().TotalSymbols());
+    for (auto& cw : r.trace) {
+      cw.correct = true;
+      cw.distance = 0;
+    }
+    for (std::size_t i : wrong) {
+      auto& cw = r.trace[model.PayloadCwOffset() + i];
+      cw.correct = false;
+      cw.distance = 14;
+    }
+    for (std::size_t i : lying) {
+      auto& cw = r.trace[model.PayloadCwOffset() + i];
+      cw.correct = false;
+      cw.distance = 2;  // below eta: an undetected miss
+    }
+    return r;
+  }
+};
+
+SchemeConfig Packet(bool post = false) {
+  return SchemeConfig{Scheme::kPacketCrc, post, 30, 6.0};
+}
+SchemeConfig Frag(std::size_t n = 10, bool post = false) {
+  return SchemeConfig{Scheme::kFragmentedCrc, post, n, 6.0};
+}
+SchemeConfig Ppr(double eta = 6.0, bool post = false) {
+  return SchemeConfig{Scheme::kPpr, post, 30, eta};
+}
+
+TEST(DeliveryTest, CleanFrameDeliversFullyUnderAllSchemes) {
+  Fixture f;
+  const auto record = f.MakeRecord({});
+  for (const auto& scheme : {Packet(), Frag(), Ppr()}) {
+    const auto out = EvaluateDelivery(record, f.model, scheme);
+    EXPECT_TRUE(out.acquired);
+    EXPECT_EQ(out.delivered_bits, 800u) << scheme.Name();
+    EXPECT_EQ(out.wrong_bits, 0u);
+  }
+}
+
+TEST(DeliveryTest, PacketCrcIsAllOrNothing) {
+  Fixture f;
+  const auto record = f.MakeRecord({50});
+  const auto out = EvaluateDelivery(record, f.model, Packet());
+  EXPECT_TRUE(out.acquired);
+  EXPECT_EQ(out.delivered_bits, 0u);
+}
+
+TEST(DeliveryTest, PacketCrcFailsOnCorruptCrcField) {
+  Fixture f;
+  auto record = f.MakeRecord({});
+  // Corrupt a CRC-field codeword (just past the payload codewords).
+  record.trace[f.model.PayloadCwOffset() + f.model.PayloadCwCount()].correct =
+      false;
+  const auto out = EvaluateDelivery(record, f.model, Packet());
+  EXPECT_EQ(out.delivered_bits, 0u);
+}
+
+TEST(DeliveryTest, FragmentedCrcLosesOnlyTouchedFragments) {
+  Fixture f;
+  // 10 fragments of 10 octets = 20 codewords each; corrupt one codeword
+  // in fragment 3.
+  const auto record = f.MakeRecord({3 * 20 + 5});
+  const auto out = EvaluateDelivery(record, f.model, Frag(10));
+  EXPECT_TRUE(out.acquired);
+  EXPECT_EQ(out.delivered_bits, 800u - 80u);
+}
+
+TEST(DeliveryTest, FragmentedCrcDegeneratesToPacketCrcAtOneFragment) {
+  Fixture f;
+  const auto record = f.MakeRecord({7});
+  const auto out = EvaluateDelivery(record, f.model, Frag(1));
+  EXPECT_EQ(out.delivered_bits, 0u);
+}
+
+TEST(DeliveryTest, PprDeliversExactlyGoodLabeledCorrectBits) {
+  Fixture f;
+  const auto record = f.MakeRecord({10, 11, 12, 80});
+  const auto out = EvaluateDelivery(record, f.model, Ppr());
+  EXPECT_TRUE(out.acquired);
+  // 200 payload codewords, 4 wrong with distance 14 > eta: excluded.
+  EXPECT_EQ(out.delivered_bits, (200u - 4u) * 4u);
+  EXPECT_EQ(out.wrong_bits, 0u);
+}
+
+TEST(DeliveryTest, PprMissesCountAsWrongBits) {
+  Fixture f;
+  const auto record = f.MakeRecord({10}, {55, 56});
+  const auto out = EvaluateDelivery(record, f.model, Ppr());
+  EXPECT_EQ(out.delivered_bits, (200u - 3u) * 4u);
+  EXPECT_EQ(out.wrong_bits, 2u * 4u);
+}
+
+TEST(DeliveryTest, PprEtaZeroIsStrictest) {
+  Fixture f;
+  auto record = f.MakeRecord({});
+  // A correct codeword with distance 3: delivered at eta 6, dropped at
+  // eta 0 (a false alarm).
+  record.trace[f.model.PayloadCwOffset() + 9].distance = 3;
+  EXPECT_EQ(EvaluateDelivery(record, f.model, Ppr(6.0)).delivered_bits, 800u);
+  EXPECT_EQ(EvaluateDelivery(record, f.model, Ppr(0.0)).delivered_bits,
+            800u - 4u);
+}
+
+TEST(DeliveryTest, NoPostambleVariantNeedsPreambleAndHeader) {
+  Fixture f;
+  auto record = f.MakeRecord({});
+  record.preamble_sync = false;  // only the postamble was heard
+  for (const auto& scheme : {Packet(false), Frag(10, false), Ppr(6.0, false)}) {
+    EXPECT_FALSE(EvaluateDelivery(record, f.model, scheme).acquired);
+  }
+  for (const auto& scheme : {Packet(true), Frag(10, true), Ppr(6.0, true)}) {
+    EXPECT_TRUE(EvaluateDelivery(record, f.model, scheme).acquired);
+  }
+}
+
+TEST(DeliveryTest, TrailerSubstitutesForCorruptHeaderOnlyWithPostamble) {
+  Fixture f;
+  auto record = f.MakeRecord({});
+  record.header_ok = false;  // header destroyed, trailer fine
+  EXPECT_FALSE(EvaluateDelivery(record, f.model, Packet(false)).acquired);
+  EXPECT_TRUE(EvaluateDelivery(record, f.model, Packet(true)).acquired);
+}
+
+TEST(DeliveryTest, NothingAcquiredNothingDelivered) {
+  Fixture f;
+  auto record = f.MakeRecord({});
+  record.preamble_sync = false;
+  record.postamble_sync = false;
+  for (const auto& scheme : {Packet(true), Frag(10, true), Ppr(6.0, true)}) {
+    const auto out = EvaluateDelivery(record, f.model, scheme);
+    EXPECT_FALSE(out.acquired);
+    EXPECT_EQ(out.delivered_bits, 0u);
+  }
+}
+
+TEST(SchemeAirtimeTest, OverheadOrdering) {
+  // Packet CRC (no postamble) is leanest; postamble adds 15 octets;
+  // FragCRC adds 4 octets per fragment.
+  const std::size_t payload = 1500;
+  const auto base = SchemeAirtimeOctets(Packet(false), payload);
+  EXPECT_EQ(base, frame::kSyncPrefixOctets + frame::kHeaderOctets + payload +
+                      frame::kPayloadCrcOctets);
+  EXPECT_EQ(SchemeAirtimeOctets(Packet(true), payload),
+            base + frame::kTrailerOctets + frame::kSyncSuffixOctets);
+  EXPECT_EQ(SchemeAirtimeOctets(Frag(30, false), payload), base + 120);
+  EXPECT_EQ(SchemeAirtimeOctets(Ppr(6.0, true), payload),
+            base + frame::kTrailerOctets + frame::kSyncSuffixOctets);
+}
+
+TEST(SchemeConfigTest, NamesAreDescriptive) {
+  EXPECT_EQ(Packet(false).Name(), "Packet CRC, no postamble");
+  EXPECT_EQ(Frag(30, true).Name(), "Fragmented CRC, postamble decoding");
+  EXPECT_EQ(Ppr(6.0, true).Name(), "PPR, postamble decoding");
+}
+
+}  // namespace
+}  // namespace ppr::sim

@@ -1,0 +1,147 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr::sim {
+namespace {
+
+// A short, low-load run keeps the test fast while still exercising the
+// whole pipeline (schedule -> decode -> schemes -> per-link stats).
+ExperimentConfig FastConfig(double load_bps = 3500.0,
+                            bool carrier_sense = false) {
+  auto config = MakePaperConfig(load_bps, carrier_sense, /*duration_s=*/8.0,
+                                /*seed=*/21);
+  config.receiver.payload_octets = 300;  // smaller frames, faster decode
+  return config;
+}
+
+std::vector<SchemeConfig> AllSchemes() {
+  std::vector<SchemeConfig> schemes;
+  for (const auto scheme :
+       {Scheme::kPacketCrc, Scheme::kFragmentedCrc, Scheme::kPpr}) {
+    for (const bool post : {false, true}) {
+      SchemeConfig c;
+      c.scheme = scheme;
+      c.postamble = post;
+      c.num_fragments = 10;
+      c.eta = 6.0;
+      schemes.push_back(c);
+    }
+  }
+  return schemes;
+}
+
+TEST(TestbedExperimentTest, ProducesLinksAndTransmissions) {
+  const TestbedExperiment experiment(FastConfig());
+  const auto result = experiment.Run(AllSchemes());
+  EXPECT_GT(result.total_transmissions, 10u);
+  EXPECT_GT(result.links.size(), 8u);
+  for (const auto& link : result.links) {
+    EXPECT_GE(link.snr_db, 0.0);
+    EXPECT_EQ(link.schemes.size(), 6u);
+  }
+}
+
+TEST(TestbedExperimentTest, FdrBoundedByOne) {
+  const TestbedExperiment experiment(FastConfig());
+  const auto result = experiment.Run(AllSchemes());
+  for (const auto& link : result.links) {
+    for (std::size_t k = 0; k < link.schemes.size(); ++k) {
+      EXPECT_GE(link.Fdr(k), 0.0);
+      EXPECT_LE(link.Fdr(k), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TestbedExperimentTest, PprDominatesFragWhichDominatesPacketCrc) {
+  // Aggregate delivered bits must be ordered PPR >= FragCRC >= PacketCRC
+  // within a postamble variant: PPR delivers a superset of fragment
+  // bits, which is a superset of whole-packet bits (all three read the
+  // same traces).
+  const TestbedExperiment experiment(FastConfig(9000.0));
+  const auto schemes = AllSchemes();  // [pkt, pkt+post, frag, frag+post, ppr, ppr+post]
+  const auto result = experiment.Run(schemes);
+  std::vector<std::size_t> delivered(schemes.size(), 0);
+  for (const auto& link : result.links) {
+    for (std::size_t k = 0; k < schemes.size(); ++k) {
+      delivered[k] += link.schemes[k].delivered_bits;
+    }
+  }
+  EXPECT_LE(delivered[0], delivered[2]);  // packet <= frag (no postamble)
+  EXPECT_LE(delivered[1], delivered[3]);  // same with postamble
+  // PPR can drop a handful of false-alarm codewords that a fully-clean
+  // fragment would deliver, so allow a small tolerance on its dominance.
+  EXPECT_LE(static_cast<double>(delivered[2]),
+            1.02 * static_cast<double>(delivered[4]));
+  EXPECT_LE(static_cast<double>(delivered[3]),
+            1.02 * static_cast<double>(delivered[5]));
+}
+
+TEST(TestbedExperimentTest, PostambleNeverHurts) {
+  const TestbedExperiment experiment(FastConfig(9000.0));
+  const auto schemes = AllSchemes();
+  const auto result = experiment.Run(schemes);
+  for (std::size_t pair = 0; pair < 3; ++pair) {
+    std::size_t without = 0, with = 0;
+    for (const auto& link : result.links) {
+      without += link.schemes[2 * pair].delivered_bits;
+      with += link.schemes[2 * pair + 1].delivered_bits;
+    }
+    EXPECT_GE(with, without) << "scheme pair " << pair;
+  }
+}
+
+TEST(TestbedExperimentTest, ObserverSeesEveryAudibleReception) {
+  const TestbedExperiment experiment(FastConfig());
+  std::size_t observed = 0;
+  std::size_t with_trace = 0;
+  const auto result = experiment.Run(
+      AllSchemes(), [&](const ReceptionRecord& r, const ReceiverModel&) {
+        ++observed;
+        if (!r.trace.empty()) ++with_trace;
+      });
+  EXPECT_GT(observed, result.total_transmissions);  // multiple receivers
+  EXPECT_EQ(observed, with_trace);
+}
+
+TEST(TestbedExperimentTest, DeterministicAcrossRuns) {
+  const TestbedExperiment a(FastConfig());
+  const TestbedExperiment b(FastConfig());
+  const auto schemes = AllSchemes();
+  const auto ra = a.Run(schemes);
+  const auto rb = b.Run(schemes);
+  ASSERT_EQ(ra.links.size(), rb.links.size());
+  for (std::size_t i = 0; i < ra.links.size(); ++i) {
+    for (std::size_t k = 0; k < schemes.size(); ++k) {
+      EXPECT_EQ(ra.links[i].schemes[k].delivered_bits,
+                rb.links[i].schemes[k].delivered_bits);
+    }
+  }
+}
+
+TEST(TestbedExperimentTest, ThroughputAccountsOverhead) {
+  const TestbedExperiment experiment(FastConfig());
+  const auto schemes = AllSchemes();
+  const auto result = experiment.Run(schemes);
+  for (const auto& link : result.links) {
+    if (link.schemes[4].delivered_bits == 0) continue;
+    const double ppr_tput = link.ThroughputBps(
+        4, schemes[4], result.payload_octets, result.duration_s);
+    EXPECT_GT(ppr_tput, 0.0);
+    // Raw delivered rate is an upper bound on overhead-adjusted goodput.
+    EXPECT_LE(ppr_tput, static_cast<double>(link.schemes[4].delivered_bits) /
+                            result.duration_s + 1e-9);
+  }
+}
+
+TEST(MakePaperConfigTest, MatchesPaperParameters) {
+  const auto config = MakePaperConfig(13800.0, true);
+  EXPECT_DOUBLE_EQ(config.traffic.offered_load_bps, 13800.0);
+  EXPECT_TRUE(config.traffic.carrier_sense);
+  EXPECT_EQ(config.receiver.payload_octets, 1500u);
+  EXPECT_EQ(config.testbed.num_senders, 23u);
+  EXPECT_EQ(config.testbed.num_receivers, 4u);
+}
+
+}  // namespace
+}  // namespace ppr::sim

@@ -1,0 +1,104 @@
+#include "sim/medium.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppr::sim {
+namespace {
+
+TEST(UnitConversionTest, DbmMilliwattRoundTrip) {
+  EXPECT_NEAR(DbmToMilliwatts(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(DbmToMilliwatts(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(DbmToMilliwatts(-30.0), 1e-3, 1e-15);
+  for (double dbm : {-90.0, -40.0, 0.0, 20.0}) {
+    EXPECT_NEAR(MilliwattsToDbm(DbmToMilliwatts(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(DistanceTest, Euclidean) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+MediumConfig NoShadowing() {
+  MediumConfig config;
+  config.shadowing_sigma_db = 0.0;
+  return config;
+}
+
+TEST(RadioMediumTest, SymmetricGains) {
+  const std::vector<Point> positions{{0, 0}, {10, 0}, {3, 7}};
+  const RadioMedium medium(positions, MediumConfig{});
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(medium.RxPowerMw(a, b), medium.RxPowerMw(b, a));
+    }
+  }
+}
+
+TEST(RadioMediumTest, PowerDecaysWithDistance) {
+  const std::vector<Point> positions{{0, 0}, {2, 0}, {8, 0}, {25, 0}};
+  const RadioMedium medium(positions, NoShadowing());
+  EXPECT_GT(medium.RxPowerMw(0, 1), medium.RxPowerMw(0, 2));
+  EXPECT_GT(medium.RxPowerMw(0, 2), medium.RxPowerMw(0, 3));
+}
+
+TEST(RadioMediumTest, LogDistanceSlope) {
+  // Without shadowing, a 10x distance increase costs 10*n dB.
+  MediumConfig config = NoShadowing();
+  config.path_loss_exponent = 3.0;
+  const std::vector<Point> positions{{0, 0}, {2, 0}, {20, 0}};
+  const RadioMedium medium(positions, config);
+  const double drop =
+      medium.RxPowerDbm(0, 1) - medium.RxPowerDbm(0, 2);
+  EXPECT_NEAR(drop, 30.0, 1e-9);
+}
+
+TEST(RadioMediumTest, ReferenceLossAnchorsAbsoluteScale) {
+  MediumConfig config = NoShadowing();
+  config.tx_power_dbm = 0.0;
+  config.reference_loss_db = 40.0;
+  config.path_loss_exponent = 3.0;
+  const std::vector<Point> positions{{0, 0}, {1, 0}};
+  const RadioMedium medium(positions, config);
+  EXPECT_NEAR(medium.RxPowerDbm(0, 1), -40.0, 1e-9);
+}
+
+TEST(RadioMediumTest, ShadowingIsDeterministicPerSeed) {
+  const std::vector<Point> positions{{0, 0}, {5, 5}, {9, 2}};
+  MediumConfig config;
+  config.seed = 33;
+  const RadioMedium a(positions, config);
+  const RadioMedium b(positions, config);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(a.RxPowerMw(i, j), b.RxPowerMw(i, j));
+    }
+  }
+  config.seed = 34;
+  const RadioMedium c(positions, config);
+  EXPECT_NE(a.RxPowerMw(0, 1), c.RxPowerMw(0, 1));
+}
+
+TEST(RadioMediumTest, LinkSnrReferencesNoiseFloor) {
+  MediumConfig config = NoShadowing();
+  config.noise_floor_dbm = -98.0;
+  const std::vector<Point> positions{{0, 0}, {1, 0}};
+  const RadioMedium medium(positions, config);
+  EXPECT_NEAR(medium.LinkSnrDb(0, 1),
+              medium.RxPowerDbm(0, 1) + 98.0, 1e-9);
+  EXPECT_NEAR(medium.NoiseFloorMw(), DbmToMilliwatts(-98.0), 1e-15);
+}
+
+TEST(RadioMediumTest, MinimumDistanceClamped) {
+  // Coincident nodes must not produce infinite power.
+  const std::vector<Point> positions{{0, 0}, {0, 0}};
+  const RadioMedium medium(positions, NoShadowing());
+  EXPECT_TRUE(std::isfinite(medium.RxPowerDbm(0, 1)));
+}
+
+}  // namespace
+}  // namespace ppr::sim

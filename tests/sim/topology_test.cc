@@ -1,0 +1,85 @@
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "sim/medium.h"
+
+namespace ppr::sim {
+namespace {
+
+TEST(TestbedTopologyTest, PaperNodeCounts) {
+  const TestbedTopology topo;
+  EXPECT_EQ(topo.NumSenders(), 23u);
+  EXPECT_EQ(topo.NumReceivers(), 4u);
+  EXPECT_EQ(topo.NumNodes(), 27u);
+  EXPECT_EQ(topo.Positions().size(), 27u);
+}
+
+TEST(TestbedTopologyTest, IdsPartitionNodes) {
+  const TestbedTopology topo;
+  for (std::size_t i = 0; i < topo.NumSenders(); ++i) {
+    EXPECT_FALSE(topo.IsReceiver(topo.SenderId(i)));
+  }
+  for (std::size_t i = 0; i < topo.NumReceivers(); ++i) {
+    EXPECT_TRUE(topo.IsReceiver(topo.ReceiverId(i)));
+  }
+}
+
+TEST(TestbedTopologyTest, NodesInsideFloor) {
+  const TestbedTopology topo;
+  for (const auto& p : topo.Positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, topo.config().floor_width_m);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, topo.config().floor_height_m);
+  }
+}
+
+TEST(TestbedTopologyTest, DeterministicPerSeed) {
+  TestbedConfig config;
+  config.seed = 5;
+  const TestbedTopology a(config), b(config);
+  for (std::size_t i = 0; i < a.NumNodes(); ++i) {
+    EXPECT_DOUBLE_EQ(a.Positions()[i].x, b.Positions()[i].x);
+    EXPECT_DOUBLE_EQ(a.Positions()[i].y, b.Positions()[i].y);
+  }
+}
+
+TEST(TestbedTopologyTest, SendersSpreadAcrossRooms) {
+  const TestbedTopology topo;
+  // With round-robin room assignment, senders land in all nine rooms:
+  // count distinct 3x3 cells among sender positions.
+  const double room_w = topo.config().floor_width_m / 3;
+  const double room_h = topo.config().floor_height_m / 3;
+  std::set<int> rooms;
+  for (std::size_t i = 0; i < topo.NumSenders(); ++i) {
+    const auto& p = topo.Positions()[i];
+    const int cell = static_cast<int>(p.x / room_w) +
+                     3 * static_cast<int>(p.y / room_h);
+    rooms.insert(cell);
+  }
+  EXPECT_EQ(rooms.size(), 9u);
+}
+
+TEST(TestbedTopologyTest, EachReceiverHearsAHandfulOfSenders) {
+  // Mirrors the paper: "each sink had between 4 and 8 sender nodes that
+  // it could hear" in the absence of other traffic. We accept a
+  // slightly wider band since the layout is synthetic.
+  const TestbedTopology topo;
+  const RadioMedium medium(topo.Positions(),
+                           IndoorMediumConfig(topo.config(), 11));
+  for (std::size_t r = 0; r < topo.NumReceivers(); ++r) {
+    int audible = 0;
+    for (std::size_t s = 0; s < topo.NumSenders(); ++s) {
+      if (medium.LinkSnrDb(topo.SenderId(s), topo.ReceiverId(r)) >= 0.0) {
+        ++audible;
+      }
+    }
+    EXPECT_GE(audible, 3) << "receiver " << r;
+    EXPECT_LE(audible, 14) << "receiver " << r;
+  }
+}
+
+}  // namespace
+}  // namespace ppr::sim

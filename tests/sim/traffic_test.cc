@@ -1,0 +1,137 @@
+#include "sim/traffic.h"
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "sim/topology.h"
+
+namespace ppr::sim {
+namespace {
+
+struct World {
+  TestbedTopology topo;
+  RadioMedium medium;
+  std::vector<std::size_t> senders;
+
+  World() : medium(topo.Positions(), MediumConfig{.seed = 11}) {
+    for (std::size_t i = 0; i < topo.NumSenders(); ++i) {
+      senders.push_back(topo.SenderId(i));
+    }
+  }
+};
+
+TrafficConfig BaseTraffic() {
+  TrafficConfig config;
+  config.offered_load_bps = 3500.0;
+  config.duration_s = 30.0;
+  config.frame_total_chips = 1534 * 64;
+  config.payload_bits = 12000;
+  config.seed = 5;
+  return config;
+}
+
+TEST(TrafficTest, ScheduleSortedAndInBounds) {
+  World s;
+  const auto schedule = GenerateSchedule(BaseTraffic(), s.medium, s.senders);
+  ASSERT_FALSE(schedule.empty());
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].start_s, schedule[i - 1].start_s);
+  }
+  for (const auto& t : schedule) {
+    EXPECT_GE(t.start_s, 0.0);
+    EXPECT_LT(t.start_s, 30.0);
+    EXPECT_NEAR(t.duration_s, 1534 * 64 * kSecondsPerChip, 1e-12);
+  }
+}
+
+TEST(TrafficTest, OfferedLoadSetsArrivalRate) {
+  World s;
+  auto config = BaseTraffic();
+  config.duration_s = 100.0;
+  const auto schedule = GenerateSchedule(config, s.medium, s.senders);
+  // Expected packets: 23 senders * load/packet_bits * duration.
+  const double expected =
+      23.0 * (3500.0 / 12000.0) * 100.0;
+  EXPECT_NEAR(static_cast<double>(schedule.size()), expected,
+              0.25 * expected);
+}
+
+TEST(TrafficTest, HigherLoadMorePackets) {
+  World s;
+  auto low = BaseTraffic();
+  auto high = BaseTraffic();
+  high.offered_load_bps = 13800.0;
+  const auto nl = GenerateSchedule(low, s.medium, s.senders).size();
+  const auto nh = GenerateSchedule(high, s.medium, s.senders).size();
+  EXPECT_GT(nh, 2 * nl);
+}
+
+TEST(TrafficTest, NoSelfOverlapPerSender) {
+  World s;
+  auto config = BaseTraffic();
+  config.offered_load_bps = 20000.0;  // force queueing
+  const auto schedule = GenerateSchedule(config, s.medium, s.senders);
+  std::map<std::size_t, double> last_end;
+  for (const auto& t : schedule) {
+    const auto it = last_end.find(t.sender);
+    if (it != last_end.end()) {
+      EXPECT_GE(t.start_s, it->second - 1e-12);
+    }
+    last_end[t.sender] = t.End();
+  }
+}
+
+TEST(TrafficTest, SequenceNumbersIncreasePerSender) {
+  World s;
+  const auto schedule = GenerateSchedule(BaseTraffic(), s.medium, s.senders);
+  std::map<std::size_t, int> last_seq;
+  for (const auto& t : schedule) {
+    const auto it = last_seq.find(t.sender);
+    if (it != last_seq.end()) {
+      EXPECT_EQ(static_cast<int>(t.seq), it->second + 1);
+    }
+    last_seq[t.sender] = t.seq;
+  }
+}
+
+TEST(TrafficTest, DeterministicPerSeed) {
+  World s;
+  const auto a = GenerateSchedule(BaseTraffic(), s.medium, s.senders);
+  const auto b = GenerateSchedule(BaseTraffic(), s.medium, s.senders);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sender, b[i].sender);
+    EXPECT_DOUBLE_EQ(a[i].start_s, b[i].start_s);
+  }
+}
+
+TEST(TrafficTest, CarrierSenseReducesOverlap) {
+  World s;
+  auto cs_off = BaseTraffic();
+  cs_off.offered_load_bps = 13800.0;
+  auto cs_on = cs_off;
+  cs_on.carrier_sense = true;
+  cs_on.cs_threshold_dbm = -95.0;  // hear nearly everyone
+
+  auto overlap_fraction = [](const std::vector<Transmission>& schedule) {
+    std::size_t overlapping = 0;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      for (std::size_t j = i + 1; j < schedule.size(); ++j) {
+        if (schedule[j].start_s >= schedule[i].End()) break;
+        ++overlapping;
+      }
+    }
+    return schedule.empty()
+               ? 0.0
+               : static_cast<double>(overlapping) /
+                     static_cast<double>(schedule.size());
+  };
+
+  const auto off_schedule = GenerateSchedule(cs_off, s.medium, s.senders);
+  const auto on_schedule = GenerateSchedule(cs_on, s.medium, s.senders);
+  EXPECT_LT(overlap_fraction(on_schedule),
+            0.5 * overlap_fraction(off_schedule));
+}
+
+}  // namespace
+}  // namespace ppr::sim

@@ -1,0 +1,136 @@
+#include "softphy/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phy/channel.h"
+
+namespace ppr::softphy {
+namespace {
+
+phy::DecodedSymbol Sym(double hint) {
+  phy::DecodedSymbol d;
+  d.hint = hint;
+  d.hamming_distance = static_cast<int>(hint);
+  return d;
+}
+
+TEST(ThresholdClassifierTest, DefaultEtaIsSix) {
+  const ThresholdClassifier c;
+  EXPECT_DOUBLE_EQ(c.eta(), 6.0);
+}
+
+TEST(ThresholdClassifierTest, BoundaryInclusive) {
+  const ThresholdClassifier c(6.0);
+  EXPECT_TRUE(c.IsGood(Sym(6.0)));
+  EXPECT_FALSE(c.IsGood(Sym(6.5)));
+  EXPECT_TRUE(c.IsGood(Sym(0.0)));
+}
+
+TEST(ThresholdClassifierTest, LabelsVector) {
+  const ThresholdClassifier c(2.0);
+  const std::vector<phy::DecodedSymbol> symbols{Sym(0), Sym(3), Sym(2),
+                                                Sym(9)};
+  const auto labels = c.Label(symbols);
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_TRUE(labels[0]);
+  EXPECT_FALSE(labels[1]);
+  EXPECT_TRUE(labels[2]);
+  EXPECT_FALSE(labels[3]);
+}
+
+TEST(ThresholdClassifierTest, MonotoneInEta) {
+  // Raising eta can only turn "bad" labels into "good" ones.
+  Rng rng(111);
+  std::vector<phy::DecodedSymbol> symbols;
+  for (int i = 0; i < 200; ++i) {
+    symbols.push_back(Sym(static_cast<double>(rng.UniformInt(33))));
+  }
+  for (double eta = 0.0; eta < 32.0; eta += 1.0) {
+    const auto lo = ThresholdClassifier(eta).Label(symbols);
+    const auto hi = ThresholdClassifier(eta + 1.0).Label(symbols);
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      EXPECT_TRUE(!lo[i] || hi[i]);  // lo good implies hi good
+    }
+  }
+}
+
+TEST(AdaptiveThresholdTest, StartsAtInitialEta) {
+  AdaptiveThresholdClassifier::Config config;
+  config.initial_eta = 4.0;
+  const AdaptiveThresholdClassifier c(config);
+  EXPECT_DOUBLE_EQ(c.eta(), 4.0);
+}
+
+TEST(AdaptiveThresholdTest, RaisesEtaWhenFalseAlarmsExceedTarget) {
+  AdaptiveThresholdClassifier::Config config;
+  config.initial_eta = 2.0;
+  config.target_false_alarm = 0.01;
+  config.batch = 100;
+  AdaptiveThresholdClassifier c(config);
+  // Feed a batch where 20% of correct codewords were labeled bad.
+  for (int i = 0; i < 100; ++i) {
+    c.Observe(/*labeled_good=*/i % 5 != 0, /*actually_correct=*/true);
+  }
+  EXPECT_GT(c.eta(), 2.0);
+}
+
+TEST(AdaptiveThresholdTest, LowersEtaWhenFalseAlarmsBelowTarget) {
+  AdaptiveThresholdClassifier::Config config;
+  config.initial_eta = 10.0;
+  config.target_false_alarm = 0.05;
+  config.batch = 100;
+  AdaptiveThresholdClassifier c(config);
+  for (int i = 0; i < 100; ++i) {
+    c.Observe(/*labeled_good=*/true, /*actually_correct=*/true);
+  }
+  EXPECT_LT(c.eta(), 10.0);
+}
+
+TEST(AdaptiveThresholdTest, RespectsBounds) {
+  AdaptiveThresholdClassifier::Config config;
+  config.initial_eta = 0.5;
+  config.min_eta = 0.0;
+  config.max_eta = 1.0;
+  config.step = 10.0;  // oversized step must clamp
+  config.batch = 10;
+  AdaptiveThresholdClassifier c(config);
+  for (int i = 0; i < 10; ++i) c.Observe(true, true);
+  EXPECT_GE(c.eta(), 0.0);
+  for (int i = 0; i < 10; ++i) c.Observe(false, true);
+  EXPECT_LE(c.eta(), 1.0);
+}
+
+TEST(AdaptiveThresholdTest, ConvergesOnRealisticHintDistribution) {
+  // Drive the adaptive threshold with hints drawn from the real
+  // despreader at a fixed chip error rate; eta should settle somewhere
+  // that keeps the false alarm rate near target without the caller ever
+  // interpreting hint semantics (section 3.3's layering argument).
+  const phy::ChipCodebook cb;
+  Rng rng(112);
+  AdaptiveThresholdClassifier::Config config;
+  config.initial_eta = 16.0;  // deliberately far off
+  config.target_false_alarm = 0.01;
+  config.batch = 512;
+  AdaptiveThresholdClassifier c(config);
+
+  for (int i = 0; i < 20000; ++i) {
+    const auto sym = static_cast<std::uint8_t>(rng.UniformInt(16));
+    const auto received = static_cast<phy::ChipWord>(
+        cb.Codeword(sym) ^ phy::SampleChipErrorMask(rng, 0.04));
+    int distance = 0;
+    const int decoded = cb.DecodeHard(received, &distance);
+    phy::DecodedSymbol d;
+    d.hint = static_cast<double>(distance);
+    const bool labeled_good = c.IsGood(d);
+    c.Observe(labeled_good, decoded == sym);
+  }
+  // At 4% chip error rate nearly all codewords decode correctly with
+  // distance <= 4; eta must have come down from 16 toward the bulk of
+  // the correct-hint mass.
+  EXPECT_LT(c.eta(), 10.0);
+  EXPECT_GT(c.eta(), 0.5);
+}
+
+}  // namespace
+}  // namespace ppr::softphy

@@ -1,0 +1,109 @@
+#include "softphy/runlength.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppr::softphy {
+namespace {
+
+using SRun = ::ppr::softphy::Run;
+
+TEST(ComputeRunsTest, EmptyInput) {
+  EXPECT_TRUE(ComputeRuns({}).empty());
+}
+
+TEST(ComputeRunsTest, SingleRun) {
+  const auto runs = ComputeRuns({true, true, true});
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (SRun{true, 3}));
+}
+
+TEST(ComputeRunsTest, Alternating) {
+  const auto runs = ComputeRuns({true, false, true, false});
+  ASSERT_EQ(runs.size(), 4u);
+  for (const auto& r : runs) EXPECT_EQ(r.length, 1u);
+}
+
+TEST(ComputeRunsTest, MixedLengths) {
+  const auto runs =
+      ComputeRuns({false, false, true, true, true, false, true});
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0], (SRun{false, 2}));
+  EXPECT_EQ(runs[1], (SRun{true, 3}));
+  EXPECT_EQ(runs[2], (SRun{false, 1}));
+  EXPECT_EQ(runs[3], (SRun{true, 1}));
+}
+
+TEST(RunLengthFormTest, AllGoodPacket) {
+  const auto form = ToRunLengthForm({true, true, true, true});
+  EXPECT_TRUE(form.AllGood());
+  EXPECT_EQ(form.leading_good, 4u);
+  EXPECT_EQ(form.NumBadRuns(), 0u);
+  EXPECT_EQ(form.TotalCodewords(), 4u);
+}
+
+TEST(RunLengthFormTest, AllBadPacket) {
+  const auto form = ToRunLengthForm({false, false, false});
+  EXPECT_EQ(form.leading_good, 0u);
+  ASSERT_EQ(form.NumBadRuns(), 1u);
+  EXPECT_EQ(form.bad[0], 3u);
+  EXPECT_EQ(form.good_after[0], 0u);
+  EXPECT_EQ(form.BadRunOffset(0), 0u);
+}
+
+TEST(RunLengthFormTest, PaperFormAlternation) {
+  // g g b b g b -> leading 2, bad runs {2,1}, good-after {1,0}.
+  const auto form =
+      ToRunLengthForm({true, true, false, false, true, false});
+  EXPECT_EQ(form.leading_good, 2u);
+  ASSERT_EQ(form.NumBadRuns(), 2u);
+  EXPECT_EQ(form.bad[0], 2u);
+  EXPECT_EQ(form.good_after[0], 1u);
+  EXPECT_EQ(form.bad[1], 1u);
+  EXPECT_EQ(form.good_after[1], 0u);
+  EXPECT_EQ(form.BadRunOffset(0), 2u);
+  EXPECT_EQ(form.BadRunOffset(1), 5u);
+  EXPECT_EQ(form.TotalCodewords(), 6u);
+}
+
+TEST(RunLengthFormTest, OffsetsIndexOriginalLabels) {
+  Rng rng(121);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> labels;
+    const std::size_t n = 1 + rng.UniformInt(200);
+    for (std::size_t i = 0; i < n; ++i) labels.push_back(rng.Bernoulli(0.7));
+    const auto form = ToRunLengthForm(labels);
+
+    EXPECT_EQ(form.TotalCodewords(), labels.size());
+    for (std::size_t i = 0; i < form.NumBadRuns(); ++i) {
+      const std::size_t off = form.BadRunOffset(i);
+      // Every codeword in the bad run is labeled bad.
+      for (std::size_t k = 0; k < form.bad[i]; ++k) {
+        EXPECT_FALSE(labels[off + k]);
+      }
+      // The codeword before the run (if any) is good.
+      if (off > 0) EXPECT_TRUE(labels[off - 1]);
+      // The codeword after the run (if any) is good.
+      const std::size_t end = off + form.bad[i];
+      if (end < labels.size()) EXPECT_TRUE(labels[end]);
+    }
+  }
+}
+
+TEST(RunLengthFormTest, RunsAndFormAgreeOnTotals) {
+  Rng rng(122);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> labels;
+    const std::size_t n = 1 + rng.UniformInt(300);
+    for (std::size_t i = 0; i < n; ++i) labels.push_back(rng.Bernoulli(0.5));
+    const auto runs = ComputeRuns(labels);
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.length;
+    EXPECT_EQ(total, n);
+    EXPECT_EQ(ToRunLengthForm(labels).TotalCodewords(), n);
+  }
+}
+
+}  // namespace
+}  // namespace ppr::softphy
