@@ -1,0 +1,104 @@
+// Microbenchmarks for the src/fec/ coded-repair subsystem: the GF(256)
+// axpy kernel (the inner loop of RLNC encode and Gaussian elimination),
+// repair-symbol generation, and full decoder runs at varying erasure
+// counts. Encoding runs per repair symbol on the sender's hot path, so
+// axpy throughput bounds how fast a busy sender can service deficits.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fec/gf256.h"
+#include "fec/rlnc.h"
+
+namespace {
+
+using namespace ppr;
+
+std::vector<std::uint8_t> RandomBytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> RandomBlock(Rng& rng, std::size_t n,
+                                                   std::size_t bytes) {
+  std::vector<std::vector<std::uint8_t>> block(n);
+  for (auto& s : block) s = RandomBytes(rng, bytes);
+  return block;
+}
+
+void BM_GfAxpy(benchmark::State& state) {
+  Rng rng(601);
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  auto dst = RandomBytes(rng, len);
+  const auto src = RandomBytes(rng, len);
+  std::uint8_t coef = 2;
+  for (auto _ : state) {
+    fec::GfAxpy(dst, coef, src);
+    coef = static_cast<std::uint8_t>(coef == 255 ? 2 : coef + 1);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_GfAxpy)->Arg(32)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_GfAxpyXorFastPath(benchmark::State& state) {
+  Rng rng(602);
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  auto dst = RandomBytes(rng, len);
+  const auto src = RandomBytes(rng, len);
+  for (auto _ : state) {
+    fec::GfAxpy(dst, 1, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_GfAxpyXorFastPath)->Arg(4096)->Arg(65536);
+
+// One repair symbol over a 250-byte-packet source block (the fig16
+// link's shape: 508 codewords -> 64 symbols of 4 bytes at the default
+// geometry, or fewer, larger symbols).
+void BM_RlncMakeRepair(benchmark::State& state) {
+  Rng rng(603);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const fec::RlncEncoder encoder(RandomBlock(rng, n, bytes));
+  std::uint32_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.MakeRepair(seed++));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * bytes));
+}
+BENCHMARK(BM_RlncMakeRepair)->Args({64, 4})->Args({64, 32})->Args({128, 32});
+
+// Decoder cost to fill `erasures` missing symbols with repair symbols
+// (systematic rows enter first, as in a PP-ARQ session).
+void BM_RlncDecode(benchmark::State& state) {
+  Rng rng(604);
+  const std::size_t n = 64, bytes = 32;
+  const std::size_t erasures = static_cast<std::size_t>(state.range(0));
+  const auto block = RandomBlock(rng, n, bytes);
+  const fec::RlncEncoder encoder(block);
+  std::vector<fec::RepairSymbol> repairs;
+  for (std::uint32_t s = 1; s <= erasures + 4; ++s) {
+    repairs.push_back(encoder.MakeRepair(s));
+  }
+  for (auto _ : state) {
+    fec::RlncDecoder decoder(n, bytes);
+    for (std::size_t i = erasures; i < n; ++i) decoder.AddSource(i, block[i]);
+    std::size_t r = 0;
+    while (!decoder.Complete() && r < repairs.size()) {
+      decoder.AddRepair(repairs[r++]);
+    }
+    benchmark::DoNotOptimize(decoder.rank());
+  }
+}
+BENCHMARK(BM_RlncDecode)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Network-coded partial packet recovery: runs the same 200-byte packet
+// transfer over the same bursty chip channel under both PP-ARQ recovery
+// strategies and prints what each put on the air.
+//
+//   kChunkRetransmit — the paper's protocol: feedback names the
+//     SoftPHY-flagged chunks, the sender resends those bits verbatim.
+//   kCodedRepair     — feedback is a 4-byte deficit report; the sender
+//     streams GF(256) RLNC repair symbols until the receiver's decoder
+//     reaches full rank (src/fec/).
+//
+//   $ ./examples/example_coded_recovery
+#include <cstdio>
+
+#include "arq/link_sim.h"
+#include "common/rng.h"
+
+int main() {
+  using namespace ppr;
+
+  const phy::ChipCodebook codebook;
+  arq::GilbertElliottParams channel_params;
+  channel_params.p_good_to_bad = 0.02;
+  channel_params.p_bad_to_good = 0.15;
+  channel_params.chip_error_good = 0.002;
+  channel_params.chip_error_bad = 0.25;
+
+  Rng payload_rng(42);
+  BitVec payload;
+  for (std::size_t i = 0; i < 200 * 8; ++i) {
+    payload.PushBack(payload_rng.Bernoulli(0.5));
+  }
+
+  std::printf("200-byte payload over a bursty channel "
+              "(%.1f%% chip errors in bad bursts)\n\n",
+              100.0 * channel_params.chip_error_bad);
+
+  const auto run = [&](arq::RecoveryMode mode, const char* name) {
+    arq::PpArqConfig config;
+    config.recovery = mode;
+    // Identical channel seed: both strategies face the same bursts.
+    Rng channel_rng(7);
+    const auto channel =
+        arq::MakeGilbertElliottChannel(codebook, channel_params, channel_rng);
+    const auto stats = arq::RunPpArqExchange(payload, config, channel);
+    std::printf("%-18s %s after %zu transmission(s)\n", name,
+                stats.success ? "delivered" : "FAILED",
+                stats.data_transmissions);
+    std::printf("  forward traffic:  %zu bytes (initial packet %zu)\n",
+                stats.forward_bits / 8, (payload.size() + 32) / 8);
+    std::printf("  feedback traffic: %zu bytes\n", stats.feedback_bits / 8);
+    for (std::size_t r = 0; r < stats.retransmission_bits.size(); ++r) {
+      std::printf("  repair round %zu:   %zu bytes\n", r + 1,
+                  stats.retransmission_bits[r] / 8);
+    }
+    std::printf("\n");
+  };
+
+  run(arq::RecoveryMode::kChunkRetransmit, "chunk-retransmit:");
+  run(arq::RecoveryMode::kCodedRepair, "coded-repair:");
+
+  std::printf("Both strategies deliver the byte-identical packet; they "
+              "differ in what\nrides the air to finish it. See "
+              "src/arq/recovery_strategy.h for the API.\n");
+  return 0;
+}

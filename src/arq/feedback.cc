@@ -127,7 +127,7 @@ std::optional<DecodedFeedback> DecodeFeedback(const BitVec& wire,
 
 BitVec EncodeRetransmission(const RetransmissionPacket& packet,
                             std::size_t total_codewords,
-                            std::size_t bits_per_codeword) {
+                            [[maybe_unused]] std::size_t bits_per_codeword) {
   const unsigned width = RangeFieldWidth(total_codewords);
   BitVec wire;
   wire.AppendUint(packet.seq, kSeqBits);

@@ -39,51 +39,58 @@ ArqRunStats RunPpArqExchange(const BitVec& payload_bits,
                              const PpArqConfig& config,
                              const BodyChannel& channel,
                              std::size_t max_rounds) {
+  const auto strategy = MakeRecoveryStrategy(config);
+  return RunRecoveryExchange(payload_bits, config, *strategy, channel,
+                             max_rounds);
+}
+
+ArqRunStats RunRecoveryExchange(const BitVec& payload_bits,
+                                const PpArqConfig& config,
+                                const RecoveryStrategy& strategy,
+                                const BodyChannel& channel,
+                                std::size_t max_rounds) {
   ArqRunStats stats;
   const BitVec body = PpArqSender::MakeBody(payload_bits);
-  PpArqSender sender(body, /*seq=*/1, config);
-  PpArqReceiver receiver(/*seq=*/1, sender.total_codewords(), config);
+  if (body.size() % config.bits_per_codeword != 0) {
+    throw std::invalid_argument(
+        "RunRecoveryExchange: body bits must be a whole number of codewords");
+  }
+  auto sender = strategy.MakeSender(body, /*seq=*/1);
+  auto receiver =
+      strategy.MakeReceiver(/*seq=*/1, body.size() / config.bits_per_codeword);
 
   // Initial transmission.
   stats.forward_bits += body.size();
   ++stats.data_transmissions;
-  receiver.IngestInitial(channel(body));
+  receiver->IngestInitial(channel(body));
 
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    const auto fb = receiver.BuildFeedback();
-    if (!fb.has_value()) {
+    const auto fb_wire = receiver->BuildFeedbackWire();
+    if (!fb_wire.has_value()) {
       stats.success = true;
       return stats;
     }
-    const BitVec fb_wire = receiver.EncodeFeedbackWire(*fb);
-    stats.feedback_bits += fb_wire.size();
+    stats.feedback_bits += fb_wire->size();
 
-    const auto decoded_fb =
-        DecodeFeedback(fb_wire, sender.total_codewords(),
-                       config.bits_per_codeword, config.checksum_bits);
-    if (!decoded_fb.has_value()) {
-      throw std::logic_error("feedback round-trip failed");
-    }
-    const RetransmissionPacket retx = sender.HandleFeedback(*decoded_fb);
-    const BitVec retx_wire = EncodeRetransmission(
-        retx, sender.total_codewords(), config.bits_per_codeword);
-    stats.forward_bits += retx_wire.size();
-    stats.retransmission_bits.push_back(retx_wire.size());
+    const RepairPlan plan = sender->HandleFeedback(*fb_wire);
+    stats.forward_bits += plan.wire_bits;
+    stats.retransmission_bits.push_back(plan.wire_bits);
     ++stats.data_transmissions;
 
-    // Each retransmitted segment crosses the channel; descriptors are
-    // carried reliably at this layer.
-    std::vector<ReceivedSegment> received;
-    received.reserve(retx.segments.size());
-    for (const auto& seg : retx.segments) {
-      ReceivedSegment rs;
-      rs.range = seg.range;
-      rs.symbols = channel(seg.bits);
-      received.push_back(std::move(rs));
+    // Each repair frame crosses the channel; descriptors (ranges,
+    // coefficient seeds) are carried reliably at this layer.
+    std::vector<ReceivedRepairFrame> received;
+    received.reserve(plan.frames.size());
+    for (const auto& frame : plan.frames) {
+      ReceivedRepairFrame rf;
+      rf.range = frame.range;
+      rf.aux = frame.aux;
+      rf.symbols = channel(frame.bits);
+      received.push_back(std::move(rf));
     }
-    receiver.IngestRetransmission(received);
+    receiver->IngestRepair(received);
   }
-  stats.success = receiver.Complete();
+  stats.success = receiver->Complete();
   return stats;
 }
 

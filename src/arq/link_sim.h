@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "arq/pp_arq.h"
+#include "arq/recovery_strategy.h"
 #include "common/bitvec.h"
 #include "common/rng.h"
 #include "phy/chip_sequences.h"
@@ -37,12 +38,22 @@ struct ArqRunStats {
   std::vector<std::size_t> retransmission_bits;
 };
 
-// Runs a full PP-ARQ exchange for one packet payload. `max_rounds`
-// bounds total feedback rounds (beyond PpArqConfig escalation).
+// Runs a full PP-ARQ exchange for one packet payload under the recovery
+// strategy `config.recovery` selects (chunk retransmission by default).
+// `max_rounds` bounds total feedback rounds (beyond PpArqConfig
+// escalation).
 ArqRunStats RunPpArqExchange(const BitVec& payload_bits,
                              const PpArqConfig& config,
                              const BodyChannel& channel,
                              std::size_t max_rounds = 32);
+
+// Same exchange with an explicit strategy instance (e.g. to reuse one
+// strategy across packets or to plug in a custom implementation).
+ArqRunStats RunRecoveryExchange(const BitVec& payload_bits,
+                                const PpArqConfig& config,
+                                const RecoveryStrategy& strategy,
+                                const BodyChannel& channel,
+                                std::size_t max_rounds = 32);
 
 // Status quo: retransmit the whole packet until its CRC-32 verifies.
 ArqRunStats RunWholePacketArq(const BitVec& payload_bits,

@@ -29,6 +29,16 @@
 
 namespace ppr::arq {
 
+// How the sender answers feedback about a partial packet (see
+// arq/recovery_strategy.h for the pluggable interface).
+enum class RecoveryMode {
+  // Section 5.2: retransmit the SoftPHY-flagged chunks verbatim.
+  kChunkRetransmit,
+  // Stream systematic RLNC repair symbols (src/fec/) sized by the
+  // receiver's erasure estimate instead of literal chunk copies.
+  kCodedRepair,
+};
+
 struct PpArqConfig {
   double eta = softphy::kDefaultEta;  // SoftPHY threshold
   std::size_t bits_per_codeword = 4;
@@ -36,6 +46,12 @@ struct PpArqConfig {
   // After this many feedback rounds without convergence the receiver
   // requests a full resend; after 2x this many it reports failure.
   std::size_t max_partial_rounds = 8;
+  RecoveryMode recovery = RecoveryMode::kChunkRetransmit;
+  // kCodedRepair knobs: codewords per FEC symbol (symbol bits must be
+  // whole octets) and fractional repair headroom per round beyond the
+  // reported deficit (covers repair symbols lost in transit).
+  std::size_t codewords_per_fec_symbol = 16;
+  double repair_overhead = 0.25;
 };
 
 // A retransmitted segment as decoded at the receiver: hints accompany

@@ -1,0 +1,363 @@
+#include "arq/recovery_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "arq/feedback.h"
+#include "common/crc.h"
+#include "fec/coded_repair.h"
+#include "fec/rlnc.h"
+
+namespace ppr::arq {
+namespace {
+
+constexpr unsigned kSeqBits = 16;
+constexpr unsigned kCountBits = 16;
+constexpr unsigned kSeedBits = 32;
+constexpr double kForcedBadHint = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------------------------ chunk
+
+class ChunkRetransmitSender : public RecoverySender {
+ public:
+  ChunkRetransmitSender(const BitVec& body, std::uint16_t seq,
+                        const PpArqConfig& config)
+      : config_(config), sender_(body, seq, config) {}
+
+  RepairPlan HandleFeedback(const BitVec& feedback_wire) override {
+    RepairPlan plan;
+    const auto decoded =
+        DecodeFeedback(feedback_wire, sender_.total_codewords(),
+                       config_.bits_per_codeword, config_.checksum_bits);
+    if (!decoded.has_value()) {
+      // Feedback frames are reliable at this layer; an unparsable wire
+      // is a codec bug, not channel damage.
+      throw std::logic_error("feedback round-trip failed");
+    }
+    const RetransmissionPacket retx = sender_.HandleFeedback(*decoded);
+    plan.wire_bits =
+        EncodeRetransmission(retx, sender_.total_codewords(),
+                             config_.bits_per_codeword)
+            .size();
+    plan.frames.reserve(retx.segments.size());
+    for (const auto& seg : retx.segments) {
+      plan.frames.push_back(RepairFrame{seg.range, 0, seg.bits});
+    }
+    return plan;
+  }
+
+ private:
+  PpArqConfig config_;
+  PpArqSender sender_;
+};
+
+class ChunkRetransmitReceiver : public RecoveryReceiver {
+ public:
+  ChunkRetransmitReceiver(std::uint16_t seq, std::size_t total_codewords,
+                          const PpArqConfig& config)
+      : receiver_(seq, total_codewords, config) {}
+
+  void IngestInitial(const std::vector<phy::DecodedSymbol>& symbols) override {
+    receiver_.IngestInitial(symbols);
+  }
+
+  bool Complete() const override { return receiver_.Complete(); }
+
+  std::optional<BitVec> BuildFeedbackWire() override {
+    const auto fb = receiver_.BuildFeedback();
+    if (!fb.has_value()) return std::nullopt;
+    return receiver_.EncodeFeedbackWire(*fb);
+  }
+
+  void IngestRepair(const std::vector<ReceivedRepairFrame>& frames) override {
+    std::vector<ReceivedSegment> segments;
+    segments.reserve(frames.size());
+    for (const auto& f : frames) {
+      segments.push_back(ReceivedSegment{f.range, f.symbols});
+    }
+    receiver_.IngestRetransmission(segments);
+  }
+
+  BitVec AssembledPayload() const override {
+    return receiver_.AssembledPayload();
+  }
+
+  std::size_t rounds() const override { return receiver_.rounds(); }
+
+ private:
+  PpArqReceiver receiver_;
+};
+
+class ChunkRetransmitStrategy : public RecoveryStrategy {
+ public:
+  explicit ChunkRetransmitStrategy(const PpArqConfig& config)
+      : config_(config) {}
+
+  const char* Name() const override { return "chunk-retransmit"; }
+
+  std::unique_ptr<RecoverySender> MakeSender(const BitVec& body_bits,
+                                             std::uint16_t seq) const override {
+    return std::make_unique<ChunkRetransmitSender>(body_bits, seq, config_);
+  }
+
+  std::unique_ptr<RecoveryReceiver> MakeReceiver(
+      std::uint16_t seq, std::size_t total_codewords) const override {
+    return std::make_unique<ChunkRetransmitReceiver>(seq, total_codewords,
+                                                     config_);
+  }
+
+ private:
+  PpArqConfig config_;
+};
+
+// ------------------------------------------------------------------ coded
+
+struct CodedFeedback {
+  std::uint16_t seq = 0;
+  std::size_t deficit = 0;
+};
+
+std::optional<CodedFeedback> DecodeCodedFeedback(const BitVec& wire) {
+  if (wire.size() < kSeqBits + kCountBits) return std::nullopt;
+  CodedFeedback out;
+  out.seq = static_cast<std::uint16_t>(wire.ReadUint(0, kSeqBits));
+  out.deficit = wire.ReadUint(kSeqBits, kCountBits);
+  return out;
+}
+
+class CodedRepairSender : public RecoverySender {
+ public:
+  CodedRepairSender(const BitVec& body, std::uint16_t seq,
+                    const PpArqConfig& config)
+      : config_(config),
+        seq_(seq),
+        body_bits_(body.size()),
+        encoder_(fec::BodyToSymbols(body, config.bits_per_codeword,
+                                    config.codewords_per_fec_symbol)) {}
+
+  RepairPlan HandleFeedback(const BitVec& feedback_wire) override {
+    RepairPlan plan;
+    const auto fb = DecodeCodedFeedback(feedback_wire);
+    if (!fb.has_value()) {
+      throw std::logic_error("coded feedback round-trip failed");
+    }
+    if (fb->seq != seq_ || fb->deficit == 0) return plan;
+    // Size the repair burst by the erasure estimate plus headroom for
+    // symbols the channel will corrupt.
+    const std::size_t deficit = std::min(fb->deficit, encoder_.num_source());
+    const auto headroom = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(deficit) * config_.repair_overhead));
+    const std::size_t count = deficit + headroom;
+    // Symbols ride batched repair packets (S-PRAC style): record k uses
+    // seed base+k and carries its own CRC-32, so a partial collision
+    // costs only the records it actually hits. No packet exceeds the
+    // original body size — carriers that bound frame length (e.g. the
+    // waveform pipeline's max_payload_octets) must keep accepting
+    // repair frames whenever they accepted the initial transmission.
+    const std::size_t record_bits = encoder_.symbol_bytes() * 8 + 32;
+    const std::size_t per_frame =
+        std::max<std::size_t>(1, body_bits_ / record_bits);
+    plan.wire_bits = kSeqBits + kCountBits;
+    for (std::size_t done = 0; done < count;) {
+      const std::size_t batch = std::min(per_frame, count - done);
+      const std::uint32_t base_seed = next_seed_;
+      BitVec bits;
+      for (std::size_t k = 0; k < batch; ++k) {
+        const fec::RepairSymbol repair = encoder_.MakeRepair(next_seed_++);
+        const BitVec data = BitVec::FromBytes(repair.data);
+        bits.AppendBits(data);
+        bits.AppendUint(Crc32Bits(data), 32);
+      }
+      plan.wire_bits += kSeedBits + bits.size();
+      plan.frames.push_back(RepairFrame{
+          CodewordRange{0, bits.size() / config_.bits_per_codeword},
+          base_seed, std::move(bits)});
+      done += batch;
+    }
+    return plan;
+  }
+
+ private:
+  PpArqConfig config_;
+  std::uint16_t seq_;
+  std::size_t body_bits_;
+  fec::RlncEncoder encoder_;
+  std::uint32_t next_seed_ = 1;
+};
+
+class CodedRepairReceiver : public RecoveryReceiver {
+ public:
+  CodedRepairReceiver(std::uint16_t seq, std::size_t total_codewords,
+                      const PpArqConfig& config)
+      : config_(config),
+        seq_(seq),
+        bits_(total_codewords * config.bits_per_codeword, false),
+        hints_(total_codewords, kForcedBadHint) {
+    if (total_codewords * config.bits_per_codeword <= 32) {
+      throw std::invalid_argument(
+          "CodedRepairReceiver: body must exceed the 32-bit trailing CRC");
+    }
+  }
+
+  void IngestInitial(const std::vector<phy::DecodedSymbol>& symbols) override {
+    if (symbols.size() != hints_.size()) {
+      throw std::invalid_argument("IngestInitial: codeword count mismatch");
+    }
+    const std::size_t bpc = config_.bits_per_codeword;
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      if (symbols[i].hint <= hints_[i]) {
+        hints_[i] = symbols[i].hint;
+        for (std::size_t b = 0; b < bpc; ++b) {
+          bits_.Set(i * bpc + b, (symbols[i].symbol >> (bpc - 1 - b)) & 1u);
+        }
+      }
+    }
+    received_anything_ = true;
+  }
+
+  bool Complete() const override {
+    if (decoded_ok_) return true;
+    if (!received_anything_) return false;
+    return BodyCrcOk(bits_);
+  }
+
+  std::optional<BitVec> BuildFeedbackWire() override {
+    if (Complete()) return std::nullopt;
+    ++rounds_;
+    EnsureSession();
+    // A decodable-but-wrong basis (pure SoftPHY miss, no erasures) is
+    // resolved here: TryFinish evicts suspects, growing the deficit.
+    TryFinish();
+    if (Complete()) return std::nullopt;
+    BitVec wire;
+    wire.AppendUint(seq_, kSeqBits);
+    wire.AppendUint(std::min<std::size_t>(session_->Deficit(), 0xFFFF),
+                    kCountBits);
+    return wire;
+  }
+
+  void IngestRepair(const std::vector<ReceivedRepairFrame>& frames) override {
+    if (!session_.has_value() || decoded_ok_) return;
+    const std::size_t payload_bits = session_->symbol_bytes() * 8;
+    const std::size_t record_bits = payload_bits + 32;
+    for (const auto& f : frames) {
+      BitVec rb;
+      for (const auto& s : f.symbols) {
+        rb.AppendUint(s.symbol,
+                      static_cast<unsigned>(config_.bits_per_codeword));
+      }
+      // A frame carries a batch of [data || CRC-32] records; record k
+      // was generated with seed aux+k. Corrupted records are dropped
+      // individually.
+      const std::size_t count = rb.size() / record_bits;
+      for (std::size_t k = 0; k < count; ++k) {
+        const BitVec data = rb.Slice(k * record_bits, payload_bits);
+        const auto crc = static_cast<std::uint32_t>(
+            rb.ReadUint(k * record_bits + payload_bits, 32));
+        if (Crc32Bits(data) != crc) continue;
+        session_->ConsumeRepair(fec::RepairSymbol{
+            f.aux + static_cast<std::uint32_t>(k), data.ToBytes()});
+      }
+    }
+    TryFinish();
+  }
+
+  BitVec AssembledPayload() const override {
+    return bits_.Slice(0, bits_.size() - 32);
+  }
+
+  std::size_t rounds() const override { return rounds_; }
+
+ private:
+  bool BodyCrcOk(const BitVec& body) const {
+    const std::size_t payload_bits = body.size() - 32;
+    const auto stored =
+        static_cast<std::uint32_t>(body.ReadUint(payload_bits, 32));
+    return Crc32Bits(body.Slice(0, payload_bits)) == stored;
+  }
+
+  void EnsureSession() {
+    if (session_.has_value()) return;
+    const std::size_t cps = config_.codewords_per_fec_symbol;
+    auto symbols =
+        fec::BodyToSymbols(bits_, config_.bits_per_codeword, cps);
+    std::vector<bool> good(symbols.size(), true);
+    std::vector<double> suspicion(symbols.size(), 0.0);
+    for (std::size_t cw = 0; cw < hints_.size(); ++cw) {
+      const std::size_t s = cw / cps;
+      if (hints_[cw] > config_.eta) good[s] = false;
+      suspicion[s] = std::max(suspicion[s], hints_[cw]);
+    }
+    session_.emplace(std::move(symbols), std::move(good),
+                     std::move(suspicion));
+  }
+
+  void TryFinish() {
+    if (!session_.has_value() || decoded_ok_) return;
+    while (session_->CanDecode()) {
+      const BitVec body = fec::SymbolsToBody(session_->Decode(), bits_.size());
+      if (BodyCrcOk(body)) {
+        bits_ = body;
+        decoded_ok_ = true;
+        return;
+      }
+      // Wrong basis: a confident-but-wrong systematic row (SoftPHY
+      // miss). Distrust the most suspect rows and keep consuming rank.
+      if (session_->EvictSuspects() == 0) return;
+    }
+  }
+
+  PpArqConfig config_;
+  std::uint16_t seq_;
+  BitVec bits_;
+  std::vector<double> hints_;
+  std::optional<fec::CodedRepairSession> session_;
+  bool received_anything_ = false;
+  bool decoded_ok_ = false;
+  std::size_t rounds_ = 0;
+};
+
+class CodedRepairStrategy : public RecoveryStrategy {
+ public:
+  explicit CodedRepairStrategy(const PpArqConfig& config) : config_(config) {
+    const std::size_t symbol_bits =
+        config.bits_per_codeword * config.codewords_per_fec_symbol;
+    if (symbol_bits == 0 || symbol_bits % 8 != 0) {
+      throw std::invalid_argument(
+          "CodedRepairStrategy: FEC symbol must be whole octets");
+    }
+  }
+
+  const char* Name() const override { return "coded-repair"; }
+
+  std::unique_ptr<RecoverySender> MakeSender(const BitVec& body_bits,
+                                             std::uint16_t seq) const override {
+    return std::make_unique<CodedRepairSender>(body_bits, seq, config_);
+  }
+
+  std::unique_ptr<RecoveryReceiver> MakeReceiver(
+      std::uint16_t seq, std::size_t total_codewords) const override {
+    return std::make_unique<CodedRepairReceiver>(seq, total_codewords,
+                                                 config_);
+  }
+
+ private:
+  PpArqConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecoveryStrategy> MakeRecoveryStrategy(
+    const PpArqConfig& config) {
+  switch (config.recovery) {
+    case RecoveryMode::kChunkRetransmit:
+      return std::make_unique<ChunkRetransmitStrategy>(config);
+    case RecoveryMode::kCodedRepair:
+      return std::make_unique<CodedRepairStrategy>(config);
+  }
+  throw std::logic_error("MakeRecoveryStrategy: unknown mode");
+}
+
+}  // namespace ppr::arq

@@ -1,0 +1,108 @@
+// Pluggable recovery strategies for PP-ARQ.
+//
+// A strategy owns one question: given the receiver's view of a partial
+// packet, what does the sender put on the air to finish it? Two
+// implementations ship:
+//
+//   kChunkRetransmit — the paper's protocol: the receiver's dynamic
+//     program picks chunks, the sender retransmits exactly those bits
+//     (PpArqSender/PpArqReceiver, unchanged).
+//   kCodedRepair — the S-PRAC/Crelay direction: feedback carries only a
+//     deficit count, and the sender streams systematic RLNC repair
+//     symbols (src/fec/) until the receiver's decoder reaches full rank.
+//     Repair symbols carry their own CRC-32, so corrupted ones are
+//     dropped rather than poisoning the basis, and any overhearing node
+//     could in principle contribute symbols — the hook for future
+//     relay-assisted strategies.
+//
+// Both sides of a strategy share a wire format for feedback; the run
+// loop (arq/link_sim.h: RunRecoveryExchange) only moves opaque bits.
+// Frame descriptors (ranges, coefficient seeds) travel reliably with
+// each repair frame, exactly as chunk-mode segment descriptors do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arq/pp_arq.h"
+#include "common/bitvec.h"
+#include "phy/despreader.h"
+
+namespace ppr::arq {
+
+// One forward-direction repair frame.
+struct RepairFrame {
+  // Chunk mode: the segment's codeword extent in the packet body.
+  // Coded mode: the extent of this frame's own bits (offset 0).
+  CodewordRange range;
+  std::uint32_t aux = 0;  // coded mode: repair-coefficient seed
+  BitVec bits;            // crosses the body channel
+};
+
+struct RepairPlan {
+  std::vector<RepairFrame> frames;
+  // Airtime of the whole plan, descriptors included (chunk mode: the
+  // EncodeRetransmission wire size).
+  std::size_t wire_bits = 0;
+};
+
+// A repair frame as decoded at the receiver.
+struct ReceivedRepairFrame {
+  CodewordRange range;
+  std::uint32_t aux = 0;
+  std::vector<phy::DecodedSymbol> symbols;
+};
+
+class RecoverySender {
+ public:
+  virtual ~RecoverySender() = default;
+
+  // Builds the repair plan answering one feedback wire. Feedback frames
+  // are reliable at this layer, so an unparsable wire is a codec bug:
+  // implementations throw std::logic_error rather than limping on.
+  virtual RepairPlan HandleFeedback(const BitVec& feedback_wire) = 0;
+};
+
+class RecoveryReceiver {
+ public:
+  virtual ~RecoveryReceiver() = default;
+
+  // Initial reception of the whole body, one DecodedSymbol per codeword.
+  virtual void IngestInitial(
+      const std::vector<phy::DecodedSymbol>& symbols) = 0;
+
+  virtual bool Complete() const = 0;
+
+  // Wire feedback for the next round; nullopt once Complete().
+  virtual std::optional<BitVec> BuildFeedbackWire() = 0;
+
+  virtual void IngestRepair(
+      const std::vector<ReceivedRepairFrame>& frames) = 0;
+
+  virtual BitVec AssembledPayload() const = 0;
+
+  virtual std::size_t rounds() const = 0;
+};
+
+// Factory pairing the two ends of one strategy.
+class RecoveryStrategy {
+ public:
+  virtual ~RecoveryStrategy() = default;
+
+  virtual const char* Name() const = 0;
+
+  // `body_bits` is payload || CRC-32 (PpArqSender::MakeBody).
+  virtual std::unique_ptr<RecoverySender> MakeSender(
+      const BitVec& body_bits, std::uint16_t seq) const = 0;
+
+  virtual std::unique_ptr<RecoveryReceiver> MakeReceiver(
+      std::uint16_t seq, std::size_t total_codewords) const = 0;
+};
+
+// Builds the strategy selected by `config.recovery`.
+std::unique_ptr<RecoveryStrategy> MakeRecoveryStrategy(
+    const PpArqConfig& config);
+
+}  // namespace ppr::arq

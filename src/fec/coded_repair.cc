@@ -1,0 +1,121 @@
+#include "fec/coded_repair.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ppr::fec {
+
+std::vector<std::vector<std::uint8_t>> BodyToSymbols(
+    const BitVec& body, std::size_t bits_per_codeword,
+    std::size_t codewords_per_symbol) {
+  const std::size_t symbol_bits = bits_per_codeword * codewords_per_symbol;
+  if (symbol_bits == 0 || symbol_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "BodyToSymbols: symbol size must be whole octets");
+  }
+  if (body.size() % bits_per_codeword != 0) {
+    throw std::invalid_argument("BodyToSymbols: ragged body");
+  }
+  const std::size_t n = (body.size() + symbol_bits - 1) / symbol_bits;
+  std::vector<std::vector<std::uint8_t>> symbols;
+  symbols.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t begin = s * symbol_bits;
+    const std::size_t len = std::min(symbol_bits, body.size() - begin);
+    BitVec chunk = body.Slice(begin, len);
+    while (chunk.size() < symbol_bits) chunk.PushBack(false);
+    symbols.push_back(chunk.ToBytes());
+  }
+  return symbols;
+}
+
+BitVec SymbolsToBody(const std::vector<std::vector<std::uint8_t>>& symbols,
+                     std::size_t body_bits) {
+  BitVec body;
+  for (const auto& s : symbols) {
+    body.AppendBits(BitVec::FromBytes(s));
+    if (body.size() >= body_bits) break;
+  }
+  if (body.size() < body_bits) {
+    throw std::invalid_argument("SymbolsToBody: symbols cover too few bits");
+  }
+  return body.Slice(0, body_bits);
+}
+
+namespace {
+
+const std::vector<std::vector<std::uint8_t>>& ValidatedBlock(
+    const std::vector<std::vector<std::uint8_t>>& received) {
+  if (received.empty() || received.front().empty()) {
+    throw std::invalid_argument("CodedRepairSession: empty source block");
+  }
+  return received;
+}
+
+}  // namespace
+
+CodedRepairSession::CodedRepairSession(
+    std::vector<std::vector<std::uint8_t>> received, std::vector<bool> good,
+    std::vector<double> suspicion)
+    : received_(std::move(received)),
+      trusted_(std::move(good)),
+      suspicion_(std::move(suspicion)),
+      decoder_(ValidatedBlock(received_).size(), received_.front().size()) {
+  if (trusted_.size() != received_.size() ||
+      suspicion_.size() != received_.size()) {
+    throw std::invalid_argument("CodedRepairSession: label shape mismatch");
+  }
+  Rebuild();
+}
+
+bool CodedRepairSession::ConsumeRepair(const RepairSymbol& repair) {
+  if (repair.data.size() != symbol_bytes()) {
+    throw std::invalid_argument("ConsumeRepair: symbol size mismatch");
+  }
+  repairs_.push_back(repair);
+  return decoder_.AddRepair(repair);
+}
+
+std::vector<std::vector<std::uint8_t>> CodedRepairSession::Decode() const {
+  assert(CanDecode());
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(num_source());
+  for (std::size_t i = 0; i < num_source(); ++i) {
+    out.push_back(decoder_.Symbol(i));
+  }
+  return out;
+}
+
+std::size_t CodedRepairSession::EvictSuspects() {
+  // Most suspect trusted symbols first; stable order for determinism.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < num_source(); ++i) {
+    if (trusted_[i]) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return suspicion_[a] > suspicion_[b];
+                   });
+  const std::size_t count = std::min(evict_batch_, order.size());
+  for (std::size_t k = 0; k < count; ++k) trusted_[order[k]] = false;
+  evict_batch_ *= 2;
+  if (count > 0) Rebuild();
+  return count;
+}
+
+std::size_t CodedRepairSession::num_trusted() const {
+  std::size_t n = 0;
+  for (const bool t : trusted_) n += t ? 1 : 0;
+  return n;
+}
+
+void CodedRepairSession::Rebuild() {
+  decoder_ = RlncDecoder(num_source(), symbol_bytes());
+  for (std::size_t i = 0; i < num_source(); ++i) {
+    if (trusted_[i]) decoder_.AddSource(i, received_[i]);
+  }
+  for (const auto& r : repairs_) decoder_.AddRepair(r);
+}
+
+}  // namespace ppr::fec

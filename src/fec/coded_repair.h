@@ -1,0 +1,82 @@
+// Coded-repair session: the receiver-side bridge between SoftPHY
+// labeling and RLNC decoding.
+//
+// The packet body is split into fixed-size, codeword-aligned symbols.
+// Symbols whose codewords all pass the SoftPHY threshold enter the
+// decoder as trusted systematic rows; the deficit (source count minus
+// rank) is what the receiver reports upstream, and the sender streams
+// that many coded repair symbols (plus headroom) instead of literal
+// chunk copies. Rank completion yields a decode candidate; the caller
+// verifies it (packet CRC-32). When verification fails — a SoftPHY miss
+// put a wrong-but-confident symbol into the basis — EvictSuspects()
+// drops the least trustworthy systematic rows (doubling the batch each
+// failure) and rebuilds the basis from the survivors plus every repair
+// equation already banked, so recovery converges even when every
+// systematic row is poisoned: the repair stream alone can carry the
+// packet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "fec/rlnc.h"
+
+namespace ppr::fec {
+
+// Splits `body` into ceil(total_codewords / codewords_per_symbol)
+// symbols of codewords_per_symbol * bits_per_codeword bits each (must be
+// whole octets); the tail symbol is zero-padded.
+std::vector<std::vector<std::uint8_t>> BodyToSymbols(
+    const BitVec& body, std::size_t bits_per_codeword,
+    std::size_t codewords_per_symbol);
+
+// Inverse of BodyToSymbols; truncates the tail padding to `body_bits`.
+BitVec SymbolsToBody(const std::vector<std::vector<std::uint8_t>>& symbols,
+                     std::size_t body_bits);
+
+class CodedRepairSession {
+ public:
+  // `received` is the receiver's current image of every symbol, `good`
+  // the SoftPHY labeling (every codeword in the symbol under threshold),
+  // and `suspicion` a per-symbol score (higher = less trustworthy; e.g.
+  // the worst codeword hint) ordering evictions after a failed verify.
+  CodedRepairSession(std::vector<std::vector<std::uint8_t>> received,
+                     std::vector<bool> good, std::vector<double> suspicion);
+
+  std::size_t num_source() const { return received_.size(); }
+  std::size_t symbol_bytes() const { return received_.front().size(); }
+
+  // Independent symbols still needed before decoding is possible.
+  std::size_t Deficit() const { return num_source() - decoder_.rank(); }
+
+  bool CanDecode() const { return decoder_.Complete(); }
+
+  // Banks a (CRC-validated) repair symbol; returns true if it increased
+  // the rank.
+  bool ConsumeRepair(const RepairSymbol& repair);
+
+  // Decoded source symbols; requires CanDecode().
+  std::vector<std::vector<std::uint8_t>> Decode() const;
+
+  // The last decode failed external verification: distrust the most
+  // suspect still-trusted symbols and rebuild the basis. Returns how
+  // many symbols were evicted (0 when none remain trusted).
+  std::size_t EvictSuspects();
+
+  std::size_t num_trusted() const;
+  std::size_t repairs_banked() const { return repairs_.size(); }
+
+ private:
+  void Rebuild();
+
+  std::vector<std::vector<std::uint8_t>> received_;
+  std::vector<bool> trusted_;
+  std::vector<double> suspicion_;
+  std::vector<RepairSymbol> repairs_;
+  RlncDecoder decoder_;
+  std::size_t evict_batch_ = 1;
+};
+
+}  // namespace ppr::fec

@@ -1,0 +1,109 @@
+#include "fec/gf256.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ppr::fec {
+namespace {
+
+struct Tables {
+  // exp_ is doubled so log-domain sums index it without reduction.
+  std::uint8_t exp_[510] = {};
+  std::uint8_t log_[256] = {};
+};
+
+constexpr Tables BuildTables() {
+  Tables t;
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    t.exp_[i] = static_cast<std::uint8_t>(x);
+    t.exp_[i + 255] = static_cast<std::uint8_t>(x);
+    t.log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kGfPrimitivePoly;
+  }
+  return t;
+}
+
+constexpr Tables kTables = BuildTables();
+
+// Product of `coef` with every byte value; the axpy row table.
+void BuildRow(std::uint8_t coef, std::uint8_t row[256]) {
+  row[0] = 0;
+  const unsigned lc = kTables.log_[coef];
+  for (unsigned v = 1; v < 256; ++v) {
+    row[v] = kTables.exp_[lc + kTables.log_[v]];
+  }
+}
+
+}  // namespace
+
+std::uint8_t GfExp(unsigned power) {
+  assert(power < 510);
+  return kTables.exp_[power];
+}
+
+std::uint8_t GfLog(std::uint8_t a) {
+  assert(a != 0);
+  return kTables.log_[a];
+}
+
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return kTables.exp_[kTables.log_[a] + kTables.log_[b]];
+}
+
+std::uint8_t GfInv(std::uint8_t a) {
+  assert(a != 0);
+  return kTables.exp_[255 - kTables.log_[a]];
+}
+
+std::uint8_t GfDiv(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  return kTables.exp_[kTables.log_[a] + 255 - kTables.log_[b]];
+}
+
+void GfAxpy(std::span<std::uint8_t> dst, std::uint8_t coef,
+            std::span<const std::uint8_t> src) {
+  assert(dst.size() == src.size());
+  if (coef == 0) return;
+  std::size_t i = 0;
+  if (coef == 1) {
+    // Pure XOR: run word-wide.
+    for (; i + 8 <= dst.size(); i += 8) {
+      std::uint64_t d, s;
+      std::memcpy(&d, dst.data() + i, 8);
+      std::memcpy(&s, src.data() + i, 8);
+      d ^= s;
+      std::memcpy(dst.data() + i, &d, 8);
+    }
+    for (; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  if (dst.size() < 64) {
+    // Below this the 256-entry row build dominates; multiply in the
+    // log domain directly (matters for the default 4-byte FEC symbols).
+    const unsigned lc = kTables.log_[coef];
+    for (; i < dst.size(); ++i) {
+      if (src[i] != 0) dst[i] ^= kTables.exp_[lc + kTables.log_[src[i]]];
+    }
+    return;
+  }
+  std::uint8_t row[256];
+  BuildRow(coef, row);
+  for (; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void GfScale(std::span<std::uint8_t> data, std::uint8_t coef) {
+  if (coef == 1) return;
+  if (coef == 0) {
+    std::memset(data.data(), 0, data.size());
+    return;
+  }
+  std::uint8_t row[256];
+  BuildRow(coef, row);
+  for (auto& b : data) b = row[b];
+}
+
+}  // namespace ppr::fec

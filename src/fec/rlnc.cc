@@ -1,0 +1,112 @@
+#include "fec/rlnc.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "fec/gf256.h"
+
+namespace ppr::fec {
+
+std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
+                                             std::size_t n_source) {
+  // Mix the seed so consecutive seeds (the sender uses a counter) give
+  // unrelated streams even through the first few draws.
+  Rng rng(0x9E3779B97F4A7C15ull ^ (static_cast<std::uint64_t>(seed) << 17 |
+                                   static_cast<std::uint64_t>(seed)));
+  std::vector<std::uint8_t> coefs(n_source);
+  for (auto& c : coefs) c = static_cast<std::uint8_t>(rng.UniformInt(256));
+  return coefs;
+}
+
+RlncEncoder::RlncEncoder(std::vector<std::vector<std::uint8_t>> source)
+    : source_(std::move(source)) {
+  if (source_.empty() || source_.front().empty()) {
+    throw std::invalid_argument("RlncEncoder: empty source block");
+  }
+  for (const auto& s : source_) {
+    if (s.size() != source_.front().size()) {
+      throw std::invalid_argument("RlncEncoder: ragged source symbols");
+    }
+  }
+}
+
+RepairSymbol RlncEncoder::MakeRepair(std::uint32_t seed) const {
+  RepairSymbol out;
+  out.seed = seed;
+  out.data.assign(symbol_bytes(), 0);
+  const auto coefs = RepairCoefficients(seed, num_source());
+  for (std::size_t i = 0; i < num_source(); ++i) {
+    GfAxpy(out.data, coefs[i], source_[i]);
+  }
+  return out;
+}
+
+RlncDecoder::RlncDecoder(std::size_t n_source, std::size_t symbol_bytes)
+    : n_source_(n_source), symbol_bytes_(symbol_bytes), pivot_(n_source) {
+  if (n_source == 0 || symbol_bytes == 0) {
+    throw std::invalid_argument("RlncDecoder: empty source block");
+  }
+}
+
+bool RlncDecoder::AddSource(std::size_t index, std::vector<std::uint8_t> data) {
+  assert(index < n_source_);
+  std::vector<std::uint8_t> coefs(n_source_, 0);
+  coefs[index] = 1;
+  return AddEquation(std::move(coefs), std::move(data));
+}
+
+bool RlncDecoder::AddRepair(const RepairSymbol& repair) {
+  return AddEquation(RepairCoefficients(repair.seed, n_source_), repair.data);
+}
+
+bool RlncDecoder::AddEquation(std::vector<std::uint8_t> coefs,
+                              std::vector<std::uint8_t> data) {
+  if (coefs.size() != n_source_ || data.size() != symbol_bytes_) {
+    throw std::invalid_argument("RlncDecoder: equation shape mismatch");
+  }
+
+  // Forward-eliminate against every existing pivot.
+  for (std::size_t j = 0; j < n_source_; ++j) {
+    if (coefs[j] == 0 || !pivot_[j].has_value()) continue;
+    const std::uint8_t factor = coefs[j];
+    GfAxpy(coefs, factor, pivot_[j]->coefs);
+    GfAxpy(data, factor, pivot_[j]->data);
+  }
+
+  // Find the new pivot column, if any rank survives.
+  std::size_t lead = n_source_;
+  for (std::size_t j = 0; j < n_source_; ++j) {
+    if (coefs[j] != 0) {
+      lead = j;
+      break;
+    }
+  }
+  if (lead == n_source_) return false;  // linearly dependent
+
+  const std::uint8_t inv = GfInv(coefs[lead]);
+  GfScale(coefs, inv);
+  GfScale(data, inv);
+
+  // Back-eliminate the new column from existing rows so the basis stays
+  // Gauss-Jordan reduced.
+  for (std::size_t j = 0; j < n_source_; ++j) {
+    if (!pivot_[j].has_value()) continue;
+    const std::uint8_t factor = pivot_[j]->coefs[lead];
+    if (factor == 0) continue;
+    GfAxpy(pivot_[j]->coefs, factor, coefs);
+    GfAxpy(pivot_[j]->data, factor, data);
+  }
+
+  pivot_[lead] = Row{std::move(coefs), std::move(data)};
+  ++rank_;
+  return true;
+}
+
+const std::vector<std::uint8_t>& RlncDecoder::Symbol(std::size_t i) const {
+  assert(Complete());
+  assert(i < n_source_ && pivot_[i].has_value());
+  return pivot_[i]->data;
+}
+
+}  // namespace ppr::fec

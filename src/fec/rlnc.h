@@ -1,0 +1,94 @@
+// Systematic random linear network coding over GF(2^8).
+//
+// The source block is a fixed set of equal-size symbols (the
+// codeword-aligned chunks of one packet body). Systematic transmission
+// means the source symbols themselves cross the channel first (in PPR's
+// case: the original packet transmission); repair symbols are random
+// linear combinations of all source symbols, with the combination
+// coefficients derived deterministically from a 32-bit seed so a repair
+// symbol costs seed + payload on the wire rather than a full coefficient
+// vector (the RLC convention of S-PRAC and the PQUIC FEC plugin).
+//
+// The decoder performs incremental Gauss-Jordan elimination: systematic
+// symbols the receiver already trusts enter as identity rows, repair
+// symbols as dense rows, and decoding succeeds as soon as the rank
+// reaches the source block size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ppr::fec {
+
+// One coded repair symbol: `seed` regenerates the coefficient vector on
+// both sides, `data` is the coded payload (symbol_bytes long).
+struct RepairSymbol {
+  std::uint32_t seed = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const RepairSymbol&) const = default;
+};
+
+// The n_source combination coefficients a repair seed denotes.
+std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
+                                             std::size_t n_source);
+
+class RlncEncoder {
+ public:
+  // All source symbols must be non-empty and the same size.
+  explicit RlncEncoder(std::vector<std::vector<std::uint8_t>> source);
+
+  std::size_t num_source() const { return source_.size(); }
+  std::size_t symbol_bytes() const { return source_.front().size(); }
+  const std::vector<std::vector<std::uint8_t>>& source() const {
+    return source_;
+  }
+
+  RepairSymbol MakeRepair(std::uint32_t seed) const;
+
+ private:
+  std::vector<std::vector<std::uint8_t>> source_;
+};
+
+class RlncDecoder {
+ public:
+  RlncDecoder(std::size_t n_source, std::size_t symbol_bytes);
+
+  std::size_t num_source() const { return n_source_; }
+  std::size_t symbol_bytes() const { return symbol_bytes_; }
+  std::size_t rank() const { return rank_; }
+  bool Complete() const { return rank_ == n_source_; }
+
+  // A systematic symbol received (or trusted) verbatim. Returns true if
+  // it increased the rank.
+  bool AddSource(std::size_t index, std::vector<std::uint8_t> data);
+
+  // A coded repair symbol; coefficients are regenerated from its seed.
+  bool AddRepair(const RepairSymbol& repair);
+
+  // A raw equation: coefs (n_source long) . source = data.
+  bool AddEquation(std::vector<std::uint8_t> coefs,
+                   std::vector<std::uint8_t> data);
+
+  // Decoded source symbol `i`; requires Complete().
+  const std::vector<std::uint8_t>& Symbol(std::size_t i) const;
+
+ private:
+  struct Row {
+    std::vector<std::uint8_t> coefs;
+    std::vector<std::uint8_t> data;
+  };
+
+  std::size_t n_source_;
+  std::size_t symbol_bytes_;
+  std::size_t rank_ = 0;
+  // pivot_[i] holds the row whose leading coefficient is column i,
+  // scaled to 1 and with zeros at every other pivot column (Gauss-Jordan
+  // reduced). At full rank each row is the unit vector e_i, so its data
+  // IS source symbol i.
+  std::vector<std::optional<Row>> pivot_;
+};
+
+}  // namespace ppr::fec

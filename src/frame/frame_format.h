@@ -11,7 +11,7 @@
 //   HCRC      2 octets CRC-16 over LEN..SEQ
 //   PAYLOAD   N octets
 //   PCRC      4 octets CRC-32 over PAYLOAD
-//   LEN'      \
+//   LEN'       }
 //   DST'       } trailer: replica of the header fields plus its own
 //   SRC'       } CRC-16, so a postamble-synchronized receiver can frame
 //   SEQ'       } the packet (section 4)

@@ -118,4 +118,20 @@ arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
   return arq::RunPpArqExchange(payload, arq_config, channel);
 }
 
+RecoveryComparison CompareRecoveryStrategies(
+    std::size_t payload_octets, const arq::PpArqConfig& arq_config,
+    const WaveformChannelParams& params, std::uint64_t payload_seed) {
+  RecoveryComparison out;
+  arq::PpArqConfig config = arq_config;
+
+  config.recovery = arq::RecoveryMode::kChunkRetransmit;
+  Rng chunk_rng(payload_seed);
+  out.chunk = RunWaveformPpArq(payload_octets, config, params, chunk_rng);
+
+  config.recovery = arq::RecoveryMode::kCodedRepair;
+  Rng coded_rng(payload_seed);
+  out.coded = RunWaveformPpArq(payload_octets, config, params, coded_rng);
+  return out;
+}
+
 }  // namespace ppr::core

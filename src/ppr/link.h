@@ -40,10 +40,23 @@ struct WaveformChannelParams {
 // everything it still needs).
 arq::BodyChannel MakeWaveformChannel(const WaveformChannelParams& params);
 
-// One PP-ARQ packet exchange over the waveform channel.
+// One PP-ARQ packet exchange over the waveform channel, under the
+// recovery strategy `arq_config.recovery` selects.
 arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
                                   const arq::PpArqConfig& arq_config,
                                   const WaveformChannelParams& params,
                                   Rng& payload_rng);
+
+// Runs the same payload under both recovery strategies, each over an
+// identically seeded waveform channel, so their repair traffic is
+// directly comparable (the coded-vs-uncoded Figure 16 variant).
+struct RecoveryComparison {
+  arq::ArqRunStats chunk;
+  arq::ArqRunStats coded;
+};
+
+RecoveryComparison CompareRecoveryStrategies(
+    std::size_t payload_octets, const arq::PpArqConfig& arq_config,
+    const WaveformChannelParams& params, std::uint64_t payload_seed);
 
 }  // namespace ppr::core

@@ -1,7 +1,12 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
+
+#include "arq/link_sim.h"
+#include "phy/channel.h"
 
 namespace ppr::sim {
 
@@ -93,6 +98,69 @@ ExperimentResult TestbedExperiment::Run(
                 static_cast<double>(payload_bits);
           }
         });
+  }
+  return result;
+}
+
+RecoveryExperimentResult RunLinkRecoveryExperiment(
+    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery) {
+  const TestbedTopology topology(config.testbed);
+  const RadioMedium medium(topology.Positions(), config.medium);
+  const phy::ChipCodebook codebook;
+  const auto strategy = arq::MakeRecoveryStrategy(recovery.arq);
+
+  RecoveryExperimentResult result;
+  Rng root(recovery.seed);
+  for (std::size_t r = 0; r < topology.NumReceivers(); ++r) {
+    for (std::size_t i = 0; i < topology.NumSenders(); ++i) {
+      const std::size_t sender = topology.SenderId(i);
+      const std::size_t receiver = topology.ReceiverId(r);
+      const double snr_db = medium.LinkSnrDb(sender, receiver);
+      // Every link draws from `root` in a fixed order so the draw
+      // sequence is identical across recovery modes.
+      Rng link_rng = root.Fork();
+      if (snr_db < config.min_link_snr_db) continue;
+
+      // Clean-state chip errors at the link SNR (plus the receiver
+      // model's error floor); impairment bursts per the model.
+      arq::GilbertElliottParams ge;
+      ge.chip_error_good =
+          std::min(0.5, phy::ChipErrorProbability(
+                            std::pow(10.0, snr_db / 10.0)) +
+                            config.receiver.good_chip_floor);
+      ge.chip_error_bad = config.receiver.impaired_chip_error;
+      ge.p_good_to_bad = config.receiver.impairment_rate;
+      ge.p_bad_to_good = config.receiver.impairment_exit;
+
+      LinkRecoveryStats link;
+      link.sender = sender;
+      link.receiver = receiver;
+      link.snr_db = snr_db;
+      Rng channel_rng = link_rng.Fork();
+      Rng payload_rng = link_rng.Fork();
+      const auto channel =
+          arq::MakeGilbertElliottChannel(codebook, ge, channel_rng);
+      for (std::size_t p = 0; p < recovery.packets_per_link; ++p) {
+        BitVec payload;
+        for (std::size_t b = 0; b < recovery.payload_octets; ++b) {
+          payload.AppendUint(payload_rng.UniformInt(256), 8);
+        }
+        const auto stats = arq::RunRecoveryExchange(
+            payload, recovery.arq, *strategy, channel, recovery.max_rounds);
+        ++link.packets;
+        if (stats.success) ++link.completed;
+        link.feedback_bits += stats.feedback_bits;
+        link.feedback_rounds += stats.data_transmissions - 1;
+        for (const auto bits : stats.retransmission_bits) {
+          link.repair_bits += bits;
+        }
+      }
+      result.packets += link.packets;
+      result.completed += link.completed;
+      result.total_repair_bits += link.repair_bits;
+      result.total_feedback_bits += link.feedback_bits;
+      result.links.push_back(link);
+    }
   }
   return result;
 }

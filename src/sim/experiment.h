@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "arq/pp_arq.h"
 #include "sim/delivery.h"
 #include "sim/medium.h"
 #include "sim/receiver_model.h"
@@ -88,5 +89,44 @@ class TestbedExperiment {
 ExperimentConfig MakePaperConfig(double offered_load_bps, bool carrier_sense,
                                  double duration_s = 60.0,
                                  std::uint64_t seed = 42);
+
+// ------------------------------------------------------------------------
+// Per-link PP-ARQ recovery experiment: replays every audible testbed
+// link as a bursty chip-error channel at the link's SNR (clean-state
+// error rate from the SNR, impairment bursts from the receiver-model
+// parameters) and runs full PP-ARQ exchanges under the recovery
+// strategy `recovery.arq.recovery` selects. This is how a strategy
+// choice (chunk retransmission vs coded repair) is evaluated across the
+// whole testbed rather than a single hand-built link.
+
+struct RecoveryExperimentConfig {
+  arq::PpArqConfig arq;  // includes the RecoveryMode under test
+  std::size_t payload_octets = 250;
+  std::size_t packets_per_link = 4;
+  std::size_t max_rounds = 32;
+  std::uint64_t seed = 99;
+};
+
+struct LinkRecoveryStats {
+  std::size_t sender = 0;
+  std::size_t receiver = 0;
+  double snr_db = 0.0;
+  std::size_t packets = 0;
+  std::size_t completed = 0;
+  std::size_t repair_bits = 0;    // forward repair traffic (excl. initial)
+  std::size_t feedback_bits = 0;  // reverse-direction traffic
+  std::size_t feedback_rounds = 0;
+};
+
+struct RecoveryExperimentResult {
+  std::vector<LinkRecoveryStats> links;
+  std::size_t packets = 0;
+  std::size_t completed = 0;
+  std::size_t total_repair_bits = 0;
+  std::size_t total_feedback_bits = 0;
+};
+
+RecoveryExperimentResult RunLinkRecoveryExperiment(
+    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery);
 
 }  // namespace ppr::sim

@@ -1,0 +1,209 @@
+#include "arq/recovery_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "arq/link_sim.h"
+#include "common/rng.h"
+
+namespace ppr::arq {
+namespace {
+
+BitVec RandomPayload(Rng& rng, std::size_t octets) {
+  BitVec bits;
+  for (std::size_t i = 0; i < octets * 8; ++i) {
+    bits.PushBack(rng.Bernoulli(0.5));
+  }
+  return bits;
+}
+
+GilbertElliottParams BurstyParams() {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.02;
+  params.p_bad_to_good = 0.15;
+  params.chip_error_good = 0.002;
+  params.chip_error_bad = 0.25;
+  return params;
+}
+
+// Drives one exchange through the strategy interface and returns the
+// receiver's assembled payload alongside the run stats.
+struct Outcome {
+  bool success = false;
+  BitVec payload;
+  ArqRunStats stats;
+};
+
+Outcome RunExchange(const RecoveryStrategy& strategy,
+                    const PpArqConfig& config, const BitVec& payload,
+                    std::uint64_t channel_seed,
+                    std::size_t max_rounds = 32) {
+  const phy::ChipCodebook cb;
+  Rng channel_rng(channel_seed);
+  const auto channel =
+      MakeGilbertElliottChannel(cb, BurstyParams(), channel_rng);
+
+  Outcome out;
+  const BitVec body = PpArqSender::MakeBody(payload);
+  auto sender = strategy.MakeSender(body, 1);
+  auto receiver =
+      strategy.MakeReceiver(1, body.size() / config.bits_per_codeword);
+  out.stats.forward_bits += body.size();
+  ++out.stats.data_transmissions;
+  receiver->IngestInitial(channel(body));
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const auto fb = receiver->BuildFeedbackWire();
+    if (!fb.has_value()) break;
+    out.stats.feedback_bits += fb->size();
+    const RepairPlan plan = sender->HandleFeedback(*fb);
+    out.stats.forward_bits += plan.wire_bits;
+    out.stats.retransmission_bits.push_back(plan.wire_bits);
+    ++out.stats.data_transmissions;
+    std::vector<ReceivedRepairFrame> received;
+    for (const auto& frame : plan.frames) {
+      received.push_back(
+          ReceivedRepairFrame{frame.range, frame.aux, channel(frame.bits)});
+    }
+    receiver->IngestRepair(received);
+  }
+  out.success = receiver->Complete();
+  out.payload = receiver->AssembledPayload();
+  return out;
+}
+
+TEST(RecoveryStrategyTest, FactoryDispatchesOnMode) {
+  PpArqConfig config;
+  EXPECT_STREQ(MakeRecoveryStrategy(config)->Name(), "chunk-retransmit");
+  config.recovery = RecoveryMode::kCodedRepair;
+  EXPECT_STREQ(MakeRecoveryStrategy(config)->Name(), "coded-repair");
+}
+
+TEST(RecoveryStrategyTest, CodedConfigMustMakeOctetSymbols) {
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kCodedRepair;
+  config.codewords_per_fec_symbol = 3;  // 12 bits: not whole octets
+  EXPECT_THROW(MakeRecoveryStrategy(config), std::invalid_argument);
+}
+
+TEST(RecoveryStrategyTest, BothStrategiesCompleteOnCleanChannel) {
+  Rng prng(501);
+  const BitVec payload = RandomPayload(prng, 120);
+  const phy::ChipCodebook cb;
+  for (const auto mode :
+       {RecoveryMode::kChunkRetransmit, RecoveryMode::kCodedRepair}) {
+    PpArqConfig config;
+    config.recovery = mode;
+    Rng channel_rng(502);
+    const auto channel = MakeChipErrorChannel(cb, 0.0, channel_rng);
+    const auto stats = RunPpArqExchange(payload, config, channel);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.data_transmissions, 1u);
+    EXPECT_TRUE(stats.retransmission_bits.empty());
+  }
+}
+
+// The acceptance criterion of the coded-repair subsystem: on the same
+// simulated trace (identically seeded channels), kCodedRepair delivers
+// byte-identical packets to kChunkRetransmit.
+TEST(RecoveryStrategyTest, CodedRepairDeliversByteIdenticalPackets) {
+  for (const std::uint64_t seed : {511ull, 512ull, 513ull, 514ull}) {
+    Rng prng(seed);
+    const BitVec payload = RandomPayload(prng, 200);
+
+    PpArqConfig chunk_config;
+    const auto chunk = RunExchange(*MakeRecoveryStrategy(chunk_config),
+                                   chunk_config, payload, seed ^ 0xC0FFEE);
+
+    PpArqConfig coded_config;
+    coded_config.recovery = RecoveryMode::kCodedRepair;
+    const auto coded = RunExchange(*MakeRecoveryStrategy(coded_config),
+                                   coded_config, payload, seed ^ 0xC0FFEE);
+
+    ASSERT_TRUE(chunk.success) << "seed=" << seed;
+    ASSERT_TRUE(coded.success) << "seed=" << seed;
+    EXPECT_EQ(chunk.payload, payload) << "seed=" << seed;
+    EXPECT_EQ(coded.payload, payload) << "seed=" << seed;
+    EXPECT_EQ(coded.payload, chunk.payload) << "seed=" << seed;
+    // Both modes actually exercised the repair path on this channel.
+    EXPECT_FALSE(chunk.stats.retransmission_bits.empty());
+    EXPECT_FALSE(coded.stats.retransmission_bits.empty());
+  }
+}
+
+TEST(RecoveryStrategyTest, ChunkStrategyMatchesLegacyExchange) {
+  // RunPpArqExchange must be bit-for-bit the pre-strategy behavior:
+  // same channel draws, same stats.
+  Rng prng(521);
+  const BitVec payload = RandomPayload(prng, 300);
+  const phy::ChipCodebook cb;
+
+  PpArqConfig config;
+  Rng rng_a(522);
+  auto channel_a = MakeGilbertElliottChannel(cb, BurstyParams(), rng_a);
+  const auto via_dispatch = RunPpArqExchange(payload, config, channel_a);
+
+  Rng rng_b(522);
+  auto channel_b = MakeGilbertElliottChannel(cb, BurstyParams(), rng_b);
+  const auto via_strategy = RunRecoveryExchange(
+      payload, config, *MakeRecoveryStrategy(config), channel_b);
+
+  EXPECT_EQ(via_dispatch.success, via_strategy.success);
+  EXPECT_EQ(via_dispatch.data_transmissions, via_strategy.data_transmissions);
+  EXPECT_EQ(via_dispatch.forward_bits, via_strategy.forward_bits);
+  EXPECT_EQ(via_dispatch.feedback_bits, via_strategy.feedback_bits);
+  EXPECT_EQ(via_dispatch.retransmission_bits,
+            via_strategy.retransmission_bits);
+}
+
+TEST(RecoveryStrategyTest, LargeRepairBurstsSplitIntoBodySizedFrames) {
+  // A worst-case deficit (everything erased) must not produce a repair
+  // frame larger than the original packet: carriers that accepted the
+  // initial transmission must keep accepting repair frames.
+  Rng prng(541);
+  const BitVec body = PpArqSender::MakeBody(RandomPayload(prng, 250));
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kCodedRepair;
+  auto sender = MakeRecoveryStrategy(config)->MakeSender(body, 1);
+
+  BitVec wire;
+  wire.AppendUint(1, 16);       // seq
+  wire.AppendUint(0xFFFF, 16);  // deficit: everything (clamped)
+  const auto plan = sender->HandleFeedback(wire);
+  ASSERT_GT(plan.frames.size(), 1u);
+  std::size_t total_bits = 0;
+  for (const auto& f : plan.frames) {
+    EXPECT_LE(f.bits.size(), body.size());
+    EXPECT_EQ(f.range.length, f.bits.size() / config.bits_per_codeword);
+    total_bits += f.bits.size();
+  }
+  EXPECT_LE(total_bits, plan.wire_bits);
+}
+
+TEST(RecoveryStrategyTest, UnparsableFeedbackThrows) {
+  Rng prng(542);
+  const BitVec body = PpArqSender::MakeBody(RandomPayload(prng, 60));
+  for (const auto mode :
+       {RecoveryMode::kChunkRetransmit, RecoveryMode::kCodedRepair}) {
+    PpArqConfig config;
+    config.recovery = mode;
+    auto sender = MakeRecoveryStrategy(config)->MakeSender(body, 1);
+    EXPECT_THROW(sender->HandleFeedback(BitVec(8, false)), std::logic_error);
+  }
+}
+
+TEST(RecoveryStrategyTest, CodedFeedbackIsCompact) {
+  // Coded feedback is a fixed 32-bit (seq, deficit) record, far below
+  // the chunk-mode feedback with its per-gap verification data.
+  Rng prng(531);
+  const BitVec payload = RandomPayload(prng, 200);
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kCodedRepair;
+  const auto out =
+      RunExchange(*MakeRecoveryStrategy(config), config, payload, 532);
+  ASSERT_TRUE(out.success);
+  ASSERT_GT(out.stats.data_transmissions, 1u);
+  const std::size_t rounds = out.stats.data_transmissions - 1;
+  EXPECT_EQ(out.stats.feedback_bits, rounds * 32u);
+}
+
+}  // namespace
+}  // namespace ppr::arq

@@ -1,0 +1,128 @@
+#include "fec/coded_repair.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/crc.h"
+#include "common/rng.h"
+
+namespace ppr::fec {
+namespace {
+
+BitVec RandomBody(Rng& rng, std::size_t bits) {
+  BitVec body;
+  for (std::size_t i = 0; i < bits; ++i) body.PushBack(rng.Bernoulli(0.5));
+  return body;
+}
+
+TEST(BodySymbolsTest, RoundtripWithTailPadding) {
+  Rng rng(401);
+  const BitVec body = RandomBody(rng, 4 * 101);  // 101 codewords, ragged tail
+  const auto symbols = BodyToSymbols(body, 4, 8);  // 32-bit symbols
+  EXPECT_EQ(symbols.size(), (101u + 7u) / 8u);
+  for (const auto& s : symbols) EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(SymbolsToBody(symbols, body.size()), body);
+}
+
+TEST(BodySymbolsTest, RejectsNonOctetSymbols) {
+  const BitVec body(40, false);
+  EXPECT_THROW(BodyToSymbols(body, 4, 3), std::invalid_argument);  // 12 bits
+}
+
+// Builds a session over a body where `erased` symbols are labeled bad.
+struct Fixture {
+  BitVec body;
+  std::vector<std::vector<std::uint8_t>> truth;
+  RlncEncoder encoder;
+
+  Fixture(Rng& rng, std::size_t codewords)
+      : body(RandomBody(rng, codewords * 4)),
+        truth(BodyToSymbols(body, 4, 8)),
+        encoder(truth) {}
+};
+
+TEST(CodedRepairSessionTest, DeficitEqualsErasuresAndRepairFills) {
+  Rng rng(402);
+  Fixture f(rng, 128);  // 16 symbols
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  std::vector<double> suspicion(f.truth.size(), 0.0);
+  // Erase symbols 2, 7, 8 (receiver's copy is garbage, flagged bad).
+  for (const std::size_t s : {2u, 7u, 8u}) {
+    good[s] = false;
+    suspicion[s] = 16.0;
+    for (auto& b : received[s]) b ^= 0xFF;
+  }
+  CodedRepairSession session(received, good, suspicion);
+  EXPECT_EQ(session.Deficit(), 3u);
+  EXPECT_FALSE(session.CanDecode());
+
+  std::uint32_t seed = 1;
+  while (!session.CanDecode()) {
+    session.ConsumeRepair(f.encoder.MakeRepair(seed++));
+    ASSERT_LT(seed, 16u);
+  }
+  const auto decoded = session.Decode();
+  EXPECT_EQ(decoded, f.truth);
+}
+
+TEST(CodedRepairSessionTest, EvictionRecoversFromConfidentMiss) {
+  Rng rng(403);
+  Fixture f(rng, 128);
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  std::vector<double> suspicion(f.truth.size(), 0.0);
+  // Symbol 5 is WRONG but labeled good (a SoftPHY miss); it is merely
+  // the most suspect of the trusted rows.
+  received[5][1] ^= 0x40;
+  suspicion[5] = 5.0;
+
+  CodedRepairSession session(received, good, suspicion);
+  ASSERT_TRUE(session.CanDecode());  // full rank, but poisoned
+  EXPECT_NE(session.Decode(), f.truth);
+
+  // External verification fails -> evict; one repair then restores rank.
+  EXPECT_EQ(session.EvictSuspects(), 1u);
+  EXPECT_EQ(session.Deficit(), 1u);
+  std::uint32_t seed = 9;
+  while (!session.CanDecode()) session.ConsumeRepair(f.encoder.MakeRepair(seed++));
+  EXPECT_EQ(session.Decode(), f.truth);
+}
+
+TEST(CodedRepairSessionTest, EvictionEscalatesToRepairOnlyDecode) {
+  Rng rng(404);
+  Fixture f(rng, 64);  // 8 symbols
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  const std::vector<double> suspicion(f.truth.size(), 1.0);
+  // Every symbol is subtly wrong yet trusted: the worst-case miss.
+  for (auto& s : received) s[0] ^= 0x01;
+
+  CodedRepairSession session(received, good, suspicion);
+  // Bank enough repairs that eviction can fall back on them entirely.
+  std::uint32_t seed = 1;
+  for (std::size_t k = 0; k < f.truth.size() + 2; ++k) {
+    session.ConsumeRepair(f.encoder.MakeRepair(seed++));
+  }
+  // Repeated failed verifies: evictions double until nothing is trusted.
+  while (session.num_trusted() > 0) session.EvictSuspects();
+  ASSERT_TRUE(session.CanDecode());
+  EXPECT_EQ(session.Decode(), f.truth);
+  EXPECT_EQ(session.EvictSuspects(), 0u);  // nothing left to distrust
+}
+
+TEST(CodedRepairSessionTest, RejectsShapeMismatch) {
+  Rng rng(405);
+  Fixture f(rng, 64);
+  EXPECT_THROW(CodedRepairSession(f.truth, std::vector<bool>(3, true),
+                                  std::vector<double>(f.truth.size(), 0.0)),
+               std::invalid_argument);
+  CodedRepairSession session(f.truth, std::vector<bool>(f.truth.size(), true),
+                             std::vector<double>(f.truth.size(), 0.0));
+  EXPECT_THROW(session.ConsumeRepair(RepairSymbol{1, {0, 1, 2}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppr::fec

@@ -1,0 +1,116 @@
+#include "fec/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppr::fec {
+namespace {
+
+TEST(Gf256Test, LogExpRoundtrip) {
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(GfExp(GfLog(static_cast<std::uint8_t>(a))), a);
+  }
+  // exp is 255-periodic (the multiplicative group order).
+  for (unsigned p = 0; p < 255; ++p) {
+    EXPECT_EQ(GfExp(p), GfExp(p + 255));
+  }
+}
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GfMul(x, 1), x);
+    EXPECT_EQ(GfMul(1, x), x);
+    EXPECT_EQ(GfMul(x, 0), 0);
+    EXPECT_EQ(GfMul(0, x), 0);
+  }
+}
+
+TEST(Gf256Test, MulCommutes) {
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 0; b < 256; b += 5) {
+      EXPECT_EQ(GfMul(static_cast<std::uint8_t>(a),
+                      static_cast<std::uint8_t>(b)),
+                GfMul(static_cast<std::uint8_t>(b),
+                      static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256Test, MulAssociates) {
+  Rng rng(271);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.UniformInt(256));
+    const auto b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    const auto c = static_cast<std::uint8_t>(rng.UniformInt(256));
+    EXPECT_EQ(GfMul(GfMul(a, b), c), GfMul(a, GfMul(b, c)));
+  }
+}
+
+TEST(Gf256Test, MulDistributesOverXor) {
+  // Addition in GF(2^8) is XOR: a*(b+c) == a*b + a*c.
+  Rng rng(272);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.UniformInt(256));
+    const auto b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    const auto c = static_cast<std::uint8_t>(rng.UniformInt(256));
+    EXPECT_EQ(GfMul(a, b ^ c), GfMul(a, b) ^ GfMul(a, c));
+  }
+}
+
+TEST(Gf256Test, EveryNonzeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GfMul(x, GfInv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, DivIsMulByInverse) {
+  Rng rng(273);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.UniformInt(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    EXPECT_EQ(GfDiv(a, b), GfMul(a, GfInv(b)));
+    EXPECT_EQ(GfMul(GfDiv(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, AxpyMatchesScalarReference) {
+  Rng rng(274);
+  for (const std::size_t len : {std::size_t{1}, std::size_t{7},
+                                std::size_t{8}, std::size_t{64},
+                                std::size_t{1000}}) {
+    for (const unsigned coef : {0u, 1u, 2u, 0x53u, 0xFFu}) {
+      std::vector<std::uint8_t> dst(len), src(len), expect(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        dst[i] = static_cast<std::uint8_t>(rng.UniformInt(256));
+        src[i] = static_cast<std::uint8_t>(rng.UniformInt(256));
+        expect[i] = dst[i] ^ GfMul(static_cast<std::uint8_t>(coef), src[i]);
+      }
+      GfAxpy(dst, static_cast<std::uint8_t>(coef), src);
+      EXPECT_EQ(dst, expect) << "len=" << len << " coef=" << coef;
+    }
+  }
+}
+
+TEST(Gf256Test, ScaleMatchesScalarReference) {
+  Rng rng(275);
+  std::vector<std::uint8_t> data(257), expect(257);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(rng.UniformInt(256));
+  }
+  for (const unsigned coef : {0u, 1u, 0xA7u}) {
+    auto scaled = data;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      expect[i] = GfMul(static_cast<std::uint8_t>(coef), data[i]);
+    }
+    GfScale(scaled, static_cast<std::uint8_t>(coef));
+    EXPECT_EQ(scaled, expect) << "coef=" << coef;
+  }
+}
+
+}  // namespace
+}  // namespace ppr::fec

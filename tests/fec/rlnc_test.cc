@@ -1,0 +1,120 @@
+#include "fec/rlnc.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppr::fec {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> RandomBlock(Rng& rng, std::size_t n,
+                                                   std::size_t bytes) {
+  std::vector<std::vector<std::uint8_t>> block(n);
+  for (auto& s : block) {
+    s.resize(bytes);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  }
+  return block;
+}
+
+TEST(RlncTest, RepairCoefficientsAreDeterministicPerSeed) {
+  const auto a = RepairCoefficients(42, 16);
+  const auto b = RepairCoefficients(42, 16);
+  const auto c = RepairCoefficients(43, 16);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 16u);
+}
+
+TEST(RlncTest, SystematicRoundtripNoLoss) {
+  Rng rng(301);
+  const auto block = RandomBlock(rng, 12, 20);
+  RlncDecoder decoder(12, 20);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_TRUE(decoder.AddSource(i, block[i]));
+  }
+  ASSERT_TRUE(decoder.Complete());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_EQ(decoder.Symbol(i), block[i]);
+  }
+}
+
+// Systematic encode -> erase a fraction of source symbols -> decode from
+// the survivors plus repair symbols.
+void RoundtripAtLoss(double loss, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 32, bytes = 16;
+  const auto block = RandomBlock(rng, n, bytes);
+  RlncEncoder encoder(block);
+
+  RlncDecoder decoder(n, bytes);
+  std::size_t erased = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(loss)) {
+      ++erased;
+    } else {
+      decoder.AddSource(i, block[i]);
+    }
+  }
+  std::uint32_t next_seed = 1;
+  std::size_t repairs_used = 0;
+  while (!decoder.Complete()) {
+    decoder.AddRepair(encoder.MakeRepair(next_seed++));
+    ++repairs_used;
+    ASSERT_LT(repairs_used, n + 16u) << "decoder failed to reach full rank";
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(decoder.Symbol(i), block[i]) << "loss=" << loss;
+  }
+  // Random GF(256) combinations are independent with high probability:
+  // barely more repairs than erasures.
+  EXPECT_LE(repairs_used, erased + 2) << "loss=" << loss;
+}
+
+TEST(RlncTest, RoundtripLightLoss) { RoundtripAtLoss(0.1, 302); }
+TEST(RlncTest, RoundtripModerateLoss) { RoundtripAtLoss(0.4, 303); }
+TEST(RlncTest, RoundtripHeavyLoss) { RoundtripAtLoss(0.8, 304); }
+
+TEST(RlncTest, DecodesFromRepairAlone) {
+  Rng rng(305);
+  const std::size_t n = 10, bytes = 8;
+  const auto block = RandomBlock(rng, n, bytes);
+  RlncEncoder encoder(block);
+  RlncDecoder decoder(n, bytes);
+  std::uint32_t seed = 7;
+  while (!decoder.Complete()) {
+    decoder.AddRepair(encoder.MakeRepair(seed++));
+    ASSERT_LT(seed, 7u + n + 8u);
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(decoder.Symbol(i), block[i]);
+}
+
+TEST(RlncTest, DuplicatesDoNotIncreaseRank) {
+  Rng rng(306);
+  const auto block = RandomBlock(rng, 8, 4);
+  RlncEncoder encoder(block);
+  RlncDecoder decoder(8, 4);
+  EXPECT_TRUE(decoder.AddSource(3, block[3]));
+  EXPECT_FALSE(decoder.AddSource(3, block[3]));
+  const auto repair = encoder.MakeRepair(99);
+  EXPECT_TRUE(decoder.AddRepair(repair));
+  EXPECT_FALSE(decoder.AddRepair(repair));
+  EXPECT_EQ(decoder.rank(), 2u);
+}
+
+TEST(RlncTest, RejectsShapeMismatch) {
+  RlncDecoder decoder(4, 8);
+  EXPECT_THROW(decoder.AddEquation(std::vector<std::uint8_t>(3, 1),
+                                   std::vector<std::uint8_t>(8, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(decoder.AddEquation(std::vector<std::uint8_t>(4, 1),
+                                   std::vector<std::uint8_t>(7, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(RlncEncoder({}), std::invalid_argument);
+  EXPECT_THROW(RlncEncoder({{1, 2}, {3}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppr::fec

@@ -85,7 +85,9 @@ TEST(FragCrcTest, CorruptionLosesOnlyTheTouchedFragment) {
   EXPECT_FALSE(result.fragment_ok[2]);
   EXPECT_EQ(result.delivered_octets, payload.size() - plan.FragmentSize(2));
   for (std::size_t f = 0; f < plan.num_fragments(); ++f) {
-    if (f != 2) EXPECT_TRUE(result.fragment_ok[f]) << f;
+    if (f != 2) {
+      EXPECT_TRUE(result.fragment_ok[f]) << f;
+    }
   }
   // Unaffected fragments deliver their exact bytes.
   for (std::size_t i = 0; i < plan.FragmentSize(0); ++i) {

@@ -134,6 +134,38 @@ TEST(TestbedExperimentTest, ThroughputAccountsOverhead) {
   }
 }
 
+TEST(LinkRecoveryExperimentTest, RunsBothStrategiesOverAudibleLinks) {
+  // A small testbed so the per-link ARQ exchanges stay fast.
+  auto config = MakePaperConfig(3500.0, true, /*duration_s=*/1.0);
+  config.testbed.num_senders = 4;
+  config.testbed.num_receivers = 2;
+  config.medium = IndoorMediumConfig(config.testbed, /*seed=*/11);
+  config.min_link_snr_db = 6.0;
+
+  RecoveryExperimentConfig recovery;
+  recovery.payload_octets = 60;
+  recovery.packets_per_link = 1;
+  recovery.seed = 77;
+
+  recovery.arq.recovery = arq::RecoveryMode::kChunkRetransmit;
+  const auto chunk = RunLinkRecoveryExperiment(config, recovery);
+  recovery.arq.recovery = arq::RecoveryMode::kCodedRepair;
+  const auto coded = RunLinkRecoveryExperiment(config, recovery);
+
+  ASSERT_FALSE(chunk.links.empty());
+  // The audible link set and per-link SNRs are strategy-independent.
+  ASSERT_EQ(chunk.links.size(), coded.links.size());
+  for (std::size_t i = 0; i < chunk.links.size(); ++i) {
+    EXPECT_EQ(chunk.links[i].sender, coded.links[i].sender);
+    EXPECT_EQ(chunk.links[i].receiver, coded.links[i].receiver);
+    EXPECT_DOUBLE_EQ(chunk.links[i].snr_db, coded.links[i].snr_db);
+    EXPECT_GE(chunk.links[i].snr_db, config.min_link_snr_db);
+  }
+  EXPECT_EQ(chunk.packets, coded.packets);
+  EXPECT_EQ(chunk.completed, chunk.packets);
+  EXPECT_EQ(coded.completed, coded.packets);
+}
+
 TEST(MakePaperConfigTest, MatchesPaperParameters) {
   const auto config = MakePaperConfig(13800.0, true);
   EXPECT_DOUBLE_EQ(config.traffic.offered_load_bps, 13800.0);

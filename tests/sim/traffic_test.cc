@@ -8,12 +8,18 @@
 namespace ppr::sim {
 namespace {
 
+MediumConfig SeededMedium() {
+  MediumConfig config;
+  config.seed = 11;
+  return config;
+}
+
 struct World {
   TestbedTopology topo;
   RadioMedium medium;
   std::vector<std::size_t> senders;
 
-  World() : medium(topo.Positions(), MediumConfig{.seed = 11}) {
+  World() : medium(topo.Positions(), SeededMedium()) {
     for (std::size_t i = 0; i < topo.NumSenders(); ++i) {
       senders.push_back(topo.SenderId(i));
     }

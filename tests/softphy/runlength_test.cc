@@ -83,10 +83,14 @@ TEST(RunLengthFormTest, OffsetsIndexOriginalLabels) {
         EXPECT_FALSE(labels[off + k]);
       }
       // The codeword before the run (if any) is good.
-      if (off > 0) EXPECT_TRUE(labels[off - 1]);
+      if (off > 0) {
+        EXPECT_TRUE(labels[off - 1]);
+      }
       // The codeword after the run (if any) is good.
       const std::size_t end = off + form.bad[i];
-      if (end < labels.size()) EXPECT_TRUE(labels[end]);
+      if (end < labels.size()) {
+        EXPECT_TRUE(labels[end]);
+      }
     }
   }
 }
