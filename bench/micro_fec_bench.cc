@@ -5,6 +5,7 @@
 // axpy throughput bounds how fast a busy sender can service deficits.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -99,6 +100,40 @@ void BM_RlncDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_RlncDecode)->Arg(4)->Arg(16)->Arg(64);
 
+// A relay's repair symbol: masked combination over the ~3/4 of the
+// source block it overheard cleanly.
+void BM_RlncMaskedRepair(benchmark::State& state) {
+  Rng rng(605);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const auto block = RandomBlock(rng, n, bytes);
+  std::vector<bool> have(n, true);
+  for (std::size_t i = 0; i < n; i += 4) have[i] = false;
+  std::uint32_t counter = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fec::MakeMaskedRepair(block, have, fec::PartySeed(1, counter++)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * bytes));
+}
+BENCHMARK(BM_RlncMaskedRepair)->Args({64, 8})->Args({64, 32});
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so CI can run `micro_fec_bench --smoke`: every benchmark
+// executes once-ish (bit-rot guard) without paying full measurement
+// time.
+int main(int argc, char** argv) {
+  static char min_time[] = "--benchmark_min_time=0.001";
+  std::vector<char*> args(argv, argv + argc);
+  for (auto& arg : args) {
+    if (std::string_view(arg) == "--smoke") arg = min_time;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "arq/adaptive_burst.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppr::arq {
+
+std::size_t BurstSizeForTarget(std::size_t deficit, double delivery_p,
+                               double target, std::size_t cap) {
+  if (deficit == 0) return 0;
+  delivery_p = std::min(delivery_p, 1.0);
+  if (delivery_p <= 0.0) {
+    throw std::invalid_argument("BurstSizeForTarget: delivery_p must be > 0");
+  }
+  target = std::clamp(target, 0.0, 1.0);
+  if (deficit >= cap) return cap;
+  if (delivery_p >= 1.0) return deficit;
+
+  const double q = 1.0 - delivery_p;
+  for (std::size_t n = deficit; n < cap; ++n) {
+    // P[Binomial(n, p) >= deficit] via the upper-tail sum; terms are
+    // built incrementally from C(n, deficit) p^deficit q^(n-deficit).
+    double term = 1.0;
+    for (std::size_t k = 0; k < deficit; ++k) {
+      term *= delivery_p * static_cast<double>(n - k) /
+              static_cast<double>(deficit - k);
+    }
+    for (std::size_t k = 0; k < n - deficit; ++k) term *= q;
+    double tail = term;
+    for (std::size_t k = deficit; k < n && tail < target; ++k) {
+      // term(k+1) = term(k) * (n-k)/(k+1) * p/q.
+      term *= static_cast<double>(n - k) / static_cast<double>(k + 1) *
+              delivery_p / q;
+      tail += term;
+    }
+    if (tail >= target) return n;
+  }
+  return cap;
+}
+
+RepairDeliveryEstimator::RepairDeliveryEstimator(double prior)
+    : prior_(std::clamp(prior, kFloor, 1.0)) {}
+
+double RepairDeliveryEstimator::DeliveryRate() const {
+  if (requested_ == 0) return prior_;
+  const double rate =
+      static_cast<double>(delivered_) / static_cast<double>(requested_);
+  return std::clamp(rate, kFloor, 1.0);
+}
+
+}  // namespace ppr::arq

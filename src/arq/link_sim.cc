@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "arq/recovery_session.h"
 #include "common/crc.h"
 #include "phy/channel.h"
 
@@ -49,49 +50,12 @@ ArqRunStats RunRecoveryExchange(const BitVec& payload_bits,
                                 const RecoveryStrategy& strategy,
                                 const BodyChannel& channel,
                                 std::size_t max_rounds) {
-  ArqRunStats stats;
-  const BitVec body = PpArqSender::MakeBody(payload_bits);
-  if (body.size() % config.bits_per_codeword != 0) {
-    throw std::invalid_argument(
-        "RunRecoveryExchange: body bits must be a whole number of codewords");
-  }
-  auto sender = strategy.MakeSender(body, /*seq=*/1);
-  auto receiver =
-      strategy.MakeReceiver(/*seq=*/1, body.size() / config.bits_per_codeword);
-
-  // Initial transmission.
-  stats.forward_bits += body.size();
-  ++stats.data_transmissions;
-  receiver->IngestInitial(channel(body));
-
-  for (std::size_t round = 0; round < max_rounds; ++round) {
-    const auto fb_wire = receiver->BuildFeedbackWire();
-    if (!fb_wire.has_value()) {
-      stats.success = true;
-      return stats;
-    }
-    stats.feedback_bits += fb_wire->size();
-
-    const RepairPlan plan = sender->HandleFeedback(*fb_wire);
-    stats.forward_bits += plan.wire_bits;
-    stats.retransmission_bits.push_back(plan.wire_bits);
-    ++stats.data_transmissions;
-
-    // Each repair frame crosses the channel; descriptors (ranges,
-    // coefficient seeds) are carried reliably at this layer.
-    std::vector<ReceivedRepairFrame> received;
-    received.reserve(plan.frames.size());
-    for (const auto& frame : plan.frames) {
-      ReceivedRepairFrame rf;
-      rf.range = frame.range;
-      rf.aux = frame.aux;
-      rf.symbols = channel(frame.bits);
-      received.push_back(std::move(rf));
-    }
-    receiver->IngestRepair(received);
-  }
-  stats.success = receiver->Complete();
-  return stats;
+  // The duplex exchange is the two-party recovery session
+  // (arq/recovery_session.h); the session engine reproduces the legacy
+  // loop's channel draw order and accounting exactly.
+  return RunRecoveryExchangeSession(payload_bits, config, strategy, channel,
+                                    max_rounds)
+      .totals;
 }
 
 ArqRunStats RunWholePacketArq(const BitVec& payload_bits,

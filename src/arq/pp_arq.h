@@ -37,6 +37,12 @@ enum class RecoveryMode {
   // Stream systematic RLNC repair symbols (src/fec/) sized by the
   // receiver's erasure estimate instead of literal chunk copies.
   kCodedRepair,
+  // Crelay: coded repair where an overhearing relay with its own
+  // (partial) copy of the initial transmission also streams repair
+  // equations, from a relay-id-partitioned seed space; the destination
+  // broadcasts per-party burst requests split by who is cheaper to
+  // hear (arq/recovery_session.h runs the multi-party exchange).
+  kRelayCodedRepair,
 };
 
 struct PpArqConfig {
@@ -47,11 +53,15 @@ struct PpArqConfig {
   // requests a full resend; after 2x this many it reports failure.
   std::size_t max_partial_rounds = 8;
   RecoveryMode recovery = RecoveryMode::kChunkRetransmit;
-  // kCodedRepair knobs: codewords per FEC symbol (symbol bits must be
-  // whole octets) and fractional repair headroom per round beyond the
-  // reported deficit (covers repair symbols lost in transit).
+  // Coded-repair knobs: codewords per FEC symbol (symbol bits must be
+  // whole octets); the prior fractional loss assumed for repair symbols
+  // before any delivery evidence (burst sizing is adaptive, see
+  // arq/adaptive_burst.h — this seeds the round-one estimate at
+  // 1 / (1 + repair_overhead)); and the per-round completion
+  // probability bursts are sized to hit.
   std::size_t codewords_per_fec_symbol = 16;
   double repair_overhead = 0.25;
+  double repair_target_completion = 0.9;
 };
 
 // A retransmitted segment as decoded at the receiver: hints accompany

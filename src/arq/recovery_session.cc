@@ -1,0 +1,288 @@
+#include "arq/recovery_session.h"
+
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+namespace ppr::arq {
+namespace {
+
+class SenderParticipant : public RecoveryParticipant {
+ public:
+  explicit SenderParticipant(std::unique_ptr<RecoverySender> sender)
+      : sender_(std::move(sender)) {}
+
+  PartyRole role() const override { return PartyRole::kSource; }
+
+  void IngestInitial(const std::vector<phy::DecodedSymbol>&) override {
+    // The source owns the original bits; its own transmission carries no
+    // information for it.
+  }
+
+  std::vector<SessionMessage> HandleMessage(
+      const DeliveredMessage& msg) override {
+    if (msg.type != SessionMessageType::kFeedback) return {};
+    RepairPlan plan = sender_->HandleFeedback(msg.feedback_wire);
+    SessionMessage reply;
+    reply.type = SessionMessageType::kRepair;
+    reply.to = msg.from;
+    reply.frames = std::move(plan.frames);
+    reply.wire_bits = plan.wire_bits;
+    return {std::move(reply)};
+  }
+
+ private:
+  std::unique_ptr<RecoverySender> sender_;
+};
+
+class ReceiverParticipant : public DestinationParticipant {
+ public:
+  explicit ReceiverParticipant(std::unique_ptr<RecoveryReceiver> receiver)
+      : receiver_(std::move(receiver)) {}
+
+  void IngestInitial(const std::vector<phy::DecodedSymbol>& symbols) override {
+    receiver_->IngestInitial(symbols);
+  }
+
+  std::vector<SessionMessage> StartRound() override {
+    const auto wire = receiver_->BuildFeedbackWire();
+    if (!wire.has_value()) return {};
+    SessionMessage fb;
+    fb.type = SessionMessageType::kFeedback;
+    fb.to = kBroadcastId;
+    fb.feedback_wire = *wire;
+    fb.wire_bits = wire->size();
+    return {std::move(fb)};
+  }
+
+  std::vector<SessionMessage> HandleMessage(
+      const DeliveredMessage& msg) override {
+    if (msg.type == SessionMessageType::kRepair) {
+      receiver_->IngestRepair(msg.frames);
+    }
+    return {};
+  }
+
+  bool Complete() const override { return receiver_->Complete(); }
+  BitVec AssembledPayload() const override {
+    return receiver_->AssembledPayload();
+  }
+  std::size_t rounds() const override { return receiver_->rounds(); }
+
+ private:
+  std::unique_ptr<RecoveryReceiver> receiver_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecoveryParticipant> MakeSenderParticipant(
+    std::unique_ptr<RecoverySender> sender) {
+  return std::make_unique<SenderParticipant>(std::move(sender));
+}
+
+std::unique_ptr<DestinationParticipant> MakeReceiverParticipant(
+    std::unique_ptr<RecoveryReceiver> receiver) {
+  return std::make_unique<ReceiverParticipant>(std::move(receiver));
+}
+
+// Default session roles: adapt the duplex pair.
+std::unique_ptr<RecoveryParticipant> RecoveryStrategy::MakeSourceParticipant(
+    const BitVec& body_bits, std::uint16_t seq) const {
+  return MakeSenderParticipant(MakeSender(body_bits, seq));
+}
+
+std::unique_ptr<DestinationParticipant>
+RecoveryStrategy::MakeDestinationParticipant(
+    std::uint16_t seq, std::size_t total_codewords) const {
+  return MakeReceiverParticipant(MakeReceiver(seq, total_codewords));
+}
+
+std::unique_ptr<RecoveryParticipant> RecoveryStrategy::MakeRelayParticipant(
+    std::uint8_t, std::uint16_t, std::size_t) const {
+  return nullptr;  // this strategy has no relay role
+}
+
+PartyId RecoverySession::AddParty(
+    std::unique_ptr<RecoveryParticipant> participant) {
+  if (!participant) {
+    throw std::invalid_argument("RecoverySession: null participant");
+  }
+  if (participant->role() == PartyRole::kDestination && Destination()) {
+    throw std::invalid_argument("RecoverySession: one destination only");
+  }
+  parties_.push_back(std::move(participant));
+  stats_.parties.emplace_back();
+  return parties_.size() - 1;
+}
+
+void RecoverySession::SetEdgeChannel(PartyId from, PartyId to,
+                                     BodyChannel channel) {
+  if (from >= parties_.size() || to >= parties_.size() || from == to) {
+    throw std::invalid_argument("RecoverySession: bad edge");
+  }
+  edges_[{from, to}] = std::move(channel);
+}
+
+DestinationParticipant* RecoverySession::Destination() const {
+  for (const auto& p : parties_) {
+    if (p->role() == PartyRole::kDestination) {
+      return static_cast<DestinationParticipant*>(p.get());
+    }
+  }
+  return nullptr;
+}
+
+void RecoverySession::TransmitInitial(PartyId source, const BitVec& body) {
+  stats_.totals.forward_bits += body.size();
+  ++stats_.totals.data_transmissions;
+  for (PartyId to = 0; to < parties_.size(); ++to) {
+    if (to == source) continue;
+    const auto edge = edges_.find({source, to});
+    if (edge == edges_.end()) continue;
+    parties_[to]->IngestInitial(edge->second(body));
+  }
+}
+
+void RecoverySession::Account(const SessionMessage& msg) {
+  PartyTraffic& party = stats_.parties.at(msg.from);
+  if (msg.type == SessionMessageType::kFeedback) {
+    stats_.totals.feedback_bits += msg.feedback_wire.size();
+    party.feedback_bits += msg.feedback_wire.size();
+    return;
+  }
+  stats_.totals.forward_bits += msg.wire_bits;
+  stats_.totals.retransmission_bits.push_back(msg.wire_bits);
+  ++stats_.totals.data_transmissions;
+  party.repair_bits += msg.wire_bits;
+  ++party.repair_messages;
+}
+
+void RecoverySession::Deliver(const SessionMessage& msg) {
+  std::deque<SessionMessage> queue;
+  queue.push_back(msg);
+  // A routing hop can only shrink the message set back toward the
+  // destination, but guard against a misbehaving participant pair
+  // ping-ponging forever within one round.
+  std::size_t hops = 0;
+  const std::size_t max_hops = 8 * parties_.size() + 8;
+  while (!queue.empty()) {
+    if (++hops > max_hops) {
+      throw std::logic_error("RecoverySession: round did not drain");
+    }
+    SessionMessage m = std::move(queue.front());
+    queue.pop_front();
+    Account(m);
+    for (PartyId to = 0; to < parties_.size(); ++to) {
+      if (to == m.from) continue;
+      if (m.to != kBroadcastId && m.to != to) continue;
+      DeliveredMessage delivered;
+      delivered.type = m.type;
+      delivered.from = m.from;
+      delivered.to = m.to;
+      if (m.type == SessionMessageType::kFeedback) {
+        delivered.feedback_wire = m.feedback_wire;
+      } else {
+        // Repair bits cross this recipient's edge channel; no channel
+        // means the hop is simply out of range.
+        const auto edge = edges_.find({m.from, to});
+        if (edge == edges_.end()) continue;
+        delivered.frames.reserve(m.frames.size());
+        for (const auto& frame : m.frames) {
+          ReceivedRepairFrame rf;
+          rf.range = frame.range;
+          rf.aux = frame.aux;
+          rf.origin = frame.origin;
+          rf.coef_mask = frame.coef_mask;
+          rf.suspicion = frame.suspicion;
+          rf.symbols = edge->second(frame.bits);
+          delivered.frames.push_back(std::move(rf));
+        }
+      }
+      auto replies = parties_[to]->HandleMessage(delivered);
+      for (auto& reply : replies) {
+        reply.from = to;
+        queue.push_back(std::move(reply));
+      }
+    }
+  }
+}
+
+SessionRunStats RecoverySession::Run(std::size_t max_rounds) {
+  DestinationParticipant* destination = Destination();
+  if (!destination) {
+    throw std::logic_error("RecoverySession: no destination party");
+  }
+  PartyId destination_id = 0;
+  for (PartyId id = 0; id < parties_.size(); ++id) {
+    if (parties_[id].get() == destination) destination_id = id;
+  }
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    auto opening = destination->StartRound();
+    if (opening.empty()) {
+      stats_.totals.success = true;
+      return stats_;
+    }
+    ++stats_.rounds;
+    for (auto& msg : opening) {
+      msg.from = destination_id;
+      Deliver(msg);
+    }
+  }
+  stats_.totals.success = destination->Complete();
+  return stats_;
+}
+
+SessionRunStats RunRecoveryExchangeSession(const BitVec& payload_bits,
+                                           const PpArqConfig& config,
+                                           const RecoveryStrategy& strategy,
+                                           const BodyChannel& channel,
+                                           std::size_t max_rounds) {
+  const BitVec body = PpArqSender::MakeBody(payload_bits);
+  if (body.size() % config.bits_per_codeword != 0) {
+    throw std::invalid_argument(
+        "RunRecoveryExchange: body bits must be a whole number of codewords");
+  }
+  RecoverySession session;
+  const PartyId source =
+      session.AddParty(strategy.MakeSourceParticipant(body, /*seq=*/1));
+  const PartyId destination = session.AddParty(strategy.MakeDestinationParticipant(
+      /*seq=*/1, body.size() / config.bits_per_codeword));
+  session.SetEdgeChannel(source, destination, channel);
+  session.TransmitInitial(source, body);
+  return session.Run(max_rounds);
+}
+
+SessionRunStats RunRelayRecoveryExchange(const BitVec& payload_bits,
+                                         const PpArqConfig& config,
+                                         const RecoveryStrategy& strategy,
+                                         const RelayExchangeChannels& channels,
+                                         std::size_t max_rounds) {
+  const BitVec body = PpArqSender::MakeBody(payload_bits);
+  if (body.size() % config.bits_per_codeword != 0) {
+    throw std::invalid_argument(
+        "RunRelayRecoveryExchange: body bits must be whole codewords");
+  }
+  const std::size_t total_codewords = body.size() / config.bits_per_codeword;
+  auto relay = strategy.MakeRelayParticipant(/*relay_id=*/1, /*seq=*/1,
+                                             total_codewords);
+  if (!relay) {
+    throw std::invalid_argument(
+        "RunRelayRecoveryExchange: strategy has no relay role");
+  }
+  RecoverySession session;
+  const PartyId source =
+      session.AddParty(strategy.MakeSourceParticipant(body, /*seq=*/1));
+  const PartyId destination = session.AddParty(
+      strategy.MakeDestinationParticipant(/*seq=*/1, total_codewords));
+  const PartyId relay_id = session.AddParty(std::move(relay));
+  static_assert(kSessionSourceId == 0 && kSessionDestinationId == 1 &&
+                kSessionRelayId == 2);
+  session.SetEdgeChannel(source, destination, channels.source_to_destination);
+  session.SetEdgeChannel(source, relay_id, channels.source_to_relay);
+  session.SetEdgeChannel(relay_id, destination,
+                         channels.relay_to_destination);
+  session.TransmitInitial(source, body);
+  return session.Run(max_rounds);
+}
+
+}  // namespace ppr::arq

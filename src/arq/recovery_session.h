@@ -1,0 +1,188 @@
+// Multi-party recovery session: the message-routed protocol engine that
+// replaced the hard-coded sender/receiver duplex loop.
+//
+// A session is a set of RecoveryParticipants — one source, one
+// destination, any number of overhearing relays — connected by directed
+// edges, each with its own BodyChannel (loss process). Participants
+// never see the topology: they ingest typed, addressed SessionMessages
+// (kFeedback, kRepair) and emit messages in response; the RecoverySession
+// engine routes every emitted message, pushing repair bits through the
+// per-edge channel of each (from, to) hop so a relay->destination hop
+// suffers its own corruption, independent of the source's.
+//
+// One round = the destination opens with its feedback (broadcast:
+// every other party hears it for free — feedback frames are tiny and
+// modeled reliable, as in arq/link_sim.h), then every reply is routed
+// until the round drains: the source answers feedback with repair, a
+// relay answers with its own repair, the destination ingests both.
+//
+// The two-party configuration reproduces the legacy
+// RunRecoveryExchange loop exactly — same channel draw order, same
+// accounting — which is what keeps kChunkRetransmit bit-for-bit
+// identical under the redesign. Future strategies (multi-relay,
+// opportunistic routing) plug in as additional participants and edges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arq/link_sim.h"
+#include "arq/recovery_strategy.h"
+#include "common/bitvec.h"
+
+namespace ppr::arq {
+
+using PartyId = std::size_t;
+inline constexpr PartyId kBroadcastId = static_cast<PartyId>(-1);
+
+enum class PartyRole { kSource, kDestination, kRelay };
+enum class SessionMessageType { kFeedback, kRepair };
+
+// A message as emitted by a participant. `from` is stamped by the
+// engine; `to` defaults to broadcast (every other party).
+struct SessionMessage {
+  SessionMessageType type = SessionMessageType::kFeedback;
+  PartyId from = kBroadcastId;
+  PartyId to = kBroadcastId;
+  BitVec feedback_wire;             // kFeedback: reliable control bits
+  std::vector<RepairFrame> frames;  // kRepair: bits cross the edge channel
+  // Airtime of the whole message, descriptors included. Ignored for
+  // kFeedback (the wire's size is the airtime).
+  std::size_t wire_bits = 0;
+};
+
+// The same message as seen by one recipient: repair bits have crossed
+// that recipient's edge channel and arrive as decoded codewords.
+struct DeliveredMessage {
+  SessionMessageType type = SessionMessageType::kFeedback;
+  PartyId from = kBroadcastId;
+  PartyId to = kBroadcastId;
+  BitVec feedback_wire;
+  std::vector<ReceivedRepairFrame> frames;
+};
+
+class RecoveryParticipant {
+ public:
+  virtual ~RecoveryParticipant() = default;
+
+  virtual PartyRole role() const = 0;
+
+  // This party's own copy of the initial transmission, as heard over its
+  // edge from the source (one DecodedSymbol per codeword). Parties with
+  // no edge from the source are never called.
+  virtual void IngestInitial(const std::vector<phy::DecodedSymbol>& symbols) = 0;
+
+  // Round opener; only the destination emits here (its feedback). An
+  // empty result from the destination ends the exchange.
+  virtual std::vector<SessionMessage> StartRound() { return {}; }
+
+  // Typed, addressed ingest; replies are routed within the same round.
+  virtual std::vector<SessionMessage> HandleMessage(
+      const DeliveredMessage& msg) = 0;
+};
+
+// The destination additionally owns completion and the assembled packet.
+class DestinationParticipant : public RecoveryParticipant {
+ public:
+  PartyRole role() const final { return PartyRole::kDestination; }
+  virtual bool Complete() const = 0;
+  virtual BitVec AssembledPayload() const = 0;
+  virtual std::size_t rounds() const = 0;
+};
+
+// Adapters: any duplex RecoverySender/RecoveryReceiver pair runs as a
+// two-party session. The sender answers each feedback with exactly one
+// repair message (even when the plan is empty), preserving the legacy
+// loop's per-round accounting.
+std::unique_ptr<RecoveryParticipant> MakeSenderParticipant(
+    std::unique_ptr<RecoverySender> sender);
+std::unique_ptr<DestinationParticipant> MakeReceiverParticipant(
+    std::unique_ptr<RecoveryReceiver> receiver);
+
+// Per-party traffic, indexed by PartyId (the destination's entry counts
+// its feedback; repair parties count data-direction airtime after the
+// initial transmission).
+struct PartyTraffic {
+  std::size_t repair_bits = 0;
+  std::size_t repair_messages = 0;
+  std::size_t feedback_bits = 0;
+};
+
+struct SessionRunStats {
+  ArqRunStats totals;
+  std::vector<PartyTraffic> parties;
+  // Feedback rounds executed. Not derivable from
+  // totals.data_transmissions in multi-party sessions, where one round
+  // can carry several repair messages.
+  std::size_t rounds = 0;
+};
+
+class RecoverySession {
+ public:
+  // Registers a participant; ids are assigned in call order and double
+  // as the routing order for broadcast delivery. Exactly one
+  // destination is required by Run().
+  PartyId AddParty(std::unique_ptr<RecoveryParticipant> participant);
+
+  // Loss process for data-direction bits on the from -> to edge.
+  // Feedback does not consult channels (reliable); a kRepair message is
+  // simply not heard on edges without a channel.
+  void SetEdgeChannel(PartyId from, PartyId to, BodyChannel channel);
+
+  // The initial packet transmission: one broadcast from `source`; every
+  // party with an incoming edge from it ingests its own loss-process
+  // copy. Counts one data transmission of body.size() bits.
+  void TransmitInitial(PartyId source, const BitVec& body);
+
+  // Runs feedback rounds until the destination stops emitting feedback
+  // or max_rounds is reached.
+  SessionRunStats Run(std::size_t max_rounds);
+
+  RecoveryParticipant& party(PartyId id) { return *parties_.at(id); }
+  std::size_t num_parties() const { return parties_.size(); }
+
+ private:
+  DestinationParticipant* Destination() const;
+  void Deliver(const SessionMessage& msg);
+  void Account(const SessionMessage& msg);
+
+  std::vector<std::unique_ptr<RecoveryParticipant>> parties_;
+  std::map<std::pair<PartyId, PartyId>, BodyChannel> edges_;
+  SessionRunStats stats_;
+};
+
+// Channels of the canonical three-party (Crelay) topology.
+struct RelayExchangeChannels {
+  BodyChannel source_to_destination;
+  BodyChannel source_to_relay;       // the relay's overheard copy
+  BodyChannel relay_to_destination;
+};
+
+// Party ids RunRelayRecoveryExchange assigns (indexes into
+// SessionRunStats::parties).
+inline constexpr PartyId kSessionSourceId = 0;
+inline constexpr PartyId kSessionDestinationId = 1;
+inline constexpr PartyId kSessionRelayId = 2;
+
+// Runs one packet through a source + relay + destination session under
+// `strategy` (the relay party comes from MakeRelayParticipant and must
+// be supported). The relay overhears the initial transmission on its
+// own channel and answers the destination's broadcast feedback.
+SessionRunStats RunRelayRecoveryExchange(const BitVec& payload_bits,
+                                         const PpArqConfig& config,
+                                         const RecoveryStrategy& strategy,
+                                         const RelayExchangeChannels& channels,
+                                         std::size_t max_rounds = 32);
+
+// Two-party session form of arq/link_sim.h's RunRecoveryExchange,
+// exposing the per-party breakdown.
+SessionRunStats RunRecoveryExchangeSession(const BitVec& payload_bits,
+                                           const PpArqConfig& config,
+                                           const RecoveryStrategy& strategy,
+                                           const BodyChannel& channel,
+                                           std::size_t max_rounds = 32);
+
+}  // namespace ppr::arq

@@ -5,7 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "arq/adaptive_burst.h"
 #include "arq/feedback.h"
+#include "arq/recovery_session.h"
 #include "common/crc.h"
 #include "fec/coded_repair.h"
 #include "fec/rlnc.h"
@@ -16,7 +18,72 @@ namespace {
 constexpr unsigned kSeqBits = 16;
 constexpr unsigned kCountBits = 16;
 constexpr unsigned kSeedBits = 32;
+// Reliable per-frame descriptor overhead a relay pays beyond the seed:
+// origin id and a quantized suspicion score (the coefficient mask adds
+// one further bit per FEC source symbol).
+constexpr unsigned kOriginBits = 8;
+constexpr unsigned kSuspicionBits = 16;
 constexpr double kForcedBadHint = std::numeric_limits<double>::infinity();
+
+// Burst requests are bounded so a floor-clamped delivery estimate
+// cannot ask for unbounded streams; both ends compute the same cap so
+// requested always equals sent.
+std::size_t MaxRepairBurst(std::size_t num_source) {
+  return std::min<std::size_t>(0xFFFF, 4 * num_source);
+}
+
+// The SoftPHY-labeled image of a packet body any coded party (the
+// destination, an overhearing relay) assembles from the initial
+// transmission: per-codeword best-hint merge of decoded symbols, plus
+// the FEC-symbol trust labeling derived from the hints. One shared
+// definition keeps every party's view of the codeword-to-bits
+// convention identical.
+struct SoftPhyBody {
+  BitVec bits;
+  std::vector<double> hints;
+  bool received = false;
+
+  SoftPhyBody(std::size_t total_codewords, std::size_t bits_per_codeword)
+      : bits(total_codewords * bits_per_codeword, false),
+        hints(total_codewords, kForcedBadHint) {}
+
+  void Merge(const std::vector<phy::DecodedSymbol>& symbols,
+             std::size_t bits_per_codeword) {
+    if (symbols.size() != hints.size()) {
+      throw std::invalid_argument("IngestInitial: codeword count mismatch");
+    }
+    const std::size_t bpc = bits_per_codeword;
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      if (symbols[i].hint <= hints[i]) {
+        hints[i] = symbols[i].hint;
+        for (std::size_t b = 0; b < bpc; ++b) {
+          bits.Set(i * bpc + b, (symbols[i].symbol >> (bpc - 1 - b)) & 1u);
+        }
+      }
+    }
+    received = true;
+  }
+
+  // Per-FEC-symbol labeling: good[s] iff every codeword in symbol s
+  // clears the eta threshold; suspicion[s] is the symbol's worst hint.
+  struct Labels {
+    std::vector<bool> good;
+    std::vector<double> suspicion;
+  };
+  Labels Label(std::size_t codewords_per_symbol, double eta) const {
+    const std::size_t n =
+        (hints.size() + codewords_per_symbol - 1) / codewords_per_symbol;
+    Labels out;
+    out.good.assign(n, true);
+    out.suspicion.assign(n, 0.0);
+    for (std::size_t cw = 0; cw < hints.size(); ++cw) {
+      const std::size_t s = cw / codewords_per_symbol;
+      if (hints[cw] > eta) out.good[s] = false;
+      out.suspicion[s] = std::max(out.suspicion[s], hints[cw]);
+    }
+    return out;
+  }
+};
 
 // ------------------------------------------------------------------ chunk
 
@@ -114,17 +181,54 @@ class ChunkRetransmitStrategy : public RecoveryStrategy {
 
 // ------------------------------------------------------------------ coded
 
+// Coded feedback wires lead with (seq, requested-from-source); the
+// relay-coded wire appends a second requested count for the relay, so
+// the source parses both layouts identically.
 struct CodedFeedback {
   std::uint16_t seq = 0;
-  std::size_t deficit = 0;
+  std::size_t requested = 0;
 };
 
 std::optional<CodedFeedback> DecodeCodedFeedback(const BitVec& wire) {
   if (wire.size() < kSeqBits + kCountBits) return std::nullopt;
   CodedFeedback out;
   out.seq = static_cast<std::uint16_t>(wire.ReadUint(0, kSeqBits));
-  out.deficit = wire.ReadUint(kSeqBits, kCountBits);
+  out.requested = wire.ReadUint(kSeqBits, kCountBits);
   return out;
+}
+
+// Batches `count` [data || CRC-32] records into body-sized frames.
+// `make_record` is called once per record, in order; it receives the
+// frame pointer on each frame's FIRST record to fill the descriptor
+// (base seed etc. — record k of a frame is expected to use the
+// counter-consecutive seed base + k). A frame costs one reliable
+// descriptor however many records it carries, and a partial collision
+// costs only the records it actually hits. No frame exceeds the
+// original body size — carriers that bound frame length (e.g. the
+// waveform pipeline's max_payload_octets) must keep accepting repair
+// frames whenever they accepted the initial transmission.
+template <typename MakeRecord>
+std::vector<RepairFrame> BatchRepairRecords(std::size_t count,
+                                            std::size_t record_payload_bits,
+                                            std::size_t body_bits,
+                                            std::size_t bits_per_codeword,
+                                            const MakeRecord& make_record) {
+  const std::size_t record_bits = record_payload_bits + 32;
+  const std::size_t per_frame = std::max<std::size_t>(1, body_bits / record_bits);
+  std::vector<RepairFrame> frames;
+  for (std::size_t done = 0; done < count;) {
+    const std::size_t batch = std::min(per_frame, count - done);
+    RepairFrame frame;
+    for (std::size_t k = 0; k < batch; ++k) {
+      const BitVec data = make_record(k == 0 ? &frame : nullptr);
+      frame.bits.AppendBits(data);
+      frame.bits.AppendUint(Crc32Bits(data), 32);
+    }
+    frame.range = CodewordRange{0, frame.bits.size() / bits_per_codeword};
+    frames.push_back(std::move(frame));
+    done += batch;
+  }
+  return frames;
 }
 
 class CodedRepairSender : public RecoverySender {
@@ -143,38 +247,22 @@ class CodedRepairSender : public RecoverySender {
     if (!fb.has_value()) {
       throw std::logic_error("coded feedback round-trip failed");
     }
-    if (fb->seq != seq_ || fb->deficit == 0) return plan;
-    // Size the repair burst by the erasure estimate plus headroom for
-    // symbols the channel will corrupt.
-    const std::size_t deficit = std::min(fb->deficit, encoder_.num_source());
-    const auto headroom = static_cast<std::size_t>(
-        std::ceil(static_cast<double>(deficit) * config_.repair_overhead));
-    const std::size_t count = deficit + headroom;
-    // Symbols ride batched repair packets (S-PRAC style): record k uses
-    // seed base+k and carries its own CRC-32, so a partial collision
-    // costs only the records it actually hits. No packet exceeds the
-    // original body size — carriers that bound frame length (e.g. the
-    // waveform pipeline's max_payload_octets) must keep accepting
-    // repair frames whenever they accepted the initial transmission.
-    const std::size_t record_bits = encoder_.symbol_bytes() * 8 + 32;
-    const std::size_t per_frame =
-        std::max<std::size_t>(1, body_bits_ / record_bits);
     plan.wire_bits = kSeqBits + kCountBits;
-    for (std::size_t done = 0; done < count;) {
-      const std::size_t batch = std::min(per_frame, count - done);
-      const std::uint32_t base_seed = next_seed_;
-      BitVec bits;
-      for (std::size_t k = 0; k < batch; ++k) {
-        const fec::RepairSymbol repair = encoder_.MakeRepair(next_seed_++);
-        const BitVec data = BitVec::FromBytes(repair.data);
-        bits.AppendBits(data);
-        bits.AppendUint(Crc32Bits(data), 32);
-      }
-      plan.wire_bits += kSeedBits + bits.size();
-      plan.frames.push_back(RepairFrame{
-          CodewordRange{0, bits.size() / config_.bits_per_codeword},
-          base_seed, std::move(bits)});
-      done += batch;
+    if (fb->seq != seq_ || fb->requested == 0) return plan;
+    // The receiver sizes its own burst (arq/adaptive_burst.h); the
+    // sender obeys, bounded by the shared cap.
+    const std::size_t count =
+        std::min(fb->requested, MaxRepairBurst(encoder_.num_source()));
+    plan.frames = BatchRepairRecords(
+        count, encoder_.symbol_bytes() * 8, body_bits_,
+        config_.bits_per_codeword, [&](RepairFrame* frame) {
+          const fec::RepairSymbol repair = encoder_.MakeRepair(next_seed_);
+          if (frame) frame->aux = next_seed_;
+          ++next_seed_;
+          return BitVec::FromBytes(repair.data);
+        });
+    for (const auto& frame : plan.frames) {
+      plan.wire_bits += kSeedBits + frame.bits.size();
     }
     return plan;
   }
@@ -187,40 +275,31 @@ class CodedRepairSender : public RecoverySender {
   std::uint32_t next_seed_ = 1;
 };
 
-class CodedRepairReceiver : public RecoveryReceiver {
+// Shared destination core of the coded strategies: SoftPHY-labeled
+// assembly of the initial transmission, the bridge into
+// fec::CodedRepairSession, record parsing, and decode-verify-evict.
+// Subclasses own the feedback wire (how much to request, from whom).
+class CodedReceiverBase : public RecoveryReceiver {
  public:
-  CodedRepairReceiver(std::uint16_t seq, std::size_t total_codewords,
-                      const PpArqConfig& config)
+  CodedReceiverBase(std::uint16_t seq, std::size_t total_codewords,
+                    const PpArqConfig& config)
       : config_(config),
         seq_(seq),
-        bits_(total_codewords * config.bits_per_codeword, false),
-        hints_(total_codewords, kForcedBadHint) {
+        body_(total_codewords, config.bits_per_codeword) {
     if (total_codewords * config.bits_per_codeword <= 32) {
       throw std::invalid_argument(
-          "CodedRepairReceiver: body must exceed the 32-bit trailing CRC");
+          "CodedReceiverBase: body must exceed the 32-bit trailing CRC");
     }
   }
 
   void IngestInitial(const std::vector<phy::DecodedSymbol>& symbols) override {
-    if (symbols.size() != hints_.size()) {
-      throw std::invalid_argument("IngestInitial: codeword count mismatch");
-    }
-    const std::size_t bpc = config_.bits_per_codeword;
-    for (std::size_t i = 0; i < symbols.size(); ++i) {
-      if (symbols[i].hint <= hints_[i]) {
-        hints_[i] = symbols[i].hint;
-        for (std::size_t b = 0; b < bpc; ++b) {
-          bits_.Set(i * bpc + b, (symbols[i].symbol >> (bpc - 1 - b)) & 1u);
-        }
-      }
-    }
-    received_anything_ = true;
+    body_.Merge(symbols, config_.bits_per_codeword);
   }
 
   bool Complete() const override {
     if (decoded_ok_) return true;
-    if (!received_anything_) return false;
-    return BodyCrcOk(bits_);
+    if (!body_.received) return false;
+    return BodyCrcOk(body_.bits);
   }
 
   std::optional<BitVec> BuildFeedbackWire() override {
@@ -231,44 +310,74 @@ class CodedRepairReceiver : public RecoveryReceiver {
     // resolved here: TryFinish evicts suspects, growing the deficit.
     TryFinish();
     if (Complete()) return std::nullopt;
-    BitVec wire;
-    wire.AppendUint(seq_, kSeqBits);
-    wire.AppendUint(std::min<std::size_t>(session_->Deficit(), 0xFFFF),
-                    kCountBits);
-    return wire;
+    return BuildRequestWire();
   }
 
   void IngestRepair(const std::vector<ReceivedRepairFrame>& frames) override {
     if (!session_.has_value() || decoded_ok_) return;
-    const std::size_t payload_bits = session_->symbol_bytes() * 8;
-    const std::size_t record_bits = payload_bits + 32;
-    for (const auto& f : frames) {
-      BitVec rb;
-      for (const auto& s : f.symbols) {
-        rb.AppendUint(s.symbol,
-                      static_cast<unsigned>(config_.bits_per_codeword));
-      }
-      // A frame carries a batch of [data || CRC-32] records; record k
-      // was generated with seed aux+k. Corrupted records are dropped
-      // individually.
-      const std::size_t count = rb.size() / record_bits;
-      for (std::size_t k = 0; k < count; ++k) {
-        const BitVec data = rb.Slice(k * record_bits, payload_bits);
-        const auto crc = static_cast<std::uint32_t>(
-            rb.ReadUint(k * record_bits + payload_bits, 32));
-        if (Crc32Bits(data) != crc) continue;
-        session_->ConsumeRepair(fec::RepairSymbol{
-            f.aux + static_cast<std::uint32_t>(k), data.ToBytes()});
-      }
-    }
+    for (const auto& f : frames) IngestRepairFrame(f);
     TryFinish();
   }
 
   BitVec AssembledPayload() const override {
-    return bits_.Slice(0, bits_.size() - 32);
+    return body_.bits.Slice(0, body_.bits.size() - 32);
   }
 
   std::size_t rounds() const override { return rounds_; }
+
+ protected:
+  // The strategy-specific feedback, built while incomplete (the session
+  // exists and its deficit is current).
+  virtual BitVec BuildRequestWire() = 0;
+  virtual void IngestRepairFrame(const ReceivedRepairFrame& frame) = 0;
+
+  std::size_t Deficit() const { return session_->Deficit(); }
+  std::size_t NumSourceSymbols() const {
+    const std::size_t cps = config_.codewords_per_fec_symbol;
+    return (body_.hints.size() + cps - 1) / cps;
+  }
+  fec::CodedRepairSession& session() { return *session_; }
+  const PpArqConfig& config() const { return config_; }
+  std::uint16_t seq() const { return seq_; }
+
+  // Consumes a source-originated frame: every CRC-valid record is a
+  // trusted repair symbol with seed aux + k (the source's plain-counter
+  // partition); `estimator` learns the delivery count.
+  void ConsumeSourceFrame(const ReceivedRepairFrame& f,
+                          RepairDeliveryEstimator& estimator) {
+    const std::size_t valid = ForEachValidRecord(f, [&](std::size_t k,
+                                                        const BitVec& data) {
+      session().ConsumeRepair(fec::RepairSymbol{
+          f.aux + static_cast<std::uint32_t>(k), data.ToBytes()});
+    });
+    estimator.OnDelivered(valid);
+  }
+
+  // Walks the [data || CRC-32] records of one frame, invoking
+  // `on_record(k, data)` for each record whose CRC verifies; corrupted
+  // records are dropped individually. Returns the number of valid
+  // records.
+  template <typename OnRecord>
+  std::size_t ForEachValidRecord(const ReceivedRepairFrame& f,
+                                 const OnRecord& on_record) {
+    const std::size_t payload_bits = session_->symbol_bytes() * 8;
+    const std::size_t record_bits = payload_bits + 32;
+    BitVec rb;
+    for (const auto& s : f.symbols) {
+      rb.AppendUint(s.symbol, static_cast<unsigned>(config_.bits_per_codeword));
+    }
+    const std::size_t count = rb.size() / record_bits;
+    std::size_t valid = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      const BitVec data = rb.Slice(k * record_bits, payload_bits);
+      const auto crc = static_cast<std::uint32_t>(
+          rb.ReadUint(k * record_bits + payload_bits, 32));
+      if (Crc32Bits(data) != crc) continue;
+      ++valid;
+      on_record(k, data);
+    }
+    return valid;
+  }
 
  private:
   bool BodyCrcOk(const BitVec& body) const {
@@ -282,41 +391,64 @@ class CodedRepairReceiver : public RecoveryReceiver {
     if (session_.has_value()) return;
     const std::size_t cps = config_.codewords_per_fec_symbol;
     auto symbols =
-        fec::BodyToSymbols(bits_, config_.bits_per_codeword, cps);
-    std::vector<bool> good(symbols.size(), true);
-    std::vector<double> suspicion(symbols.size(), 0.0);
-    for (std::size_t cw = 0; cw < hints_.size(); ++cw) {
-      const std::size_t s = cw / cps;
-      if (hints_[cw] > config_.eta) good[s] = false;
-      suspicion[s] = std::max(suspicion[s], hints_[cw]);
-    }
-    session_.emplace(std::move(symbols), std::move(good),
-                     std::move(suspicion));
+        fec::BodyToSymbols(body_.bits, config_.bits_per_codeword, cps);
+    auto labels = body_.Label(cps, config_.eta);
+    session_.emplace(std::move(symbols), std::move(labels.good),
+                     std::move(labels.suspicion));
   }
 
   void TryFinish() {
     if (!session_.has_value() || decoded_ok_) return;
     while (session_->CanDecode()) {
-      const BitVec body = fec::SymbolsToBody(session_->Decode(), bits_.size());
-      if (BodyCrcOk(body)) {
-        bits_ = body;
+      const BitVec decoded =
+          fec::SymbolsToBody(session_->Decode(), body_.bits.size());
+      if (BodyCrcOk(decoded)) {
+        body_.bits = decoded;
         decoded_ok_ = true;
         return;
       }
-      // Wrong basis: a confident-but-wrong systematic row (SoftPHY
-      // miss). Distrust the most suspect rows and keep consuming rank.
+      // Wrong basis: a confident-but-wrong row (the receiver's own
+      // SoftPHY miss, or a relay equation built from one). Distrust the
+      // most suspect rows and keep consuming rank.
       if (session_->EvictSuspects() == 0) return;
     }
   }
 
   PpArqConfig config_;
   std::uint16_t seq_;
-  BitVec bits_;
-  std::vector<double> hints_;
+  SoftPhyBody body_;
   std::optional<fec::CodedRepairSession> session_;
-  bool received_anything_ = false;
   bool decoded_ok_ = false;
   std::size_t rounds_ = 0;
+};
+
+// Two-party coded destination: one estimator, 32-bit (seq, requested)
+// wire.
+class CodedRepairReceiver : public CodedReceiverBase {
+ public:
+  CodedRepairReceiver(std::uint16_t seq, std::size_t total_codewords,
+                      const PpArqConfig& config)
+      : CodedReceiverBase(seq, total_codewords, config),
+        estimator_(1.0 / (1.0 + config.repair_overhead)) {}
+
+ protected:
+  BitVec BuildRequestWire() override {
+    const std::size_t n = BurstSizeForTarget(
+        Deficit(), estimator_.DeliveryRate(), config().repair_target_completion,
+        MaxRepairBurst(NumSourceSymbols()));
+    estimator_.OnRequested(n);
+    BitVec wire;
+    wire.AppendUint(seq(), kSeqBits);
+    wire.AppendUint(n, kCountBits);
+    return wire;
+  }
+
+  void IngestRepairFrame(const ReceivedRepairFrame& f) override {
+    ConsumeSourceFrame(f, estimator_);
+  }
+
+ private:
+  RepairDeliveryEstimator estimator_;
 };
 
 class CodedRepairStrategy : public RecoveryStrategy {
@@ -347,6 +479,219 @@ class CodedRepairStrategy : public RecoveryStrategy {
   PpArqConfig config_;
 };
 
+// ------------------------------------------------------------- relay-coded
+
+// Relay-coded feedback: seq, then one requested count per repair party
+// (source first, then the relay), broadcast so both hear it.
+constexpr std::size_t kRelayWireBits = kSeqBits + 2 * kCountBits;
+
+// Destination of the Crelay strategy: splits each round's deficit
+// between source and relay in proportion to their observed
+// repair-symbol delivery rates ("who is cheaper to hear"), then sizes
+// each share for the target completion probability at that party's own
+// rate. The source always gets at least one symbol of any nonzero
+// deficit: its equations are correct by construction, so progress is
+// guaranteed even against a relay that streams only poison.
+class RelayCodedReceiver : public CodedReceiverBase {
+ public:
+  RelayCodedReceiver(std::uint16_t seq, std::size_t total_codewords,
+                     const PpArqConfig& config)
+      : CodedReceiverBase(seq, total_codewords, config),
+        source_estimator_(1.0 / (1.0 + config.repair_overhead)),
+        relay_estimator_(1.0 / (1.0 + config.repair_overhead)) {}
+
+ protected:
+  BitVec BuildRequestWire() override {
+    const std::size_t deficit = Deficit();
+    const double p_source = source_estimator_.DeliveryRate();
+    const double p_relay = relay_estimator_.DeliveryRate();
+    std::size_t to_relay = static_cast<std::size_t>(
+        std::floor(static_cast<double>(deficit) * p_relay /
+                   (p_source + p_relay)));
+    std::size_t to_source = deficit - to_relay;
+    if (deficit > 0 && to_source == 0) {
+      to_source = 1;
+      to_relay = deficit - 1;
+    }
+    const std::size_t cap = MaxRepairBurst(NumSourceSymbols());
+    const double target = config().repair_target_completion;
+    const std::size_t n_source =
+        BurstSizeForTarget(to_source, p_source, target, cap);
+    const std::size_t n_relay =
+        BurstSizeForTarget(to_relay, p_relay, target, cap);
+    source_estimator_.OnRequested(n_source);
+    relay_estimator_.OnRequested(n_relay);
+    BitVec wire;
+    wire.AppendUint(seq(), kSeqBits);
+    wire.AppendUint(n_source, kCountBits);
+    wire.AppendUint(n_relay, kCountBits);
+    return wire;
+  }
+
+  void IngestRepairFrame(const ReceivedRepairFrame& f) override {
+    if (f.origin == 0) {
+      ConsumeSourceFrame(f, source_estimator_);
+      return;
+    }
+    // A relay equation spans only the symbols its mask names; its
+    // correctness rests on the relay's own SoftPHY labeling, so it is
+    // banked evictable under the relay-reported suspicion.
+    if (f.coef_mask.size() != NumSourceSymbols()) return;
+    std::vector<bool> have(f.coef_mask.size());
+    for (std::size_t i = 0; i < have.size(); ++i) have[i] = f.coef_mask.Get(i);
+    const std::size_t valid = ForEachValidRecord(f, [&](std::size_t k,
+                                                        const BitVec& data) {
+      // Record k's seed is counter-consecutive with the frame's base
+      // seed INSIDE the origin's 24-bit partition (fec::PartySeed), so
+      // the reconstruction wraps exactly as the relay's counter did.
+      const std::uint32_t seed = fec::PartySeed(
+          f.origin, (f.aux & 0xFFFFFFu) + static_cast<std::uint32_t>(k));
+      session().ConsumeEquation(fec::MaskedCoefficients(seed, have),
+                                data.ToBytes(), f.suspicion,
+                                /*evictable=*/true);
+    });
+    relay_estimator_.OnDelivered(valid);
+  }
+
+ private:
+  RepairDeliveryEstimator source_estimator_;
+  RepairDeliveryEstimator relay_estimator_;
+};
+
+// The overhearing relay: assembles its own (partial, possibly
+// miss-corrupted) copy of the initial transmission, and answers the
+// destination's broadcast feedback with masked RLNC equations over the
+// symbols it trusts, seeded from its own partition of the seed space.
+class RelayRepairParticipant : public RecoveryParticipant {
+ public:
+  RelayRepairParticipant(std::uint8_t relay_id, std::uint16_t seq,
+                         std::size_t total_codewords,
+                         const PpArqConfig& config)
+      : config_(config),
+        relay_id_(relay_id),
+        seq_(seq),
+        body_(total_codewords, config.bits_per_codeword) {
+    if (relay_id == 0) {
+      throw std::invalid_argument("relay id 0 is the source's partition");
+    }
+  }
+
+  PartyRole role() const override { return PartyRole::kRelay; }
+
+  void IngestInitial(const std::vector<phy::DecodedSymbol>& symbols) override {
+    body_.Merge(symbols, config_.bits_per_codeword);
+  }
+
+  std::vector<SessionMessage> HandleMessage(
+      const DeliveredMessage& msg) override {
+    if (msg.type != SessionMessageType::kFeedback || !body_.received) {
+      return {};
+    }
+    const BitVec& wire = msg.feedback_wire;
+    if (wire.size() < kRelayWireBits ||
+        wire.ReadUint(0, kSeqBits) != seq_) {
+      return {};
+    }
+    const std::size_t requested =
+        wire.ReadUint(kSeqBits + kCountBits, kCountBits);
+    if (requested == 0) return {};
+    EnsureLabeled();
+    if (num_trusted_ == 0) return {};  // nothing usable overheard
+
+    const std::size_t count =
+        std::min(requested, MaxRepairBurst(symbols_.size()));
+    SessionMessage reply;
+    reply.type = SessionMessageType::kRepair;
+    reply.to = msg.from;
+    BitVec mask;
+    for (const bool h : have_) mask.PushBack(h);
+    reply.frames = BatchRepairRecords(
+        count, symbols_.front().size() * 8, body_.bits.size(),
+        config_.bits_per_codeword, [&](RepairFrame* frame) {
+          const std::uint32_t seed = fec::PartySeed(relay_id_, counter_++);
+          if (frame) {
+            frame->aux = seed;
+            frame->origin = relay_id_;
+            frame->coef_mask = mask;
+            frame->suspicion = suspicion_;
+          }
+          const fec::RepairSymbol repair =
+              fec::MakeMaskedRepair(symbols_, have_, seed);
+          return BitVec::FromBytes(repair.data);
+        });
+    reply.wire_bits = 0;
+    for (const auto& frame : reply.frames) {
+      reply.wire_bits += kSeedBits + kOriginBits + kSuspicionBits +
+                         frame.coef_mask.size() + frame.bits.size();
+    }
+    return {std::move(reply)};
+  }
+
+ private:
+  // Splits the overheard body into FEC symbols and labels each trusted
+  // when every codeword clears the SoftPHY threshold; the reported
+  // suspicion is the worst hint across the trusted span.
+  void EnsureLabeled() {
+    if (!symbols_.empty()) return;
+    const std::size_t cps = config_.codewords_per_fec_symbol;
+    symbols_ = fec::BodyToSymbols(body_.bits, config_.bits_per_codeword, cps);
+    const auto labels = body_.Label(cps, config_.eta);
+    have_ = labels.good;
+    for (std::size_t s = 0; s < have_.size(); ++s) {
+      if (!have_[s]) continue;
+      ++num_trusted_;
+      suspicion_ = std::max(suspicion_, labels.suspicion[s]);
+    }
+  }
+
+  PpArqConfig config_;
+  std::uint8_t relay_id_;
+  std::uint16_t seq_;
+  SoftPhyBody body_;
+  std::vector<std::vector<std::uint8_t>> symbols_;
+  std::vector<bool> have_;
+  double suspicion_ = 0.0;
+  std::size_t num_trusted_ = 0;
+  std::uint32_t counter_ = 1;
+};
+
+class RelayCodedStrategy : public RecoveryStrategy {
+ public:
+  explicit RelayCodedStrategy(const PpArqConfig& config) : config_(config) {
+    const std::size_t symbol_bits =
+        config.bits_per_codeword * config.codewords_per_fec_symbol;
+    if (symbol_bits == 0 || symbol_bits % 8 != 0) {
+      throw std::invalid_argument(
+          "RelayCodedStrategy: FEC symbol must be whole octets");
+    }
+  }
+
+  const char* Name() const override { return "relay-coded-repair"; }
+
+  // The source is the coded-repair sender unchanged: its seed counter
+  // is party 0's partition, and it parses the leading (seq, requested)
+  // fields the relay wire shares with the coded wire.
+  std::unique_ptr<RecoverySender> MakeSender(const BitVec& body_bits,
+                                             std::uint16_t seq) const override {
+    return std::make_unique<CodedRepairSender>(body_bits, seq, config_);
+  }
+
+  std::unique_ptr<RecoveryReceiver> MakeReceiver(
+      std::uint16_t seq, std::size_t total_codewords) const override {
+    return std::make_unique<RelayCodedReceiver>(seq, total_codewords, config_);
+  }
+
+  std::unique_ptr<RecoveryParticipant> MakeRelayParticipant(
+      std::uint8_t relay_id, std::uint16_t seq,
+      std::size_t total_codewords) const override {
+    return std::make_unique<RelayRepairParticipant>(relay_id, seq,
+                                                    total_codewords, config_);
+  }
+
+ private:
+  PpArqConfig config_;
+};
+
 }  // namespace
 
 std::unique_ptr<RecoveryStrategy> MakeRecoveryStrategy(
@@ -356,6 +701,8 @@ std::unique_ptr<RecoveryStrategy> MakeRecoveryStrategy(
       return std::make_unique<ChunkRetransmitStrategy>(config);
     case RecoveryMode::kCodedRepair:
       return std::make_unique<CodedRepairStrategy>(config);
+    case RecoveryMode::kRelayCodedRepair:
+      return std::make_unique<RelayCodedStrategy>(config);
   }
   throw std::logic_error("MakeRecoveryStrategy: unknown mode");
 }

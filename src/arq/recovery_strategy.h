@@ -1,23 +1,28 @@
 // Pluggable recovery strategies for PP-ARQ.
 //
 // A strategy owns one question: given the receiver's view of a partial
-// packet, what does the sender put on the air to finish it? Two
-// implementations ship:
+// packet, what goes on the air to finish it? Three implementations ship:
 //
 //   kChunkRetransmit — the paper's protocol: the receiver's dynamic
 //     program picks chunks, the sender retransmits exactly those bits
 //     (PpArqSender/PpArqReceiver, unchanged).
-//   kCodedRepair — the S-PRAC/Crelay direction: feedback carries only a
-//     deficit count, and the sender streams systematic RLNC repair
-//     symbols (src/fec/) until the receiver's decoder reaches full rank.
-//     Repair symbols carry their own CRC-32, so corrupted ones are
-//     dropped rather than poisoning the basis, and any overhearing node
-//     could in principle contribute symbols — the hook for future
-//     relay-assisted strategies.
+//   kCodedRepair — the S-PRAC direction: feedback carries a requested
+//     repair count (sized adaptively, arq/adaptive_burst.h), and the
+//     sender streams systematic RLNC repair symbols (src/fec/) until
+//     the receiver's decoder reaches full rank. Repair symbols carry
+//     their own CRC-32, so corrupted ones are dropped rather than
+//     poisoning the basis.
+//   kRelayCodedRepair — the Crelay direction: an overhearing relay with
+//     its own partial copy of the initial transmission also answers the
+//     destination's (broadcast) feedback, streaming masked RLNC
+//     equations from a relay-id-partitioned seed space; the destination
+//     splits each round's burst between source and relay by who is
+//     cheaper to hear.
 //
-// Both sides of a strategy share a wire format for feedback; the run
-// loop (arq/link_sim.h: RunRecoveryExchange) only moves opaque bits.
-// Frame descriptors (ranges, coefficient seeds) travel reliably with
+// All parties of a strategy share a wire format for feedback; the run
+// loops (arq/link_sim.h: RunRecoveryExchange for the duplex case,
+// arq/recovery_session.h for multi-party) only move opaque bits. Frame
+// descriptors (ranges, coefficient seeds, masks) travel reliably with
 // each repair frame, exactly as chunk-mode segment descriptors do.
 #pragma once
 
@@ -34,11 +39,24 @@ namespace ppr::arq {
 
 // One forward-direction repair frame.
 struct RepairFrame {
+  RepairFrame() = default;
+  RepairFrame(CodewordRange r, std::uint32_t a, BitVec b)
+      : range(r), aux(a), bits(std::move(b)) {}
+
   // Chunk mode: the segment's codeword extent in the packet body.
   // Coded mode: the extent of this frame's own bits (offset 0).
   CodewordRange range;
-  std::uint32_t aux = 0;  // coded mode: repair-coefficient seed
+  std::uint32_t aux = 0;  // coded mode: base repair-coefficient seed
   BitVec bits;            // crosses the body channel
+  // Relay-coded descriptor extras, carried reliably like range/aux.
+  // `origin` is the repair party (0 = source, 1+ = relay id); a
+  // non-empty `coef_mask` (one bit per FEC source symbol) restricts the
+  // seed's coefficient vector to the symbols the origin actually holds;
+  // `suspicion` is the origin's worst SoftPHY hint across those
+  // symbols, ordering eviction if the equation turns out poisoned.
+  std::uint8_t origin = 0;
+  BitVec coef_mask;
+  double suspicion = 0.0;
 };
 
 struct RepairPlan {
@@ -50,9 +68,17 @@ struct RepairPlan {
 
 // A repair frame as decoded at the receiver.
 struct ReceivedRepairFrame {
+  ReceivedRepairFrame() = default;
+  ReceivedRepairFrame(CodewordRange r, std::uint32_t a,
+                      std::vector<phy::DecodedSymbol> s)
+      : range(r), aux(a), symbols(std::move(s)) {}
+
   CodewordRange range;
   std::uint32_t aux = 0;
   std::vector<phy::DecodedSymbol> symbols;
+  std::uint8_t origin = 0;
+  BitVec coef_mask;
+  double suspicion = 0.0;
 };
 
 class RecoverySender {
@@ -86,7 +112,14 @@ class RecoveryReceiver {
   virtual std::size_t rounds() const = 0;
 };
 
-// Factory pairing the two ends of one strategy.
+// Multi-party session roles (arq/recovery_session.h). Every strategy
+// can be driven as a session: the default source/destination
+// participants wrap MakeSender/MakeReceiver, and strategies without a
+// relay role return nullptr from MakeRelayParticipant.
+class RecoveryParticipant;
+class DestinationParticipant;
+
+// Factory for the parties of one strategy.
 class RecoveryStrategy {
  public:
   virtual ~RecoveryStrategy() = default;
@@ -99,6 +132,19 @@ class RecoveryStrategy {
 
   virtual std::unique_ptr<RecoveryReceiver> MakeReceiver(
       std::uint16_t seq, std::size_t total_codewords) const = 0;
+
+  // Session roles. The defaults (recovery_session.cc) adapt the duplex
+  // pair above, so two-party sessions behave exactly like the legacy
+  // sender/receiver exchange.
+  virtual std::unique_ptr<RecoveryParticipant> MakeSourceParticipant(
+      const BitVec& body_bits, std::uint16_t seq) const;
+  virtual std::unique_ptr<DestinationParticipant> MakeDestinationParticipant(
+      std::uint16_t seq, std::size_t total_codewords) const;
+  // An overhearing relay (relay_id >= 1 keys its repair-seed partition);
+  // nullptr when the strategy has no relay role.
+  virtual std::unique_ptr<RecoveryParticipant> MakeRelayParticipant(
+      std::uint8_t relay_id, std::uint16_t seq,
+      std::size_t total_codewords) const;
 };
 
 // Builds the strategy selected by `config.recovery`.

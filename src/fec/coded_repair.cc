@@ -70,11 +70,23 @@ CodedRepairSession::CodedRepairSession(
 }
 
 bool CodedRepairSession::ConsumeRepair(const RepairSymbol& repair) {
-  if (repair.data.size() != symbol_bytes()) {
-    throw std::invalid_argument("ConsumeRepair: symbol size mismatch");
+  return ConsumeEquation(RepairCoefficients(repair.seed, num_source()),
+                         repair.data, /*suspicion=*/0.0, /*evictable=*/false);
+}
+
+bool CodedRepairSession::ConsumeEquation(std::vector<std::uint8_t> coefs,
+                                         std::vector<std::uint8_t> data,
+                                         double suspicion, bool evictable) {
+  if (coefs.size() != num_source() || data.size() != symbol_bytes()) {
+    throw std::invalid_argument("ConsumeEquation: shape mismatch");
   }
-  repairs_.push_back(repair);
-  return decoder_.AddRepair(repair);
+  BankedEquation eq;
+  eq.coefs = coefs;
+  eq.data = data;
+  eq.suspicion = suspicion;
+  eq.evictable = evictable;
+  equations_.push_back(std::move(eq));
+  return decoder_.AddEquation(std::move(coefs), std::move(data));
 }
 
 std::vector<std::vector<std::uint8_t>> CodedRepairSession::Decode() const {
@@ -88,17 +100,35 @@ std::vector<std::vector<std::uint8_t>> CodedRepairSession::Decode() const {
 }
 
 std::size_t CodedRepairSession::EvictSuspects() {
-  // Most suspect trusted symbols first; stable order for determinism.
-  std::vector<std::size_t> order;
+  // One candidate list across both row kinds — still-trusted systematic
+  // symbols and still-banked evictable (relay) equations — most suspect
+  // first; stable order for determinism.
+  struct Candidate {
+    double suspicion;
+    bool is_equation;
+    std::size_t index;
+  };
+  std::vector<Candidate> order;
   for (std::size_t i = 0; i < num_source(); ++i) {
-    if (trusted_[i]) order.push_back(i);
+    if (trusted_[i]) order.push_back({suspicion_[i], false, i});
+  }
+  for (std::size_t e = 0; e < equations_.size(); ++e) {
+    if (equations_[e].evictable && !equations_[e].distrusted) {
+      order.push_back({equations_[e].suspicion, true, e});
+    }
   }
   std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return suspicion_[a] > suspicion_[b];
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.suspicion > b.suspicion;
                    });
   const std::size_t count = std::min(evict_batch_, order.size());
-  for (std::size_t k = 0; k < count; ++k) trusted_[order[k]] = false;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (order[k].is_equation) {
+      equations_[order[k].index].distrusted = true;
+    } else {
+      trusted_[order[k].index] = false;
+    }
+  }
   evict_batch_ *= 2;
   if (count > 0) Rebuild();
   return count;
@@ -115,7 +145,9 @@ void CodedRepairSession::Rebuild() {
   for (std::size_t i = 0; i < num_source(); ++i) {
     if (trusted_[i]) decoder_.AddSource(i, received_[i]);
   }
-  for (const auto& r : repairs_) decoder_.AddRepair(r);
+  for (const auto& eq : equations_) {
+    if (!eq.distrusted) decoder_.AddEquation(eq.coefs, eq.data);
+  }
 }
 
 }  // namespace ppr::fec

@@ -9,11 +9,14 @@
 // chunk copies. Rank completion yields a decode candidate; the caller
 // verifies it (packet CRC-32). When verification fails — a SoftPHY miss
 // put a wrong-but-confident symbol into the basis — EvictSuspects()
-// drops the least trustworthy systematic rows (doubling the batch each
-// failure) and rebuilds the basis from the survivors plus every repair
-// equation already banked, so recovery converges even when every
-// systematic row is poisoned: the repair stream alone can carry the
-// packet.
+// drops the least trustworthy rows (doubling the batch each failure)
+// and rebuilds the basis from the survivors plus every equation still
+// banked. Rows come in two kinds: the receiver's own systematic
+// symbols, and foreign equations from overhearing relays
+// (ConsumeEquation with evictable=true), whose copy of the body may
+// itself carry a miss; both share one suspicion ordering, so recovery
+// converges even when every systematic row and every relay equation is
+// poisoned: the source's repair stream alone can carry the packet.
 #pragma once
 
 #include <cstddef>
@@ -53,28 +56,49 @@ class CodedRepairSession {
 
   bool CanDecode() const { return decoder_.Complete(); }
 
-  // Banks a (CRC-validated) repair symbol; returns true if it increased
-  // the rank.
+  // Banks a (CRC-validated) repair symbol from the source; returns true
+  // if it increased the rank. Source equations are correct by
+  // construction (the sender combines its own ground-truth bits), so
+  // they are never candidates for eviction.
   bool ConsumeRepair(const RepairSymbol& repair);
+
+  // Banks an arbitrary (CRC-validated) equation: coefs . source = data.
+  // `evictable` marks equations computed from a foreign, unverifiable
+  // copy of the body (an overhearing relay): they pass the wire CRC yet
+  // may still encode a SoftPHY miss, so a failed packet verify may
+  // distrust them, ordered by `suspicion` alongside the systematic rows.
+  bool ConsumeEquation(std::vector<std::uint8_t> coefs,
+                       std::vector<std::uint8_t> data, double suspicion,
+                       bool evictable);
 
   // Decoded source symbols; requires CanDecode().
   std::vector<std::vector<std::uint8_t>> Decode() const;
 
   // The last decode failed external verification: distrust the most
-  // suspect still-trusted symbols and rebuild the basis. Returns how
-  // many symbols were evicted (0 when none remain trusted).
+  // suspect of the still-trusted systematic symbols and the still-banked
+  // evictable equations (one suspicion ordering across both kinds) and
+  // rebuild the basis. Returns how many rows were distrusted (0 when
+  // nothing evictable remains).
   std::size_t EvictSuspects();
 
   std::size_t num_trusted() const;
-  std::size_t repairs_banked() const { return repairs_.size(); }
+  std::size_t repairs_banked() const { return equations_.size(); }
 
  private:
+  struct BankedEquation {
+    std::vector<std::uint8_t> coefs;
+    std::vector<std::uint8_t> data;
+    double suspicion = 0.0;
+    bool evictable = false;
+    bool distrusted = false;
+  };
+
   void Rebuild();
 
   std::vector<std::vector<std::uint8_t>> received_;
   std::vector<bool> trusted_;
   std::vector<double> suspicion_;
-  std::vector<RepairSymbol> repairs_;
+  std::vector<BankedEquation> equations_;
   RlncDecoder decoder_;
   std::size_t evict_batch_ = 1;
 };

@@ -19,6 +19,46 @@ std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
   return coefs;
 }
 
+std::uint32_t PartySeed(std::uint8_t party, std::uint32_t counter) {
+  return (static_cast<std::uint32_t>(party) << 24) | (counter & 0xFFFFFFu);
+}
+
+std::vector<std::uint8_t> MaskedCoefficients(std::uint32_t seed,
+                                             const std::vector<bool>& have) {
+  auto coefs = RepairCoefficients(seed, have.size());
+  for (std::size_t i = 0; i < have.size(); ++i) {
+    if (!have[i]) coefs[i] = 0;
+  }
+  return coefs;
+}
+
+RepairSymbol MakeMaskedRepair(
+    const std::vector<std::vector<std::uint8_t>>& symbols,
+    const std::vector<bool>& have, std::uint32_t seed) {
+  if (symbols.size() != have.size() || symbols.empty()) {
+    throw std::invalid_argument("MakeMaskedRepair: mask shape mismatch");
+  }
+  std::size_t width = 0;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (have[i]) width = symbols[i].size();
+  }
+  if (width == 0) {
+    throw std::invalid_argument("MakeMaskedRepair: empty mask");
+  }
+  RepairSymbol out;
+  out.seed = seed;
+  out.data.assign(width, 0);
+  const auto coefs = MaskedCoefficients(seed, have);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (coefs[i] == 0) continue;
+    if (symbols[i].size() != width) {
+      throw std::invalid_argument("MakeMaskedRepair: ragged symbols");
+    }
+    GfAxpy(out.data, coefs[i], symbols[i]);
+  }
+  return out;
+}
+
 RlncEncoder::RlncEncoder(std::vector<std::vector<std::uint8_t>> source)
     : source_(std::move(source)) {
   if (source_.empty() || source_.front().empty()) {

@@ -35,6 +35,28 @@ struct RepairSymbol {
 std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
                                              std::size_t n_source);
 
+// Partitions the 32-bit seed space by originating repair party so
+// concurrent streams (the source plus any overhearing relays) can never
+// emit colliding seeds: party p owns seeds [p << 24, (p + 1) << 24).
+// Party 0 (the source) keeps the plain counter range existing senders
+// already use.
+std::uint32_t PartySeed(std::uint8_t party, std::uint32_t counter);
+
+// A repair equation over a PARTIAL view of the source block (the relay
+// case): coefficients are regenerated densely from `seed`, then zeroed
+// wherever `have` is false, and the combination runs over `symbols`
+// (the relay's own copies). The receiving decoder must apply the same
+// mask to accept the equation; the mask travels with the frame
+// descriptor. `symbols` indices with have[i] == false are never read.
+RepairSymbol MakeMaskedRepair(
+    const std::vector<std::vector<std::uint8_t>>& symbols,
+    const std::vector<bool>& have, std::uint32_t seed);
+
+// The masked coefficient vector the receiver must use for a relay
+// equation: RepairCoefficients(seed) with non-`have` entries zeroed.
+std::vector<std::uint8_t> MaskedCoefficients(std::uint32_t seed,
+                                             const std::vector<bool>& have);
+
 class RlncEncoder {
  public:
   // All source symbols must be non-empty and the same size.

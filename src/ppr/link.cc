@@ -118,9 +118,28 @@ arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
   return arq::RunPpArqExchange(payload, arq_config, channel);
 }
 
+arq::SessionRunStats RunWaveformRelayRecovery(
+    std::size_t payload_octets, const arq::PpArqConfig& arq_config,
+    const WaveformChannelParams& direct, const RelayWaveformParams& relay,
+    Rng& payload_rng) {
+  BitVec payload;
+  for (std::size_t i = 0; i < payload_octets; ++i) {
+    payload.AppendUint(payload_rng.UniformInt(256), 8);
+  }
+  arq::PpArqConfig config = arq_config;
+  config.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  arq::RelayExchangeChannels channels;
+  channels.source_to_destination = MakeWaveformChannel(direct);
+  channels.source_to_relay = MakeWaveformChannel(relay.overhear);
+  channels.relay_to_destination = MakeWaveformChannel(relay.relay_link);
+  const auto strategy = arq::MakeRecoveryStrategy(config);
+  return arq::RunRelayRecoveryExchange(payload, config, *strategy, channels);
+}
+
 RecoveryComparison CompareRecoveryStrategies(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
-    const WaveformChannelParams& params, std::uint64_t payload_seed) {
+    const WaveformChannelParams& params, std::uint64_t payload_seed,
+    const RelayWaveformParams* relay) {
   RecoveryComparison out;
   arq::PpArqConfig config = arq_config;
 
@@ -131,6 +150,12 @@ RecoveryComparison CompareRecoveryStrategies(
   config.recovery = arq::RecoveryMode::kCodedRepair;
   Rng coded_rng(payload_seed);
   out.coded = RunWaveformPpArq(payload_octets, config, params, coded_rng);
+
+  if (relay) {
+    Rng relay_rng(payload_seed);
+    out.relay = RunWaveformRelayRecovery(payload_octets, arq_config, params,
+                                         *relay, relay_rng);
+  }
   return out;
 }
 

@@ -12,8 +12,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
 #include "arq/link_sim.h"
+#include "arq/recovery_session.h"
 #include "common/rng.h"
 #include "ppr/receiver_pipeline.h"
 
@@ -47,16 +49,38 @@ arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
                                   const WaveformChannelParams& params,
                                   Rng& payload_rng);
 
-// Runs the same payload under both recovery strategies, each over an
-// identically seeded waveform channel, so their repair traffic is
-// directly comparable (the coded-vs-uncoded Figure 16 variant).
+// The relay-capable waveform variant: a second receiver overhears the
+// source at its own SNR/collision climate (`overhear`), and the
+// relay -> destination hop is its own waveform link (`relay_link`).
+struct RelayWaveformParams {
+  WaveformChannelParams overhear;     // source -> relay copy
+  WaveformChannelParams relay_link;   // relay -> destination
+};
+
+// One kRelayCodedRepair exchange with every hop carried by a real
+// waveform channel. The per-party breakdown (ids in
+// arq/recovery_session.h) is what separates source-transmitted repair
+// bits from the relay's contribution.
+arq::SessionRunStats RunWaveformRelayRecovery(
+    std::size_t payload_octets, const arq::PpArqConfig& arq_config,
+    const WaveformChannelParams& direct, const RelayWaveformParams& relay,
+    Rng& payload_rng);
+
+// Runs the same payload under each recovery strategy, each over an
+// identically seeded direct waveform channel, so their repair traffic
+// is directly comparable (the coded-vs-uncoded Figure 16 variant).
+// When `relay` is supplied the comparison grows its third leg:
+// kRelayCodedRepair over the same direct channel plus the overhearing
+// topology.
 struct RecoveryComparison {
   arq::ArqRunStats chunk;
   arq::ArqRunStats coded;
+  std::optional<arq::SessionRunStats> relay;
 };
 
 RecoveryComparison CompareRecoveryStrategies(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
-    const WaveformChannelParams& params, std::uint64_t payload_seed);
+    const WaveformChannelParams& params, std::uint64_t payload_seed,
+    const RelayWaveformParams* relay = nullptr);
 
 }  // namespace ppr::core

@@ -1,11 +1,14 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <thread>
 
 #include "arq/link_sim.h"
+#include "arq/recovery_session.h"
 #include "phy/channel.h"
 
 namespace ppr::sim {
@@ -102,67 +105,192 @@ ExperimentResult TestbedExperiment::Run(
   return result;
 }
 
+namespace {
+
+// Gilbert-Elliott parameters for a hop at the given SNR: clean-state
+// chip errors at the link SNR (plus the receiver model's error floor);
+// impairment bursts per the model.
+arq::GilbertElliottParams LinkGeParams(const ExperimentConfig& config,
+                                       double snr_db) {
+  arq::GilbertElliottParams ge;
+  ge.chip_error_good =
+      std::min(0.5, phy::ChipErrorProbability(std::pow(10.0, snr_db / 10.0)) +
+                        config.receiver.good_chip_floor);
+  ge.chip_error_bad = config.receiver.impaired_chip_error;
+  ge.p_good_to_bad = config.receiver.impairment_rate;
+  ge.p_bad_to_good = config.receiver.impairment_exit;
+  return ge;
+}
+
+// One audible link's work item: everything a worker needs, including
+// its pre-forked RNG, fixed before any thread runs.
+struct LinkJob {
+  std::size_t sender = 0;
+  std::size_t receiver = 0;
+  double snr_db = 0.0;
+  std::size_t relay = kNoRelay;
+  double overhear_snr_db = 0.0;
+  double relay_snr_db = 0.0;
+  Rng link_rng{0};
+};
+
+// `fallback` replaces `strategy` on relay-mode links with no recruited
+// overhearer: a two-party exchange under the relay-aware destination
+// would waste its round-one burst split on a party that does not
+// exist, so such links run plain coded repair instead.
+LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
+                             const RecoveryExperimentConfig& recovery,
+                             const arq::RecoveryStrategy& strategy,
+                             const arq::RecoveryStrategy& fallback,
+                             const phy::ChipCodebook& codebook, LinkJob job) {
+  LinkRecoveryStats link;
+  link.sender = job.sender;
+  link.receiver = job.receiver;
+  link.snr_db = job.snr_db;
+  link.relay = job.relay;
+  Rng channel_rng = job.link_rng.Fork();
+  Rng payload_rng = job.link_rng.Fork();
+  const bool use_relay = job.relay != kNoRelay;
+  // Relay hops fork after the legacy streams, so the direct channel and
+  // payloads draw identically across all three strategies.
+  Rng overhear_rng = job.link_rng.Fork();
+  Rng relay_rng = job.link_rng.Fork();
+
+  const auto channel = arq::MakeGilbertElliottChannel(
+      codebook, LinkGeParams(config, job.snr_db), channel_rng);
+  arq::RelayExchangeChannels channels;
+  if (use_relay) {
+    channels.source_to_destination = channel;
+    channels.source_to_relay = arq::MakeGilbertElliottChannel(
+        codebook, LinkGeParams(config, job.overhear_snr_db), overhear_rng);
+    channels.relay_to_destination = arq::MakeGilbertElliottChannel(
+        codebook, LinkGeParams(config, job.relay_snr_db), relay_rng);
+  }
+
+  for (std::size_t p = 0; p < recovery.packets_per_link; ++p) {
+    BitVec payload;
+    for (std::size_t b = 0; b < recovery.payload_octets; ++b) {
+      payload.AppendUint(payload_rng.UniformInt(256), 8);
+    }
+    arq::SessionRunStats stats;
+    if (use_relay) {
+      stats = arq::RunRelayRecoveryExchange(payload, recovery.arq, strategy,
+                                            channels, recovery.max_rounds);
+      link.relay_repair_bits +=
+          stats.parties[arq::kSessionRelayId].repair_bits;
+    } else {
+      stats = arq::RunRecoveryExchangeSession(payload, recovery.arq, fallback,
+                                              channel, recovery.max_rounds);
+    }
+    link.source_repair_bits += stats.parties[arq::kSessionSourceId].repair_bits;
+    ++link.packets;
+    if (stats.totals.success) ++link.completed;
+    link.feedback_bits += stats.totals.feedback_bits;
+    link.feedback_rounds += stats.rounds;
+    for (const auto bits : stats.totals.retransmission_bits) {
+      link.repair_bits += bits;
+    }
+  }
+  return link;
+}
+
+}  // namespace
+
 RecoveryExperimentResult RunLinkRecoveryExperiment(
     const ExperimentConfig& config, const RecoveryExperimentConfig& recovery) {
   const TestbedTopology topology(config.testbed);
   const RadioMedium medium(topology.Positions(), config.medium);
   const phy::ChipCodebook codebook;
   const auto strategy = arq::MakeRecoveryStrategy(recovery.arq);
+  const bool relay_mode =
+      recovery.arq.recovery == arq::RecoveryMode::kRelayCodedRepair;
+  // Relay-less links under relay mode degrade to plain coded repair.
+  arq::PpArqConfig fallback_config = recovery.arq;
+  if (relay_mode) fallback_config.recovery = arq::RecoveryMode::kCodedRepair;
+  const auto fallback = relay_mode ? arq::MakeRecoveryStrategy(fallback_config)
+                                   : nullptr;
 
-  RecoveryExperimentResult result;
+  // Serial pass: enumerate audible links and fix their seeds. Every
+  // (sender, receiver) pair forks `root` in the same order whether or
+  // not it is audible, so the draw sequence is identical across
+  // recovery modes and thread counts.
+  std::vector<LinkJob> jobs;
   Rng root(recovery.seed);
   for (std::size_t r = 0; r < topology.NumReceivers(); ++r) {
     for (std::size_t i = 0; i < topology.NumSenders(); ++i) {
       const std::size_t sender = topology.SenderId(i);
       const std::size_t receiver = topology.ReceiverId(r);
       const double snr_db = medium.LinkSnrDb(sender, receiver);
-      // Every link draws from `root` in a fixed order so the draw
-      // sequence is identical across recovery modes.
       Rng link_rng = root.Fork();
       if (snr_db < config.min_link_snr_db) continue;
-
-      // Clean-state chip errors at the link SNR (plus the receiver
-      // model's error floor); impairment bursts per the model.
-      arq::GilbertElliottParams ge;
-      ge.chip_error_good =
-          std::min(0.5, phy::ChipErrorProbability(
-                            std::pow(10.0, snr_db / 10.0)) +
-                            config.receiver.good_chip_floor);
-      ge.chip_error_bad = config.receiver.impaired_chip_error;
-      ge.p_good_to_bad = config.receiver.impairment_rate;
-      ge.p_bad_to_good = config.receiver.impairment_exit;
-
-      LinkRecoveryStats link;
-      link.sender = sender;
-      link.receiver = receiver;
-      link.snr_db = snr_db;
-      Rng channel_rng = link_rng.Fork();
-      Rng payload_rng = link_rng.Fork();
-      const auto channel =
-          arq::MakeGilbertElliottChannel(codebook, ge, channel_rng);
-      for (std::size_t p = 0; p < recovery.packets_per_link; ++p) {
-        BitVec payload;
-        for (std::size_t b = 0; b < recovery.payload_octets; ++b) {
-          payload.AppendUint(payload_rng.UniformInt(256), 8);
-        }
-        const auto stats = arq::RunRecoveryExchange(
-            payload, recovery.arq, *strategy, channel, recovery.max_rounds);
-        ++link.packets;
-        if (stats.success) ++link.completed;
-        link.feedback_bits += stats.feedback_bits;
-        link.feedback_rounds += stats.data_transmissions - 1;
-        for (const auto bits : stats.retransmission_bits) {
-          link.repair_bits += bits;
+      LinkJob job;
+      job.sender = sender;
+      job.receiver = receiver;
+      job.snr_db = snr_db;
+      job.link_rng = link_rng;
+      if (relay_mode) {
+        const auto overhearers = OverhearingRelays(medium, sender, receiver,
+                                                   recovery.relay_min_snr_db);
+        if (!overhearers.empty()) {
+          job.relay = overhearers.front();
+          job.overhear_snr_db = medium.LinkSnrDb(sender, job.relay);
+          job.relay_snr_db = medium.LinkSnrDb(job.relay, receiver);
         }
       }
-      result.packets += link.packets;
-      result.completed += link.completed;
-      result.total_repair_bits += link.repair_bits;
-      result.total_feedback_bits += link.feedback_bits;
-      result.links.push_back(link);
+      jobs.push_back(job);
     }
   }
+
+  // Parallel pass: links are independent; workers pull job indices and
+  // write disjoint result slots.
+  std::vector<LinkRecoveryStats> links(jobs.size());
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t num_threads = std::max<std::size_t>(
+      1, std::min(jobs.size(),
+                  recovery.num_threads ? recovery.num_threads
+                                       : (hw ? hw : 1)));
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t j = next.fetch_add(1); j < jobs.size();
+         j = next.fetch_add(1)) {
+      links[j] = RunOneLink(config, recovery, *strategy,
+                            fallback ? *fallback : *strategy, codebook,
+                            jobs[j]);
+    }
+  };
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  RecoveryExperimentResult result;
+  result.links = std::move(links);
+  for (const auto& link : result.links) {
+    result.packets += link.packets;
+    result.completed += link.completed;
+    result.total_repair_bits += link.repair_bits;
+    result.total_feedback_bits += link.feedback_bits;
+    result.total_source_repair_bits += link.source_repair_bits;
+    result.total_relay_repair_bits += link.relay_repair_bits;
+  }
   return result;
+}
+
+RecoveryStrategyComparison CompareLinkRecoveryStrategies(
+    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery) {
+  RecoveryStrategyComparison out;
+  RecoveryExperimentConfig variant = recovery;
+  variant.arq.recovery = arq::RecoveryMode::kChunkRetransmit;
+  out.chunk = RunLinkRecoveryExperiment(config, variant);
+  variant.arq.recovery = arq::RecoveryMode::kCodedRepair;
+  out.coded = RunLinkRecoveryExperiment(config, variant);
+  variant.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  out.relay = RunLinkRecoveryExperiment(config, variant);
+  return out;
 }
 
 ExperimentConfig MakePaperConfig(double offered_load_bps, bool carrier_sense,

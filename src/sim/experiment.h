@@ -96,8 +96,15 @@ ExperimentConfig MakePaperConfig(double offered_load_bps, bool carrier_sense,
 // error rate from the SNR, impairment bursts from the receiver-model
 // parameters) and runs full PP-ARQ exchanges under the recovery
 // strategy `recovery.arq.recovery` selects. This is how a strategy
-// choice (chunk retransmission vs coded repair) is evaluated across the
-// whole testbed rather than a single hand-built link.
+// choice (chunk retransmission vs coded vs relay-coded repair) is
+// evaluated across the whole testbed rather than a single hand-built
+// link. Under kRelayCodedRepair each link recruits its best-SNR
+// overhearer (sim/topology.h: OverhearingRelays) as the third party;
+// links nobody overhears fall back to the two-party exchange.
+//
+// Links are independent, so the sweep is sharded across a thread pool;
+// per-link seeding is fixed before any worker runs, making results
+// identical at every thread count.
 
 struct RecoveryExperimentConfig {
   arq::PpArqConfig arq;  // includes the RecoveryMode under test
@@ -105,7 +112,15 @@ struct RecoveryExperimentConfig {
   std::size_t packets_per_link = 4;
   std::size_t max_rounds = 32;
   std::uint64_t seed = 99;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+  // kRelayCodedRepair: the bottleneck SNR an overhearer must clear to
+  // be recruited. Lower than the audibility threshold on purpose: a
+  // marginal relay still contributes rank-increasing equations, and the
+  // destination's burst split discounts lossy parties on its own.
+  double relay_min_snr_db = 3.0;
 };
+
+inline constexpr std::size_t kNoRelay = static_cast<std::size_t>(-1);
 
 struct LinkRecoveryStats {
   std::size_t sender = 0;
@@ -116,6 +131,11 @@ struct LinkRecoveryStats {
   std::size_t repair_bits = 0;    // forward repair traffic (excl. initial)
   std::size_t feedback_bits = 0;  // reverse-direction traffic
   std::size_t feedback_rounds = 0;
+  // kRelayCodedRepair: the recruited overhearer (kNoRelay when the link
+  // ran two-party) and the split of repair_bits between the parties.
+  std::size_t relay = kNoRelay;
+  std::size_t source_repair_bits = 0;
+  std::size_t relay_repair_bits = 0;
 };
 
 struct RecoveryExperimentResult {
@@ -124,9 +144,23 @@ struct RecoveryExperimentResult {
   std::size_t completed = 0;
   std::size_t total_repair_bits = 0;
   std::size_t total_feedback_bits = 0;
+  std::size_t total_source_repair_bits = 0;
+  std::size_t total_relay_repair_bits = 0;
 };
 
 RecoveryExperimentResult RunLinkRecoveryExperiment(
+    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery);
+
+// Evaluates all three recovery strategies over the identical testbed
+// (same links, same per-link seeds), the whole-testbed counterpart of
+// core::CompareRecoveryStrategies.
+struct RecoveryStrategyComparison {
+  RecoveryExperimentResult chunk;
+  RecoveryExperimentResult coded;
+  RecoveryExperimentResult relay;
+};
+
+RecoveryStrategyComparison CompareLinkRecoveryStrategies(
     const ExperimentConfig& config, const RecoveryExperimentConfig& recovery);
 
 }  // namespace ppr::sim

@@ -1,8 +1,36 @@
 #include "sim/topology.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ppr::sim {
+
+std::vector<std::size_t> OverhearingRelays(const RadioMedium& medium,
+                                           std::size_t sender,
+                                           std::size_t receiver,
+                                           double min_snr_db) {
+  struct Candidate {
+    std::size_t node;
+    double bottleneck_snr_db;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t node = 0; node < medium.NumNodes(); ++node) {
+    if (node == sender || node == receiver) continue;
+    const double overhear = medium.LinkSnrDb(sender, node);
+    const double reach = medium.LinkSnrDb(node, receiver);
+    const double bottleneck = std::min(overhear, reach);
+    if (bottleneck < min_snr_db) continue;
+    candidates.push_back({node, bottleneck});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.bottleneck_snr_db > b.bottleneck_snr_db;
+                   });
+  std::vector<std::size_t> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) out.push_back(c.node);
+  return out;
+}
 
 TestbedTopology::TestbedTopology(const TestbedConfig& config)
     : config_(config) {

@@ -53,4 +53,14 @@ class TestbedTopology {
 MediumConfig IndoorMediumConfig(const TestbedConfig& testbed,
                                 std::uint64_t seed);
 
+// Topology hook for relay-assisted recovery: the nodes (other than the
+// link's own endpoints) that overhear `sender` AND can reach `receiver`,
+// both hops at `min_snr_db` or better, ordered best-first by the
+// bottleneck hop min(SNR(sender->node), SNR(node->receiver)). The front
+// entry is the link's natural Crelay relay.
+std::vector<std::size_t> OverhearingRelays(const RadioMedium& medium,
+                                           std::size_t sender,
+                                           std::size_t receiver,
+                                           double min_snr_db);
+
 }  // namespace ppr::sim

@@ -1,0 +1,351 @@
+#include "arq/recovery_session.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "arq/link_sim.h"
+#include "common/rng.h"
+
+namespace ppr::arq {
+namespace {
+
+BitVec RandomPayload(Rng& rng, std::size_t octets) {
+  BitVec bits;
+  for (std::size_t i = 0; i < octets * 8; ++i) {
+    bits.PushBack(rng.Bernoulli(0.5));
+  }
+  return bits;
+}
+
+GilbertElliottParams DegradedParams() {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.03;
+  params.p_bad_to_good = 0.12;
+  params.chip_error_good = 0.004;
+  params.chip_error_bad = 0.25;
+  return params;
+}
+
+GilbertElliottParams StrongParams() {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.001;
+  params.p_bad_to_good = 0.5;
+  params.chip_error_good = 0.0005;
+  params.chip_error_bad = 0.05;
+  return params;
+}
+
+// A channel that delivers every codeword verbatim with a confident hint.
+BodyChannel PerfectChannel() {
+  return [](const BitVec& bits) {
+    std::vector<phy::DecodedSymbol> out;
+    out.reserve(bits.size() / 4);
+    for (std::size_t i = 0; i < bits.size(); i += 4) {
+      phy::DecodedSymbol s;
+      s.symbol = static_cast<std::uint8_t>(bits.ReadUint(i, 4));
+      s.hint = 0.0;
+      s.hamming_distance = 0;
+      out.push_back(s);
+    }
+    return out;
+  };
+}
+
+// A channel that delivers nothing useful: every codeword zeroed with an
+// infinitely bad hint (out of range).
+BodyChannel DeadChannel() {
+  return [](const BitVec& bits) {
+    std::vector<phy::DecodedSymbol> out(bits.size() / 4);
+    for (auto& s : out) {
+      s.symbol = 0;
+      s.hint = std::numeric_limits<double>::infinity();
+      s.hamming_distance = 32;
+    }
+    return out;
+  };
+}
+
+TEST(RecoverySessionTest, FactoryKnowsRelayStrategy) {
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kRelayCodedRepair;
+  const auto strategy = MakeRecoveryStrategy(config);
+  EXPECT_STREQ(strategy->Name(), "relay-coded-repair");
+  EXPECT_NE(strategy->MakeRelayParticipant(1, 1, 512), nullptr);
+}
+
+TEST(RecoverySessionTest, OnlyRelayStrategyHasRelayRole) {
+  for (const auto mode :
+       {RecoveryMode::kChunkRetransmit, RecoveryMode::kCodedRepair}) {
+    PpArqConfig config;
+    config.recovery = mode;
+    EXPECT_EQ(MakeRecoveryStrategy(config)->MakeRelayParticipant(1, 1, 512),
+              nullptr);
+  }
+}
+
+TEST(RecoverySessionTest, RequiresADestination) {
+  PpArqConfig config;
+  const auto strategy = MakeRecoveryStrategy(config);
+  Rng rng(601);
+  const BitVec body = PpArqSender::MakeBody(RandomPayload(rng, 40));
+  RecoverySession session;
+  session.AddParty(strategy->MakeSourceParticipant(body, 1));
+  EXPECT_THROW(session.Run(4), std::logic_error);
+}
+
+TEST(RecoverySessionTest, RejectsSecondDestination) {
+  PpArqConfig config;
+  const auto strategy = MakeRecoveryStrategy(config);
+  RecoverySession session;
+  session.AddParty(strategy->MakeDestinationParticipant(1, 128));
+  EXPECT_THROW(session.AddParty(strategy->MakeDestinationParticipant(1, 128)),
+               std::invalid_argument);
+}
+
+// An independent re-implementation of the pre-session duplex loop
+// (sender/receiver driven directly, one channel, frames crossed in plan
+// order), preserved here verbatim so the session engine is compared
+// against the legacy behavior rather than against itself.
+ArqRunStats LegacyDuplexLoop(const BitVec& payload,
+                             const PpArqConfig& config,
+                             const RecoveryStrategy& strategy,
+                             const BodyChannel& channel,
+                             std::size_t max_rounds = 32) {
+  ArqRunStats stats;
+  const BitVec body = PpArqSender::MakeBody(payload);
+  auto sender = strategy.MakeSender(body, 1);
+  auto receiver =
+      strategy.MakeReceiver(1, body.size() / config.bits_per_codeword);
+  stats.forward_bits += body.size();
+  ++stats.data_transmissions;
+  receiver->IngestInitial(channel(body));
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const auto fb_wire = receiver->BuildFeedbackWire();
+    if (!fb_wire.has_value()) {
+      stats.success = true;
+      return stats;
+    }
+    stats.feedback_bits += fb_wire->size();
+    const RepairPlan plan = sender->HandleFeedback(*fb_wire);
+    stats.forward_bits += plan.wire_bits;
+    stats.retransmission_bits.push_back(plan.wire_bits);
+    ++stats.data_transmissions;
+    std::vector<ReceivedRepairFrame> received;
+    for (const auto& frame : plan.frames) {
+      ReceivedRepairFrame rf;
+      rf.range = frame.range;
+      rf.aux = frame.aux;
+      rf.origin = frame.origin;
+      rf.coef_mask = frame.coef_mask;
+      rf.suspicion = frame.suspicion;
+      rf.symbols = channel(frame.bits);
+      received.push_back(std::move(rf));
+    }
+    receiver->IngestRepair(received);
+  }
+  stats.success = receiver->Complete();
+  return stats;
+}
+
+// The tentpole compatibility property: driving a strategy through
+// RecoverySession with one source, one destination and one edge gives
+// exactly the stats of the legacy duplex loop above — same channel draw
+// order, same accounting — for every strategy.
+TEST(RecoverySessionTest, TwoPartySessionMatchesDuplexExchange) {
+  Rng prng(611);
+  const BitVec payload = RandomPayload(prng, 180);
+  const phy::ChipCodebook cb;
+  for (const auto mode :
+       {RecoveryMode::kChunkRetransmit, RecoveryMode::kCodedRepair}) {
+    PpArqConfig config;
+    config.recovery = mode;
+    const auto strategy = MakeRecoveryStrategy(config);
+
+    Rng rng_a(612);
+    auto channel_a = MakeGilbertElliottChannel(cb, DegradedParams(), rng_a);
+    const auto duplex =
+        LegacyDuplexLoop(payload, config, *strategy, channel_a);
+
+    Rng rng_b(612);
+    auto channel_b = MakeGilbertElliottChannel(cb, DegradedParams(), rng_b);
+    const auto session = RunRecoveryExchangeSession(payload, config, *strategy,
+                                                    channel_b);
+
+    EXPECT_TRUE(duplex.success);
+    EXPECT_EQ(duplex.success, session.totals.success);
+    EXPECT_EQ(duplex.data_transmissions, session.totals.data_transmissions);
+    EXPECT_EQ(duplex.forward_bits, session.totals.forward_bits);
+    EXPECT_EQ(duplex.feedback_bits, session.totals.feedback_bits);
+    EXPECT_EQ(duplex.retransmission_bits, session.totals.retransmission_bits);
+    // Per-party accounting adds up to the totals.
+    ASSERT_EQ(session.parties.size(), 2u);
+    EXPECT_EQ(session.parties[kSessionSourceId].repair_bits +
+                  PpArqSender::MakeBody(payload).size(),
+              session.totals.forward_bits);
+    EXPECT_EQ(session.parties[kSessionDestinationId].feedback_bits,
+              session.totals.feedback_bits);
+  }
+}
+
+RelayExchangeChannels MakeGeChannels(const phy::ChipCodebook& cb,
+                                     const GilbertElliottParams& direct,
+                                     const GilbertElliottParams& overhear,
+                                     const GilbertElliottParams& relay_link,
+                                     Rng& direct_rng, Rng& overhear_rng,
+                                     Rng& relay_rng) {
+  RelayExchangeChannels channels;
+  channels.source_to_destination =
+      MakeGilbertElliottChannel(cb, direct, direct_rng);
+  channels.source_to_relay = MakeGilbertElliottChannel(cb, overhear, overhear_rng);
+  channels.relay_to_destination =
+      MakeGilbertElliottChannel(cb, relay_link, relay_rng);
+  return channels;
+}
+
+// The PR's acceptance scenario: a degraded direct path and a strong
+// relay. Relay-coded recovery must complete every packet and put
+// strictly fewer source-transmitted repair bits on the air than
+// sender-only coded repair over the identical direct channel.
+TEST(RecoverySessionTest, RelaySpendsFewerSourceRepairBitsThanCoded) {
+  const phy::ChipCodebook cb;
+  std::size_t relay_source_bits = 0;
+  std::size_t coded_source_bits = 0;
+  std::size_t relay_contributions = 0;
+  for (const std::uint64_t seed : {621ull, 622ull, 623ull, 624ull}) {
+    Rng prng(seed);
+    const BitVec payload = RandomPayload(prng, 200);
+
+    PpArqConfig relay_config;
+    relay_config.recovery = RecoveryMode::kRelayCodedRepair;
+    Rng direct_a(seed ^ 0xD1);
+    Rng overhear(seed ^ 0x0E);
+    Rng relay_link(seed ^ 0x51);
+    const auto channels =
+        MakeGeChannels(cb, DegradedParams(), StrongParams(), StrongParams(),
+                       direct_a, overhear, relay_link);
+    const auto relay = RunRelayRecoveryExchange(
+        payload, relay_config, *MakeRecoveryStrategy(relay_config), channels);
+
+    PpArqConfig coded_config;
+    coded_config.recovery = RecoveryMode::kCodedRepair;
+    Rng direct_b(seed ^ 0xD1);  // identical direct-channel trace
+    auto coded_channel = MakeGilbertElliottChannel(cb, DegradedParams(), direct_b);
+    const auto coded = RunRecoveryExchangeSession(
+        payload, coded_config, *MakeRecoveryStrategy(coded_config),
+        coded_channel);
+
+    ASSERT_TRUE(relay.totals.success) << "seed=" << seed;
+    ASSERT_TRUE(coded.totals.success) << "seed=" << seed;
+    ASSERT_EQ(relay.parties.size(), 3u);
+    relay_source_bits += relay.parties[kSessionSourceId].repair_bits;
+    relay_contributions += relay.parties[kSessionRelayId].repair_bits;
+    coded_source_bits += coded.parties[kSessionSourceId].repair_bits;
+    // The degraded channel actually forced repair rounds.
+    EXPECT_FALSE(coded.totals.retransmission_bits.empty()) << "seed=" << seed;
+  }
+  EXPECT_GT(relay_contributions, 0u);
+  EXPECT_LT(relay_source_bits, coded_source_bits);
+}
+
+TEST(RecoverySessionTest, RelaySessionDeliversExactPayload) {
+  const phy::ChipCodebook cb;
+  Rng prng(631);
+  const BitVec payload = RandomPayload(prng, 150);
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kRelayCodedRepair;
+  Rng direct(632), overhear(633), relay_link(634);
+  const auto channels =
+      MakeGeChannels(cb, DegradedParams(), StrongParams(), StrongParams(),
+                     direct, overhear, relay_link);
+
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const auto strategy = MakeRecoveryStrategy(config);
+  RecoverySession session;
+  session.AddParty(strategy->MakeSourceParticipant(body, 1));
+  const PartyId dest_id = session.AddParty(
+      strategy->MakeDestinationParticipant(1, body.size() / 4));
+  session.AddParty(strategy->MakeRelayParticipant(1, 1, body.size() / 4));
+  session.SetEdgeChannel(0, dest_id, channels.source_to_destination);
+  session.SetEdgeChannel(0, 2, channels.source_to_relay);
+  session.SetEdgeChannel(2, dest_id, channels.relay_to_destination);
+  session.TransmitInitial(0, body);
+  const auto stats = session.Run(32);
+  ASSERT_TRUE(stats.totals.success);
+  EXPECT_EQ(static_cast<DestinationParticipant&>(session.party(dest_id))
+                .AssembledPayload(),
+            payload);
+}
+
+// A relay that overhears nothing must not wedge the exchange: the
+// destination's delivery estimate for the silent relay decays to the
+// floor and the source carries the packet alone.
+TEST(RecoverySessionTest, SilentRelayFallsBackToSourceOnly) {
+  const phy::ChipCodebook cb;
+  Rng prng(641);
+  const BitVec payload = RandomPayload(prng, 120);
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kRelayCodedRepair;
+  RelayExchangeChannels channels;
+  Rng direct(642);
+  channels.source_to_destination =
+      MakeGilbertElliottChannel(cb, DegradedParams(), direct);
+  channels.source_to_relay = DeadChannel();  // the relay hears only noise
+  channels.relay_to_destination = PerfectChannel();
+  const auto stats = RunRelayRecoveryExchange(
+      payload, config, *MakeRecoveryStrategy(config), channels);
+  EXPECT_TRUE(stats.totals.success);
+  EXPECT_EQ(stats.parties[kSessionRelayId].repair_bits, 0u);
+  EXPECT_GT(stats.parties[kSessionSourceId].repair_bits, 0u);
+}
+
+// Satellite: relay-side SoftPHY misses. The relay's overheard copy
+// contains wrong-but-confident codewords, so every equation it streams
+// is consistent with a wrong body. The per-symbol wire CRC cannot catch
+// this (the equations are "valid"), so the destination's
+// decode-verify-evict loop must distrust the relay's equations and
+// finish correctly from its own symbols plus the source's stream.
+TEST(RecoverySessionTest, RelayMissDoesNotPoisonDestination) {
+  const phy::ChipCodebook cb;
+  Rng prng(651);
+  const BitVec payload = RandomPayload(prng, 120);
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kRelayCodedRepair;
+
+  RelayExchangeChannels channels;
+  Rng direct(652);
+  channels.source_to_destination =
+      MakeGilbertElliottChannel(cb, DegradedParams(), direct);
+  // The relay's copy: confidently wrong in a stretch of codewords — a
+  // modeled SoftPHY miss (hint 0 despite flipped bits).
+  channels.source_to_relay = [perfect =
+                                  PerfectChannel()](const BitVec& bits) {
+    auto symbols = perfect(bits);
+    for (std::size_t i = 40; i < 80 && i < symbols.size(); ++i) {
+      symbols[i].symbol = static_cast<std::uint8_t>(symbols[i].symbol ^ 0x5);
+      symbols[i].hint = 0.0;
+    }
+    return symbols;
+  };
+  channels.relay_to_destination = PerfectChannel();
+
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const auto strategy = MakeRecoveryStrategy(config);
+  RecoverySession session;
+  session.AddParty(strategy->MakeSourceParticipant(body, 1));
+  const PartyId dest_id = session.AddParty(
+      strategy->MakeDestinationParticipant(1, body.size() / 4));
+  session.AddParty(strategy->MakeRelayParticipant(1, 1, body.size() / 4));
+  session.SetEdgeChannel(0, dest_id, channels.source_to_destination);
+  session.SetEdgeChannel(0, 2, channels.source_to_relay);
+  session.SetEdgeChannel(2, dest_id, channels.relay_to_destination);
+  session.TransmitInitial(0, body);
+  const auto stats = session.Run(32);
+  ASSERT_TRUE(stats.totals.success);
+  EXPECT_EQ(static_cast<DestinationParticipant&>(session.party(dest_id))
+                .AssembledPayload(),
+            payload);
+}
+
+}  // namespace
+}  // namespace ppr::arq

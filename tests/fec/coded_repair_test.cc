@@ -6,6 +6,7 @@
 
 #include "common/crc.h"
 #include "common/rng.h"
+#include "fec/gf256.h"
 
 namespace ppr::fec {
 namespace {
@@ -110,6 +111,99 @@ TEST(CodedRepairSessionTest, EvictionEscalatesToRepairOnlyDecode) {
   ASSERT_TRUE(session.CanDecode());
   EXPECT_EQ(session.Decode(), f.truth);
   EXPECT_EQ(session.EvictSuspects(), 0u);  // nothing left to distrust
+}
+
+TEST(PartySeedTest, PartitionsAreDisjointAndSourceKeepsPlainCounters) {
+  EXPECT_EQ(PartySeed(0, 1), 1u);
+  EXPECT_EQ(PartySeed(0, 7), 7u);
+  EXPECT_EQ(PartySeed(1, 1), (1u << 24) | 1u);
+  EXPECT_EQ(PartySeed(2, 0xFFFFFF), (2u << 24) | 0xFFFFFFu);
+  // A relay counter wraps within its own partition, never into another.
+  EXPECT_EQ(PartySeed(1, 0x1000001), (1u << 24) | 1u);
+}
+
+TEST(MaskedRepairTest, DestinationReproducesTheMaskedEquation) {
+  Rng rng(406);
+  Fixture f(rng, 128);
+  std::vector<bool> have(f.truth.size(), true);
+  have[3] = have[11] = false;  // the relay missed two symbols
+  const std::uint32_t seed = PartySeed(1, 9);
+  const auto repair = MakeMaskedRepair(f.truth, have, seed);
+  EXPECT_EQ(repair.seed, seed);
+  // The destination regenerates the same masked coefficients and the
+  // equation holds over the true source block.
+  const auto coefs = MaskedCoefficients(seed, have);
+  EXPECT_EQ(coefs[3], 0);
+  EXPECT_EQ(coefs[11], 0);
+  std::vector<std::uint8_t> expect(f.truth.front().size(), 0);
+  for (std::size_t i = 0; i < f.truth.size(); ++i) {
+    for (std::size_t b = 0; b < expect.size(); ++b) {
+      expect[b] ^= GfMul(coefs[i], f.truth[i][b]);
+    }
+  }
+  EXPECT_EQ(repair.data, expect);
+}
+
+TEST(MaskedRepairTest, MaskedEquationsFillAnErasureTheyCover) {
+  Rng rng(407);
+  Fixture f(rng, 128);  // 16 symbols
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  std::vector<double> suspicion(f.truth.size(), 0.0);
+  good[5] = false;
+  suspicion[5] = 16.0;
+  for (auto& b : received[5]) b ^= 0xFF;
+  CodedRepairSession session(received, good, suspicion);
+  EXPECT_EQ(session.Deficit(), 1u);
+
+  // A relay that also missed symbol 9 can still cover the erasure at 5.
+  std::vector<bool> have(f.truth.size(), true);
+  have[9] = false;
+  std::uint32_t counter = 1;
+  while (!session.CanDecode()) {
+    const std::uint32_t seed = PartySeed(1, counter++);
+    const auto repair = MakeMaskedRepair(f.truth, have, seed);
+    session.ConsumeEquation(MaskedCoefficients(seed, have), repair.data,
+                            /*suspicion=*/0.5, /*evictable=*/true);
+    ASSERT_LT(counter, 8u);
+  }
+  EXPECT_EQ(session.Decode(), f.truth);
+}
+
+TEST(CodedRepairSessionTest, EvictionDistrustsPoisonedRelayEquations) {
+  Rng rng(408);
+  Fixture f(rng, 128);
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  std::vector<double> suspicion(f.truth.size(), 0.0);
+  good[2] = false;  // one honest erasure keeps the deficit open
+  suspicion[2] = 16.0;
+  for (auto& b : received[2]) b ^= 0xFF;
+  CodedRepairSession session(received, good, suspicion);
+  EXPECT_EQ(session.Deficit(), 1u);
+
+  // The relay's copy of symbol 7 is wrong-but-confident: its equation
+  // passes any wire CRC yet is inconsistent with the true block.
+  auto relay_copy = f.truth;
+  relay_copy[7][0] ^= 0x20;
+  const std::vector<bool> have(f.truth.size(), true);
+  const std::uint32_t seed = PartySeed(1, 1);
+  const auto poisoned = MakeMaskedRepair(relay_copy, have, seed);
+  session.ConsumeEquation(MaskedCoefficients(seed, have), poisoned.data,
+                          /*suspicion=*/3.0, /*evictable=*/true);
+  ASSERT_TRUE(session.CanDecode());
+  EXPECT_NE(session.Decode(), f.truth);  // the poison is in the basis
+
+  // Failed external verify: the relay equation is the most suspect row
+  // and the first evicted; a source repair then finishes it honestly.
+  EXPECT_EQ(session.EvictSuspects(), 1u);
+  EXPECT_EQ(session.Deficit(), 1u);
+  std::uint32_t source_seed = 1;
+  while (!session.CanDecode()) {
+    session.ConsumeRepair(f.encoder.MakeRepair(source_seed++));
+    ASSERT_LT(source_seed, 8u);
+  }
+  EXPECT_EQ(session.Decode(), f.truth);
 }
 
 TEST(CodedRepairSessionTest, RejectsShapeMismatch) {

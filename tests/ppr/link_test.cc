@@ -109,5 +109,44 @@ TEST(WaveformPpArqTest, PartialRetransmissionsSmallerThanPacket) {
   EXPECT_GT(2 * below_full, retx_bits.size());
 }
 
+TEST(WaveformRelayTest, ComparisonGrowsRelayLegOnDemand) {
+  // Without relay params the comparison is the two-strategy original.
+  auto params = CleanParams();
+  const auto duplex = CompareRecoveryStrategies(60, {}, params, 51);
+  EXPECT_FALSE(duplex.relay.has_value());
+  EXPECT_TRUE(duplex.chunk.success);
+  EXPECT_TRUE(duplex.coded.success);
+}
+
+TEST(WaveformRelayTest, RelayRecoversOverDegradedDirectLink) {
+  // Degraded, collision-prone direct path; the relay overhears and
+  // reaches the destination over clean hops.
+  auto direct = CleanParams();
+  direct.ec_n0_db = 5.0;
+  direct.collision_probability = 0.6;
+  direct.interferer_relative_db = 0.0;
+  direct.interferer_octets = 60;
+  direct.seed = 52;
+
+  RelayWaveformParams relay;
+  relay.overhear = CleanParams();
+  relay.overhear.seed = 53;
+  relay.relay_link = CleanParams();
+  relay.relay_link.seed = 54;
+
+  const auto cmp = CompareRecoveryStrategies(100, {}, direct, 55, &relay);
+  ASSERT_TRUE(cmp.relay.has_value());
+  EXPECT_TRUE(cmp.relay->totals.success);
+  ASSERT_EQ(cmp.relay->parties.size(), 3u);
+  // The source never pays more repair than it does carrying it alone.
+  std::size_t coded_repair_bits = 0;
+  for (const auto bits : cmp.coded.retransmission_bits) {
+    coded_repair_bits += bits;
+  }
+  EXPECT_GT(coded_repair_bits, 0u);
+  EXPECT_LE(cmp.relay->parties[arq::kSessionSourceId].repair_bits,
+            coded_repair_bits);
+}
+
 }  // namespace
 }  // namespace ppr::core

@@ -1,0 +1,138 @@
+// Testbed-wide recovery-strategy experiments: the OverhearingRelays
+// topology hook, the thread-pool sharding of RunLinkRecoveryExperiment
+// (deterministic at any thread count), and the three-strategy sweep.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace ppr::sim {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  auto config = MakePaperConfig(3500.0, true, /*duration_s=*/1.0);
+  // Dense enough that some audible links have an overhearer in range.
+  config.testbed.num_senders = 9;
+  config.testbed.num_receivers = 2;
+  config.medium = IndoorMediumConfig(config.testbed, /*seed=*/11);
+  config.min_link_snr_db = 6.0;
+  return config;
+}
+
+RecoveryExperimentConfig SmallRecovery() {
+  RecoveryExperimentConfig recovery;
+  recovery.payload_octets = 60;
+  recovery.packets_per_link = 2;
+  recovery.seed = 88;
+  return recovery;
+}
+
+TEST(OverhearingRelaysTest, OrdersByBottleneckSnrAndExcludesEndpoints) {
+  const auto config = SmallConfig();
+  const TestbedTopology topology(config.testbed);
+  const RadioMedium medium(topology.Positions(), config.medium);
+  const std::size_t sender = topology.SenderId(0);
+  const std::size_t receiver = topology.ReceiverId(0);
+  const auto relays = OverhearingRelays(medium, sender, receiver, -100.0);
+  ASSERT_EQ(relays.size(), topology.NumNodes() - 2);
+  double prev = 1e9;
+  for (const auto node : relays) {
+    EXPECT_NE(node, sender);
+    EXPECT_NE(node, receiver);
+    const double bottleneck = std::min(medium.LinkSnrDb(sender, node),
+                                       medium.LinkSnrDb(node, receiver));
+    EXPECT_LE(bottleneck, prev);
+    prev = bottleneck;
+  }
+  // A demanding threshold keeps only the overhearers that clear it.
+  const auto strong = OverhearingRelays(medium, sender, receiver, 10.0);
+  EXPECT_LT(strong.size(), relays.size());
+  for (const auto node : strong) {
+    EXPECT_GE(std::min(medium.LinkSnrDb(sender, node),
+                       medium.LinkSnrDb(node, receiver)),
+              10.0);
+  }
+}
+
+void ExpectSameResults(const RecoveryExperimentResult& a,
+                       const RecoveryExperimentResult& b) {
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].sender, b.links[i].sender);
+    EXPECT_EQ(a.links[i].receiver, b.links[i].receiver);
+    EXPECT_EQ(a.links[i].relay, b.links[i].relay);
+    EXPECT_EQ(a.links[i].completed, b.links[i].completed);
+    EXPECT_EQ(a.links[i].repair_bits, b.links[i].repair_bits);
+    EXPECT_EQ(a.links[i].source_repair_bits, b.links[i].source_repair_bits);
+    EXPECT_EQ(a.links[i].relay_repair_bits, b.links[i].relay_repair_bits);
+    EXPECT_EQ(a.links[i].feedback_bits, b.links[i].feedback_bits);
+    EXPECT_EQ(a.links[i].feedback_rounds, b.links[i].feedback_rounds);
+  }
+  EXPECT_EQ(a.total_repair_bits, b.total_repair_bits);
+  EXPECT_EQ(a.total_feedback_bits, b.total_feedback_bits);
+}
+
+// The satellite property: sharding the sweep across a thread pool must
+// not change a single bit of the results, because per-link seeds are
+// fixed before any worker runs.
+TEST(LinkRecoveryExperimentTest, IdenticalResultsAtAnyThreadCount) {
+  const auto config = SmallConfig();
+  for (const auto mode : {arq::RecoveryMode::kCodedRepair,
+                          arq::RecoveryMode::kRelayCodedRepair}) {
+    auto recovery = SmallRecovery();
+    recovery.arq.recovery = mode;
+    recovery.num_threads = 1;
+    const auto serial = RunLinkRecoveryExperiment(config, recovery);
+    for (const std::size_t threads : {2u, 5u, 16u}) {
+      recovery.num_threads = threads;
+      const auto sharded = RunLinkRecoveryExperiment(config, recovery);
+      ExpectSameResults(serial, sharded);
+    }
+  }
+}
+
+TEST(LinkRecoveryExperimentTest, RelayModeRecruitsOverhearers) {
+  const auto config = SmallConfig();
+  auto recovery = SmallRecovery();
+  recovery.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  const auto result = RunLinkRecoveryExperiment(config, recovery);
+  ASSERT_FALSE(result.links.empty());
+  EXPECT_EQ(result.completed, result.packets);
+  std::size_t with_relay = 0;
+  for (const auto& link : result.links) {
+    if (link.relay == kNoRelay) continue;
+    ++with_relay;
+    EXPECT_NE(link.relay, link.sender);
+    EXPECT_NE(link.relay, link.receiver);
+    // The per-party split accounts for all repair traffic.
+    EXPECT_EQ(link.source_repair_bits + link.relay_repair_bits,
+              link.repair_bits);
+  }
+  EXPECT_GT(with_relay, 0u);
+}
+
+// The ISSUE's reporting criterion: one call evaluates all three
+// strategies over the identical link set.
+TEST(CompareLinkRecoveryStrategiesTest, ReportsAllThreeStrategies) {
+  const auto config = SmallConfig();
+  const auto cmp = CompareLinkRecoveryStrategies(config, SmallRecovery());
+  ASSERT_FALSE(cmp.chunk.links.empty());
+  ASSERT_EQ(cmp.chunk.links.size(), cmp.coded.links.size());
+  ASSERT_EQ(cmp.chunk.links.size(), cmp.relay.links.size());
+  for (std::size_t i = 0; i < cmp.chunk.links.size(); ++i) {
+    EXPECT_EQ(cmp.chunk.links[i].sender, cmp.relay.links[i].sender);
+    EXPECT_EQ(cmp.chunk.links[i].receiver, cmp.relay.links[i].receiver);
+    // Two-party strategies never recruit relays.
+    EXPECT_EQ(cmp.chunk.links[i].relay, kNoRelay);
+    EXPECT_EQ(cmp.coded.links[i].relay, kNoRelay);
+  }
+  EXPECT_EQ(cmp.chunk.completed, cmp.chunk.packets);
+  EXPECT_EQ(cmp.coded.completed, cmp.coded.packets);
+  EXPECT_EQ(cmp.relay.completed, cmp.relay.packets);
+  // Relay-coded repair never charges the source more than sender-only
+  // coded repair across the testbed.
+  EXPECT_LE(cmp.relay.total_source_repair_bits,
+            cmp.coded.total_source_repair_bits);
+}
+
+}  // namespace
+}  // namespace ppr::sim
