@@ -1,8 +1,70 @@
 #include "bench_util.h"
 
+#include <cinttypes>
 #include <cstdio>
 
 namespace ppr::bench {
+
+namespace {
+
+void WriteJsonString(std::FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fprintf(f, "\\%c", c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", static_cast<unsigned>(c));
+    } else {
+      std::fputc(c, f);
+    }
+  }
+  std::fputc('"', f);
+}
+
+void WriteJsonScalar(std::FILE* f, const JsonScalar& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    std::fprintf(f, "%" PRId64, *i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    std::fprintf(f, "%.10g", *d);
+  } else {
+    WriteJsonString(f, std::get<std::string>(v));
+  }
+}
+
+void WriteJsonFields(std::FILE* f, const JsonRecord& record) {
+  for (const auto& [key, value] : record) {
+    std::fprintf(f, ", ");
+    WriteJsonString(f, key);
+    std::fprintf(f, ": ");
+    WriteJsonScalar(f, value);
+  }
+}
+
+}  // namespace
+
+bool WriteJsonReport(const std::string& path, const JsonRecord& header,
+                     const std::string& records_key,
+                     const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "WriteJsonReport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"schema\": 1");
+  WriteJsonFields(f, header);
+  std::fprintf(f, ", ");
+  WriteJsonString(f, records_key);
+  std::fprintf(f, ": [");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "%s\n  {\"index\": %zu", i ? "," : "", i);
+    WriteJsonFields(f, records[i]);
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n]}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "WriteJsonReport: write failed: %s\n", path.c_str());
+  return ok;
+}
 
 std::vector<sim::SchemeConfig> PaperSchemes(std::size_t num_fragments,
                                             double eta) {

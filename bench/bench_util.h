@@ -6,13 +6,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/stats.h"
 #include "sim/experiment.h"
 
 namespace ppr::bench {
+
+// ------------------------------------------------------- JSON reporter
+// Minimal machine-readable output for bench artifacts: CI archives
+// bench_fec.json and diffs it against bench/baseline/ (see
+// bench/check_regression.py), so the emitter favors a stable flat
+// schema over generality.
+
+using JsonScalar = std::variant<std::int64_t, double, std::string>;
+using JsonRecord = std::vector<std::pair<std::string, JsonScalar>>;
+
+// Writes {"schema": 1, header..., records_key: [records...]} to `path`.
+// Returns false (with a note on stderr) when the file cannot be
+// written.
+bool WriteJsonReport(const std::string& path, const JsonRecord& header,
+                     const std::string& records_key,
+                     const std::vector<JsonRecord>& records);
 
 // The paper's three offered loads (bits/s per node, section 7.2).
 inline constexpr double kModerateLoad = 3'500.0;

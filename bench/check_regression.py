@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate GF(256) kernel performance against the committed baseline.
+
+Usage:
+    check_regression.py CURRENT BASELINE [--symbol-bytes N]
+                        [--max-regression F] [--min-speedup F]
+                        [--require-simd]
+
+CURRENT and BASELINE are bench_fec.json files produced by
+`micro_fec_bench --json <path>`. The gated metric is the dispatched-
+over-scalar GfAxpy throughput RATIO at --symbol-bytes (default 1024):
+ratios, not absolute MB/s, so the gate is robust to runner hardware
+generation differences. The build fails (exit 1) when:
+
+  * the current speedup regressed more than --max-regression (default
+    0.20, i.e. 20%) relative to the baseline speedup, or
+  * the current speedup is below --min-speedup (default 4.0) while a
+    SIMD backend is active — the ROADMAP's ">= 4x scalar at 1 KiB"
+    floor, or
+  * --require-simd is set and the active backend is scalar (the hosted
+    runner is expected to dispatch a vector kernel; losing that is
+    itself a regression).
+
+Refreshing the baseline (after an intentional kernel change):
+
+    cmake --build build -j --target micro_fec_bench
+    ./build/micro_fec_bench --json bench/baseline/bench_fec.json
+
+on an idle machine, then commit the file. The committed baseline is
+deliberately seeded with a conservative 5.0x dispatch speedup so the
+gate tracks "did the vector kernel stop pulling its weight" rather than
+one machine's peak; raise it once archived CI artifacts show a stable
+higher ratio.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def axpy_mbps(doc, path, impl, symbol_bytes):
+    for rec in doc["results"]:
+        if (rec.get("kernel") == "GfAxpy" and rec.get("impl") == impl
+                and rec.get("symbol_bytes") == symbol_bytes):
+            return rec["mb_per_s"]
+    sys.exit(f"{path}: no GfAxpy record for impl={impl} "
+             f"symbol_bytes={symbol_bytes}")
+
+
+def has_impl(doc, impl, symbol_bytes):
+    return any(rec.get("kernel") == "GfAxpy" and rec.get("impl") == impl
+               and rec.get("symbol_bytes") == symbol_bytes
+               for rec in doc["results"])
+
+
+def speedup(doc, path, symbol_bytes, impl=None):
+    impl = impl or doc.get("active_impl", "scalar")
+    scalar = axpy_mbps(doc, path, "scalar", symbol_bytes)
+    dispatched = axpy_mbps(doc, path, impl, symbol_bytes)
+    return impl, dispatched / scalar
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--symbol-bytes", type=int, default=1024)
+    parser.add_argument("--max-regression", type=float, default=0.20)
+    parser.add_argument("--min-speedup", type=float, default=4.0)
+    parser.add_argument("--require-simd", action="store_true")
+    args = parser.parse_args()
+
+    cur_doc, base_doc = load(args.current), load(args.baseline)
+    cur_impl, cur = speedup(cur_doc, args.current, args.symbol_bytes)
+    # Compare like with like: when the baseline recorded the runner's
+    # active backend, gate against that backend's ratio rather than the
+    # (possibly wider) backend the baseline machine dispatched.
+    base_pin = cur_impl if has_impl(base_doc, cur_impl,
+                                    args.symbol_bytes) else None
+    base_impl, base = speedup(base_doc, args.baseline, args.symbol_bytes,
+                              impl=base_pin)
+
+    print(f"baseline: {base_impl} {base:.2f}x scalar at "
+          f"{args.symbol_bytes} B")
+    print(f"current:  {cur_impl} {cur:.2f}x scalar at "
+          f"{args.symbol_bytes} B")
+
+    failures = []
+    if cur_impl == "scalar":
+        if args.require_simd:
+            failures.append(
+                "active backend is scalar but --require-simd was given: "
+                "the runner should dispatch a SIMD kernel")
+        else:
+            print("note: scalar-only host, ratio gates skipped")
+    else:
+        floor = (1.0 - args.max_regression) * base
+        if cur < floor:
+            failures.append(
+                f"dispatch speedup {cur:.2f}x regressed more than "
+                f"{args.max_regression:.0%} vs baseline {base:.2f}x "
+                f"(floor {floor:.2f}x)")
+        if cur < args.min_speedup:
+            failures.append(
+                f"dispatch speedup {cur:.2f}x is below the "
+                f"{args.min_speedup:.1f}x floor")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("OK: GF(256) dispatch throughput within bounds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// Prints one available GF(256) kernel backend per line (kScalar first),
+// then the active default prefixed with "active:". CI's differential
+// leg iterates the plain lines to re-run the fec/arq test binaries once
+// per backend via PPR_GF256_FORCE_IMPL, proving bit-identical decoding
+// on whatever the hosted runner supports.
+#include <cstdio>
+#include <string>
+
+#include "fec/gf256.h"
+
+int main() {
+  for (const auto impl : ppr::fec::GfAvailableImpls()) {
+    std::printf("%s\n", std::string(ppr::fec::GfImplName(impl)).c_str());
+  }
+  std::fprintf(stderr, "active: %s\n",
+               std::string(ppr::fec::GfImplName(ppr::fec::GfActiveImpl()))
+                   .c_str());
+  return 0;
+}

@@ -146,6 +146,9 @@ void CodedRepairSession::Rebuild() {
     if (trusted_[i]) decoder_.AddSource(i, received_[i]);
   }
   for (const auto& eq : equations_) {
+    // Once the basis is full every further replay is linearly dependent
+    // and would only pay the elimination sweep to find that out.
+    if (decoder_.Complete()) break;
     if (!eq.distrusted) decoder_.AddEquation(eq.coefs, eq.data);
   }
 }

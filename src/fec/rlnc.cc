@@ -49,13 +49,16 @@ RepairSymbol MakeMaskedRepair(
   out.seed = seed;
   out.data.assign(width, 0);
   const auto coefs = MaskedCoefficients(seed, have);
+  std::vector<GfTerm> terms;
+  terms.reserve(symbols.size());
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     if (coefs[i] == 0) continue;
     if (symbols[i].size() != width) {
       throw std::invalid_argument("MakeMaskedRepair: ragged symbols");
     }
-    GfAxpy(out.data, coefs[i], symbols[i]);
+    terms.push_back({coefs[i], symbols[i]});
   }
+  GfAxpyN(out.data, terms);
   return out;
 }
 
@@ -76,9 +79,12 @@ RepairSymbol RlncEncoder::MakeRepair(std::uint32_t seed) const {
   out.seed = seed;
   out.data.assign(symbol_bytes(), 0);
   const auto coefs = RepairCoefficients(seed, num_source());
+  std::vector<GfTerm> terms;
+  terms.reserve(num_source());
   for (std::size_t i = 0; i < num_source(); ++i) {
-    GfAxpy(out.data, coefs[i], source_[i]);
+    if (coefs[i] != 0) terms.push_back({coefs[i], source_[i]});
   }
+  GfAxpyN(out.data, terms);
   return out;
 }
 
@@ -106,13 +112,19 @@ bool RlncDecoder::AddEquation(std::vector<std::uint8_t> coefs,
     throw std::invalid_argument("RlncDecoder: equation shape mismatch");
   }
 
-  // Forward-eliminate against every existing pivot.
+  // Forward-eliminate against every existing pivot. Pivot rows are
+  // Gauss-Jordan reduced — zero at every OTHER pivot column — so
+  // eliminating against pivot j never changes the factor a later pivot
+  // sees; all factors can be read upfront and the whole sweep batched
+  // into one GfAxpyN per row.
+  std::vector<GfTerm> coef_terms, data_terms;
   for (std::size_t j = 0; j < n_source_; ++j) {
     if (coefs[j] == 0 || !pivot_[j].has_value()) continue;
-    const std::uint8_t factor = coefs[j];
-    GfAxpy(coefs, factor, pivot_[j]->coefs);
-    GfAxpy(data, factor, pivot_[j]->data);
+    coef_terms.push_back({coefs[j], pivot_[j]->coefs});
+    data_terms.push_back({coefs[j], pivot_[j]->data});
   }
+  GfAxpyN(coefs, coef_terms);
+  GfAxpyN(data, data_terms);
 
   // Find the new pivot column, if any rank survives.
   std::size_t lead = n_source_;

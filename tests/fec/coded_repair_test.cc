@@ -206,6 +206,88 @@ TEST(CodedRepairSessionTest, EvictionDistrustsPoisonedRelayEquations) {
   EXPECT_EQ(session.Decode(), f.truth);
 }
 
+// The full session transcript — decoded bytes, rank/deficit trajectory,
+// eviction behavior — must not depend on which GF(256) kernel backend
+// is dispatched. The decoded-body CRC is additionally pinned as a
+// golden constant so a cross-version drift (Rng, seeds, elimination
+// order) cannot hide behind "all backends drifted together".
+TEST(CodedRepairSessionTest, TranscriptIsBackendInvariantGolden) {
+  constexpr std::uint32_t kGoldenBodyCrc = 0xF5378E50;
+
+  struct Transcript {
+    std::vector<std::size_t> deficits;
+    std::vector<std::vector<std::uint8_t>> decoded;
+    std::uint32_t body_crc = 0;
+  };
+  const auto run = [] {
+    Rng rng(440);
+    Fixture f(rng, 136);  // 17 symbols: a tail-padded odd block
+    auto received = f.truth;
+    std::vector<bool> good(f.truth.size(), true);
+    std::vector<double> suspicion(f.truth.size(), 0.0);
+    for (const std::size_t s : {1u, 6u, 13u}) {  // honest erasures
+      good[s] = false;
+      suspicion[s] = 16.0;
+      for (auto& b : received[s]) b ^= 0xFF;
+    }
+    received[4][2] ^= 0x08;  // wrong-but-confident SoftPHY miss
+    suspicion[4] = 5.0;
+
+    Transcript t;
+    CodedRepairSession session(received, good, suspicion);
+    t.deficits.push_back(session.Deficit());
+
+    // A relay with a partial (and slightly poisoned) copy streams two
+    // masked equations.
+    auto relay_copy = f.truth;
+    relay_copy[9][0] ^= 0x20;
+    std::vector<bool> have(f.truth.size(), true);
+    have[2] = false;
+    for (std::uint32_t c = 1; c <= 2; ++c) {
+      const std::uint32_t seed = PartySeed(1, c);
+      const auto repair = MakeMaskedRepair(relay_copy, have, seed);
+      session.ConsumeEquation(MaskedCoefficients(seed, have), repair.data,
+                              /*suspicion=*/3.0, /*evictable=*/true);
+      t.deficits.push_back(session.Deficit());
+    }
+    // Source repairs close the remaining deficit; the first decode is
+    // poisoned (the miss at 4 or a poisoned relay row is in the basis),
+    // so verification fails and eviction rounds run until it is honest.
+    std::uint32_t seed = 1;
+    while (!session.CanDecode() && seed < 64) {
+      session.ConsumeRepair(f.encoder.MakeRepair(seed++));
+      t.deficits.push_back(session.Deficit());
+    }
+    for (int round = 0; round < 16 && session.Decode() != f.truth; ++round) {
+      session.EvictSuspects();
+      while (!session.CanDecode() && seed < 64) {
+        session.ConsumeRepair(f.encoder.MakeRepair(seed++));
+      }
+      t.deficits.push_back(session.Deficit());
+    }
+    EXPECT_EQ(session.Decode(), f.truth) << "session failed to converge";
+    t.decoded = session.Decode();
+    std::vector<std::uint8_t> body;
+    for (const auto& s : t.decoded) body.insert(body.end(), s.begin(), s.end());
+    t.body_crc = Crc32(body);
+    return t;
+  };
+
+  const Transcript reference = [&] {
+    GfImplScope scope(GfImpl::kScalar);
+    return run();
+  }();
+  EXPECT_EQ(reference.body_crc, kGoldenBodyCrc);
+  for (const GfImpl impl : GfAvailableImpls()) {
+    GfImplScope scope(impl);
+    ASSERT_TRUE(scope.ok());
+    const Transcript got = run();
+    EXPECT_EQ(got.deficits, reference.deficits) << GfImplName(impl);
+    EXPECT_EQ(got.decoded, reference.decoded) << GfImplName(impl);
+    EXPECT_EQ(got.body_crc, kGoldenBodyCrc) << GfImplName(impl);
+  }
+}
+
 TEST(CodedRepairSessionTest, RejectsShapeMismatch) {
   Rng rng(405);
   Fixture f(rng, 64);

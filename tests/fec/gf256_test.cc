@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -109,6 +112,133 @@ TEST(Gf256Test, ScaleMatchesScalarReference) {
     }
     GfScale(scaled, static_cast<std::uint8_t>(coef));
     EXPECT_EQ(scaled, expect) << "coef=" << coef;
+  }
+}
+
+TEST(Gf256DispatchTest, ScalarAlwaysAvailableAndActiveIsAvailable) {
+  EXPECT_TRUE(GfImplAvailable(GfImpl::kScalar));
+  const auto impls = GfAvailableImpls();
+  ASSERT_FALSE(impls.empty());
+  EXPECT_EQ(impls.front(), GfImpl::kScalar);
+  EXPECT_NE(std::find(impls.begin(), impls.end(), GfActiveImpl()),
+            impls.end());
+}
+
+TEST(Gf256DispatchTest, ImplNamesRoundtrip) {
+  for (const GfImpl impl : {GfImpl::kScalar, GfImpl::kSsse3, GfImpl::kAvx2,
+                            GfImpl::kNeon}) {
+    const auto back = GfImplFromName(GfImplName(impl));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, impl);
+  }
+  EXPECT_FALSE(GfImplFromName("pshufb").has_value());
+  EXPECT_FALSE(GfImplFromName("").has_value());
+}
+
+TEST(Gf256DispatchTest, SetImplRejectsUnavailableBackends) {
+  const GfImpl before = GfActiveImpl();
+  for (const GfImpl impl : {GfImpl::kScalar, GfImpl::kSsse3, GfImpl::kAvx2,
+                            GfImpl::kNeon}) {
+    if (!GfImplAvailable(impl)) {
+      EXPECT_FALSE(GfSetImpl(impl));
+      EXPECT_EQ(GfActiveImpl(), before);
+    }
+  }
+}
+
+// Every backend must agree byte-for-byte with the table multiply across
+// coef 0/1/random, lengths spanning 0-4 KiB with non-multiple-of-16
+// tails, and deliberately misaligned spans: SIMD kernels use unaligned
+// loads, and the symbol buffers they see in practice carry no alignment
+// guarantee.
+TEST(Gf256DispatchTest, AxpyAgreesWithTableMultiplyOnEveryBackend) {
+  Rng rng(276);
+  const std::size_t lengths[] = {0,  1,  3,   7,   8,    15,   16,  17,
+                                 31, 33, 63,  64,  65,   100,  127, 255,
+                                 256, 257, 1000, 1024, 1033, 4095, 4096};
+  for (const GfImpl impl : GfAvailableImpls()) {
+    GfImplScope guard(impl);
+    ASSERT_TRUE(guard.ok());
+    for (const std::size_t len : lengths) {
+      for (const unsigned coef :
+           {0u, 1u, 2u, 0x53u, 0x80u, 0xFFu,
+            1u + static_cast<unsigned>(rng.UniformInt(255))}) {
+        // Backing stores three bytes longer than the span: the spans
+        // start at offsets 1 and 2, so vector loads are misaligned and
+        // an overrun would corrupt (checkable) padding.
+        std::vector<std::uint8_t> dst_buf(len + 3), src_buf(len + 3);
+        for (auto& b : dst_buf) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+        for (auto& b : src_buf) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+        const auto dst_pad = dst_buf;
+        std::span<std::uint8_t> dst(dst_buf.data() + 1, len);
+        std::span<const std::uint8_t> src(src_buf.data() + 2, len);
+        std::vector<std::uint8_t> expect(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          expect[i] = dst[i] ^ GfMul(static_cast<std::uint8_t>(coef), src[i]);
+        }
+        GfAxpy(dst, static_cast<std::uint8_t>(coef), src);
+        EXPECT_TRUE(std::equal(expect.begin(), expect.end(), dst.begin()))
+            << GfImplName(impl) << " len=" << len << " coef=" << coef;
+        EXPECT_EQ(dst_buf[0], dst_pad[0]) << "underrun";
+        EXPECT_EQ(dst_buf[len + 1], dst_pad[len + 1]) << "overrun";
+        EXPECT_EQ(dst_buf[len + 2], dst_pad[len + 2]) << "overrun";
+      }
+    }
+  }
+}
+
+TEST(Gf256DispatchTest, ScaleAgreesWithTableMultiplyOnEveryBackend) {
+  Rng rng(277);
+  for (const GfImpl impl : GfAvailableImpls()) {
+    GfImplScope guard(impl);
+    ASSERT_TRUE(guard.ok());
+    for (const std::size_t len : {std::size_t{0}, std::size_t{5},
+                                  std::size_t{16}, std::size_t{63},
+                                  std::size_t{257}, std::size_t{4096}}) {
+      for (const unsigned coef : {0u, 1u, 0xA7u}) {
+        std::vector<std::uint8_t> data(len), expect(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          data[i] = static_cast<std::uint8_t>(rng.UniformInt(256));
+          expect[i] = GfMul(static_cast<std::uint8_t>(coef), data[i]);
+        }
+        GfScale(data, static_cast<std::uint8_t>(coef));
+        EXPECT_EQ(data, expect)
+            << GfImplName(impl) << " len=" << len << " coef=" << coef;
+      }
+    }
+  }
+}
+
+// GfAxpyN must equal term-by-term GfAxpy (it only reorders the walk
+// into dst blocks), including coef 0 and 1 terms and a term count that
+// crosses the internal block size.
+TEST(Gf256DispatchTest, AxpyNMatchesSequentialAxpyOnEveryBackend) {
+  Rng rng(278);
+  for (const GfImpl impl : GfAvailableImpls()) {
+    GfImplScope guard(impl);
+    ASSERT_TRUE(guard.ok());
+    for (const std::size_t len : {std::size_t{0}, std::size_t{4},
+                                  std::size_t{100}, std::size_t{1024},
+                                  std::size_t{4096}, std::size_t{5000}}) {
+      std::vector<std::uint8_t> dst(len), expect(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        dst[i] = static_cast<std::uint8_t>(rng.UniformInt(256));
+      }
+      expect = dst;
+      std::vector<std::vector<std::uint8_t>> srcs(9);
+      std::vector<GfTerm> terms;
+      std::uint8_t coef = 0;  // first terms exercise coef 0 and 1
+      for (auto& s : srcs) {
+        s.resize(len);
+        for (auto& b : s) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+        terms.push_back({coef, s});
+        coef = coef < 2 ? coef + 1
+                        : static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+      }
+      for (const auto& t : terms) GfAxpy(expect, t.coef, t.src);
+      GfAxpyN(dst, terms);
+      EXPECT_EQ(dst, expect) << GfImplName(impl) << " len=" << len;
+    }
   }
 }
 
