@@ -37,11 +37,12 @@ enum class RecoveryMode {
   // Stream systematic RLNC repair symbols (src/fec/) sized by the
   // receiver's erasure estimate instead of literal chunk copies.
   kCodedRepair,
-  // Crelay: coded repair where an overhearing relay with its own
-  // (partial) copy of the initial transmission also streams repair
-  // equations, from a relay-id-partitioned seed space; the destination
-  // broadcasts per-party burst requests split by who is cheaper to
-  // hear (arq/recovery_session.h runs the multi-party exchange).
+  // Crelay, generalized to N relays: coded repair where overhearing
+  // relays with their own (partial) copies of the initial transmission
+  // also stream repair equations, each from a relay-id-partitioned
+  // seed space; the destination broadcasts per-party burst requests
+  // split by observed delivery rate (arq/recovery_session.h runs the
+  // multi-party exchange and schedules relay airtime).
   kRelayCodedRepair,
 };
 
@@ -62,6 +63,17 @@ struct PpArqConfig {
   std::size_t codewords_per_fec_symbol = 16;
   double repair_overhead = 0.25;
   double repair_target_completion = 0.9;
+  // kRelayCodedRepair: the relay roster size the session plans for.
+  // The destination's feedback wire carries one requested count per
+  // repair party (source first, then relay ids 1..relay_parties), and
+  // MakeRelayParticipant accepts ids in that range. 1 reproduces the
+  // original single-relay Crelay configuration.
+  std::size_t relay_parties = 1;
+  // Per-round cap on TOTAL relay repair airtime (bits, descriptors
+  // included); 0 = unlimited. Enforced by RecoverySession: relays are
+  // serviced in ExOR order (best observed overhear quality first) and
+  // each truncates or defers once the round's budget is spent.
+  std::size_t relay_airtime_budget_bits = 0;
 };
 
 // A retransmitted segment as decoded at the receiver: hints accompany

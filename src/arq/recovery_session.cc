@@ -1,5 +1,6 @@
 #include "arq/recovery_session.h"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 #include <utility>
@@ -123,6 +124,11 @@ void RecoverySession::SetEdgeChannel(PartyId from, PartyId to,
   edges_[{from, to}] = std::move(channel);
 }
 
+void RecoverySession::SetRelayAirtimeBudget(std::size_t bits_per_round) {
+  relay_airtime_budget_ = bits_per_round == 0 ? kNoAirtimeBudget
+                                              : bits_per_round;
+}
+
 DestinationParticipant* RecoverySession::Destination() const {
   for (const auto& p : parties_) {
     if (p->role() == PartyRole::kDestination) {
@@ -155,6 +161,34 @@ void RecoverySession::Account(const SessionMessage& msg) {
   ++stats_.totals.data_transmissions;
   party.repair_bits += msg.wire_bits;
   ++party.repair_messages;
+  if (parties_[msg.from]->role() == PartyRole::kRelay) {
+    round_relay_bits_ += msg.wire_bits;
+  }
+}
+
+// Broadcast delivery order: non-relay parties in id order (the source
+// always answers feedback before any relay, as in the pre-scheduling
+// engine), then relays ranked ExOR-style — best self-reported quality
+// first, ties by id (stable sort over an id-ordered list).
+std::vector<PartyId> RecoverySession::RecipientOrder(
+    const SessionMessage& msg) {
+  std::vector<PartyId> order;
+  std::vector<std::pair<double, PartyId>> relays;
+  for (PartyId to = 0; to < parties_.size(); ++to) {
+    if (to == msg.from) continue;
+    if (msg.to != kBroadcastId && msg.to != to) continue;
+    if (parties_[to]->role() == PartyRole::kRelay) {
+      relays.emplace_back(parties_[to]->RepairQuality(), to);
+    } else {
+      order.push_back(to);
+    }
+  }
+  std::stable_sort(relays.begin(), relays.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  for (const auto& [quality, id] : relays) order.push_back(id);
+  return order;
 }
 
 void RecoverySession::Deliver(const SessionMessage& msg) {
@@ -172,15 +206,20 @@ void RecoverySession::Deliver(const SessionMessage& msg) {
     SessionMessage m = std::move(queue.front());
     queue.pop_front();
     Account(m);
-    for (PartyId to = 0; to < parties_.size(); ++to) {
-      if (to == m.from) continue;
-      if (m.to != kBroadcastId && m.to != to) continue;
+    for (const PartyId to : RecipientOrder(m)) {
+      const bool budgeted_relay =
+          parties_[to]->role() == PartyRole::kRelay &&
+          m.type == SessionMessageType::kFeedback &&
+          relay_airtime_budget_ != kNoAirtimeBudget;
       DeliveredMessage delivered;
       delivered.type = m.type;
       delivered.from = m.from;
       delivered.to = m.to;
       if (m.type == SessionMessageType::kFeedback) {
         delivered.feedback_wire = m.feedback_wire;
+        if (budgeted_relay) {
+          delivered.relay_budget_bits = round_budget_left_;
+        }
       } else {
         // Repair bits cross this recipient's edge channel; no channel
         // means the hop is simply out of range.
@@ -199,10 +238,19 @@ void RecoverySession::Deliver(const SessionMessage& msg) {
         }
       }
       auto replies = parties_[to]->HandleMessage(delivered);
+      bool relay_sent_repair = false;
       for (auto& reply : replies) {
+        if (budgeted_relay && reply.type == SessionMessageType::kRepair) {
+          // A budgeted relay's repair spends the round's remaining
+          // airtime; later (worse-ranked) relays see what is left.
+          relay_sent_repair = true;
+          round_budget_left_ -=
+              std::min(round_budget_left_, reply.wire_bits);
+        }
         reply.from = to;
         queue.push_back(std::move(reply));
       }
+      if (budgeted_relay && !relay_sent_repair) ++stats_.relay_deferrals;
     }
   }
 }
@@ -223,10 +271,14 @@ SessionRunStats RecoverySession::Run(std::size_t max_rounds) {
       return stats_;
     }
     ++stats_.rounds;
+    round_budget_left_ = relay_airtime_budget_;
+    round_relay_bits_ = 0;
     for (auto& msg : opening) {
       msg.from = destination_id;
       Deliver(msg);
     }
+    stats_.max_round_relay_bits =
+        std::max(stats_.max_round_relay_bits, round_relay_bits_);
   }
   stats_.totals.success = destination->Complete();
   return stats_;
@@ -252,37 +304,63 @@ SessionRunStats RunRecoveryExchangeSession(const BitVec& payload_bits,
   return session.Run(max_rounds);
 }
 
-SessionRunStats RunRelayRecoveryExchange(const BitVec& payload_bits,
-                                         const PpArqConfig& config,
-                                         const RecoveryStrategy& strategy,
-                                         const RelayExchangeChannels& channels,
-                                         std::size_t max_rounds) {
+SessionRunStats RunMultiRelayRecoveryExchange(
+    const BitVec& payload_bits, const PpArqConfig& config,
+    const RecoveryStrategy& strategy,
+    const MultiRelayExchangeChannels& channels, std::size_t max_rounds) {
+  if (channels.source_to_relay.size() != channels.relay_to_destination.size()) {
+    throw std::invalid_argument(
+        "RunMultiRelayRecoveryExchange: per-relay channel vectors must "
+        "be the same length");
+  }
+  const std::size_t num_relays = channels.source_to_relay.size();
+  if (num_relays == 0 || config.relay_parties < num_relays) {
+    throw std::invalid_argument(
+        "RunMultiRelayRecoveryExchange: config.relay_parties must cover "
+        "the relay roster");
+  }
   const BitVec body = PpArqSender::MakeBody(payload_bits);
   if (body.size() % config.bits_per_codeword != 0) {
     throw std::invalid_argument(
-        "RunRelayRecoveryExchange: body bits must be whole codewords");
+        "RunMultiRelayRecoveryExchange: body bits must be whole codewords");
   }
   const std::size_t total_codewords = body.size() / config.bits_per_codeword;
-  auto relay = strategy.MakeRelayParticipant(/*relay_id=*/1, /*seq=*/1,
-                                             total_codewords);
-  if (!relay) {
-    throw std::invalid_argument(
-        "RunRelayRecoveryExchange: strategy has no relay role");
-  }
   RecoverySession session;
   const PartyId source =
       session.AddParty(strategy.MakeSourceParticipant(body, /*seq=*/1));
   const PartyId destination = session.AddParty(
       strategy.MakeDestinationParticipant(/*seq=*/1, total_codewords));
-  const PartyId relay_id = session.AddParty(std::move(relay));
   static_assert(kSessionSourceId == 0 && kSessionDestinationId == 1 &&
                 kSessionRelayId == 2);
   session.SetEdgeChannel(source, destination, channels.source_to_destination);
-  session.SetEdgeChannel(source, relay_id, channels.source_to_relay);
-  session.SetEdgeChannel(relay_id, destination,
-                         channels.relay_to_destination);
+  for (std::size_t i = 0; i < num_relays; ++i) {
+    auto relay = strategy.MakeRelayParticipant(
+        static_cast<std::uint8_t>(i + 1), /*seq=*/1, total_codewords);
+    if (!relay) {
+      throw std::invalid_argument(
+          "RunMultiRelayRecoveryExchange: strategy has no relay role");
+    }
+    const PartyId relay_party = session.AddParty(std::move(relay));
+    session.SetEdgeChannel(source, relay_party, channels.source_to_relay[i]);
+    session.SetEdgeChannel(relay_party, destination,
+                           channels.relay_to_destination[i]);
+  }
+  session.SetRelayAirtimeBudget(config.relay_airtime_budget_bits);
   session.TransmitInitial(source, body);
   return session.Run(max_rounds);
+}
+
+SessionRunStats RunRelayRecoveryExchange(const BitVec& payload_bits,
+                                         const PpArqConfig& config,
+                                         const RecoveryStrategy& strategy,
+                                         const RelayExchangeChannels& channels,
+                                         std::size_t max_rounds) {
+  MultiRelayExchangeChannels multi;
+  multi.source_to_destination = channels.source_to_destination;
+  multi.source_to_relay = {channels.source_to_relay};
+  multi.relay_to_destination = {channels.relay_to_destination};
+  return RunMultiRelayRecoveryExchange(payload_bits, config, strategy, multi,
+                                       max_rounds);
 }
 
 }  // namespace ppr::arq

@@ -19,8 +19,19 @@
 // The two-party configuration reproduces the legacy
 // RunRecoveryExchange loop exactly — same channel draw order, same
 // accounting — which is what keeps kChunkRetransmit bit-for-bit
-// identical under the redesign. Future strategies (multi-relay,
-// opportunistic routing) plug in as additional participants and edges.
+// identical under the redesign. Any number of relays plug in as
+// additional participants and edges.
+//
+// Relay airtime scheduling (ExOR-style): when a per-round relay
+// airtime budget is set, the engine services relay parties in
+// descending order of their self-reported RepairQuality (the observed
+// bottleneck quality of their overheard copy; ties broken by party id)
+// and hands each the budget still unspent this round. A relay
+// truncates its burst to fit and defers outright when nothing remains,
+// so a dense overhearer set cannot all stream at once — exactly the
+// deferral discipline ExOR's forwarder list imposes on opportunistic
+// next hops. The source is never budgeted: its repair stream is the
+// correctness backstop.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +48,8 @@ namespace ppr::arq {
 
 using PartyId = std::size_t;
 inline constexpr PartyId kBroadcastId = static_cast<PartyId>(-1);
+// "No budget": an effectively infinite per-round relay airtime budget.
+inline constexpr std::size_t kNoAirtimeBudget = static_cast<std::size_t>(-1);
 
 enum class PartyRole { kSource, kDestination, kRelay };
 enum class SessionMessageType { kFeedback, kRepair };
@@ -62,6 +75,11 @@ struct DeliveredMessage {
   PartyId to = kBroadcastId;
   BitVec feedback_wire;
   std::vector<ReceivedRepairFrame> frames;
+  // Relay parties only: the round's still-unspent relay airtime (bits)
+  // at the moment this message reached them. A budgeted relay must
+  // keep its repair reply's wire_bits within this, truncating or
+  // deferring as needed; kNoAirtimeBudget means unbudgeted.
+  std::size_t relay_budget_bits = kNoAirtimeBudget;
 };
 
 class RecoveryParticipant {
@@ -78,6 +96,12 @@ class RecoveryParticipant {
   // Round opener; only the destination emits here (its feedback). An
   // empty result from the destination ends the exchange.
   virtual std::vector<SessionMessage> StartRound() { return {}; }
+
+  // ExOR-style self-ranking for relay airtime scheduling: relays
+  // return their observed bottleneck quality (higher = served first
+  // when a round's relay airtime is budgeted). Non-relay parties keep
+  // the default.
+  virtual double RepairQuality() { return 0.0; }
 
   // Typed, addressed ingest; replies are routed within the same round.
   virtual std::vector<SessionMessage> HandleMessage(
@@ -118,6 +142,16 @@ struct SessionRunStats {
   // totals.data_transmissions in multi-party sessions, where one round
   // can carry several repair messages.
   std::size_t rounds = 0;
+  // Relay airtime scheduling: the largest per-round total of relay
+  // repair bits (the quantity a finite budget caps), and how many
+  // budgeted feedback deliveries to a relay produced no repair reply —
+  // its turn in the ExOR order came with too little of the round's
+  // airtime left to afford a frame, so it deferred. (Only ticks when a
+  // budget is set; a relay silenced for other reasons — zero requested,
+  // nothing trusted — also counts, so read it as "budgeted turns that
+  // put nothing on the air".)
+  std::size_t max_round_relay_bits = 0;
+  std::size_t relay_deferrals = 0;
 };
 
 class RecoverySession {
@@ -131,6 +165,11 @@ class RecoverySession {
   // Feedback does not consult channels (reliable); a kRepair message is
   // simply not heard on edges without a channel.
   void SetEdgeChannel(PartyId from, PartyId to, BodyChannel channel);
+
+  // Per-round cap on total relay repair airtime (bits, descriptors
+  // included); 0 means unlimited. See the ExOR scheduling note atop
+  // this header.
+  void SetRelayAirtimeBudget(std::size_t bits_per_round);
 
   // The initial packet transmission: one broadcast from `source`; every
   // party with an incoming edge from it ingests its own loss-process
@@ -148,10 +187,14 @@ class RecoverySession {
   DestinationParticipant* Destination() const;
   void Deliver(const SessionMessage& msg);
   void Account(const SessionMessage& msg);
+  std::vector<PartyId> RecipientOrder(const SessionMessage& msg);
 
   std::vector<std::unique_ptr<RecoveryParticipant>> parties_;
   std::map<std::pair<PartyId, PartyId>, BodyChannel> edges_;
   SessionRunStats stats_;
+  std::size_t relay_airtime_budget_ = kNoAirtimeBudget;  // per round
+  std::size_t round_budget_left_ = kNoAirtimeBudget;
+  std::size_t round_relay_bits_ = 0;
 };
 
 // Channels of the canonical three-party (Crelay) topology.
@@ -161,16 +204,36 @@ struct RelayExchangeChannels {
   BodyChannel relay_to_destination;
 };
 
-// Party ids RunRelayRecoveryExchange assigns (indexes into
-// SessionRunStats::parties).
+// Channels of the N-relay topology: relay i (party id
+// kSessionRelayId + i, repair party id i + 1) overhears the source on
+// source_to_relay[i] and reaches the destination on
+// relay_to_destination[i]. The two vectors must be the same length.
+struct MultiRelayExchangeChannels {
+  BodyChannel source_to_destination;
+  std::vector<BodyChannel> source_to_relay;
+  std::vector<BodyChannel> relay_to_destination;
+};
+
+// Party ids the exchange runners assign (indexes into
+// SessionRunStats::parties); relays follow contiguously from
+// kSessionRelayId.
 inline constexpr PartyId kSessionSourceId = 0;
 inline constexpr PartyId kSessionDestinationId = 1;
 inline constexpr PartyId kSessionRelayId = 2;
 
-// Runs one packet through a source + relay + destination session under
-// `strategy` (the relay party comes from MakeRelayParticipant and must
-// be supported). The relay overhears the initial transmission on its
-// own channel and answers the destination's broadcast feedback.
+// Runs one packet through a source + N relays + destination session
+// under `strategy` (the relay parties come from MakeRelayParticipant
+// and must be supported; `config.relay_parties` must cover the roster,
+// and `config.relay_airtime_budget_bits` becomes the session's
+// per-round relay budget). Every relay overhears the initial
+// transmission on its own channel and answers the destination's
+// broadcast feedback, scheduled by the engine.
+SessionRunStats RunMultiRelayRecoveryExchange(
+    const BitVec& payload_bits, const PpArqConfig& config,
+    const RecoveryStrategy& strategy,
+    const MultiRelayExchangeChannels& channels, std::size_t max_rounds = 32);
+
+// The single-relay special case, preserved as the N=1 configuration.
 SessionRunStats RunRelayRecoveryExchange(const BitVec& payload_bits,
                                          const PpArqConfig& config,
                                          const RecoveryStrategy& strategy,

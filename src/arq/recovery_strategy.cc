@@ -1,6 +1,7 @@
 #include "arq/recovery_strategy.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -16,6 +17,7 @@ namespace ppr::arq {
 namespace {
 
 constexpr unsigned kSeqBits = 16;
+constexpr unsigned kPartyCountBits = 8;
 constexpr unsigned kCountBits = 16;
 constexpr unsigned kSeedBits = 32;
 // Reliable per-frame descriptor overhead a relay pays beyond the seed:
@@ -181,22 +183,6 @@ class ChunkRetransmitStrategy : public RecoveryStrategy {
 
 // ------------------------------------------------------------------ coded
 
-// Coded feedback wires lead with (seq, requested-from-source); the
-// relay-coded wire appends a second requested count for the relay, so
-// the source parses both layouts identically.
-struct CodedFeedback {
-  std::uint16_t seq = 0;
-  std::size_t requested = 0;
-};
-
-std::optional<CodedFeedback> DecodeCodedFeedback(const BitVec& wire) {
-  if (wire.size() < kSeqBits + kCountBits) return std::nullopt;
-  CodedFeedback out;
-  out.seq = static_cast<std::uint16_t>(wire.ReadUint(0, kSeqBits));
-  out.requested = wire.ReadUint(kSeqBits, kCountBits);
-  return out;
-}
-
 // Batches `count` [data || CRC-32] records into body-sized frames.
 // `make_record` is called once per record, in order; it receives the
 // frame pointer on each frame's FIRST record to fill the descriptor
@@ -207,14 +193,39 @@ std::optional<CodedFeedback> DecodeCodedFeedback(const BitVec& wire) {
 // original body size — carriers that bound frame length (e.g. the
 // waveform pipeline's max_payload_octets) must keep accepting repair
 // frames whenever they accepted the initial transmission.
+// [data || CRC-32] record size and frame capacity shared by the
+// batcher below and every wire-cost computation priced against it.
+std::size_t RepairRecordBits(std::size_t record_payload_bits) {
+  return record_payload_bits + 32;
+}
+std::size_t RepairRecordsPerFrame(std::size_t record_payload_bits,
+                                  std::size_t body_bits) {
+  return std::max<std::size_t>(1,
+                               body_bits / RepairRecordBits(record_payload_bits));
+}
+
+// Wire cost of a `count`-record burst as BatchRepairRecords will pack
+// it: the records themselves plus one reliable `descriptor_bits`
+// descriptor per frame.
+std::size_t BatchedBurstWireBits(std::size_t count,
+                                 std::size_t record_payload_bits,
+                                 std::size_t body_bits,
+                                 std::size_t descriptor_bits) {
+  const std::size_t per_frame =
+      RepairRecordsPerFrame(record_payload_bits, body_bits);
+  return count * RepairRecordBits(record_payload_bits) +
+         (count + per_frame - 1) / per_frame * descriptor_bits;
+}
+
 template <typename MakeRecord>
 std::vector<RepairFrame> BatchRepairRecords(std::size_t count,
                                             std::size_t record_payload_bits,
                                             std::size_t body_bits,
                                             std::size_t bits_per_codeword,
                                             const MakeRecord& make_record) {
-  const std::size_t record_bits = record_payload_bits + 32;
-  const std::size_t per_frame = std::max<std::size_t>(1, body_bits / record_bits);
+  const std::size_t record_bits = RepairRecordBits(record_payload_bits);
+  const std::size_t per_frame =
+      RepairRecordsPerFrame(record_payload_bits, body_bits);
   std::vector<RepairFrame> frames;
   for (std::size_t done = 0; done < count;) {
     const std::size_t batch = std::min(per_frame, count - done);
@@ -243,16 +254,19 @@ class CodedRepairSender : public RecoverySender {
 
   RepairPlan HandleFeedback(const BitVec& feedback_wire) override {
     RepairPlan plan;
-    const auto fb = DecodeCodedFeedback(feedback_wire);
+    const auto fb = DecodeCodedFeedbackWire(feedback_wire);
     if (!fb.has_value()) {
       throw std::logic_error("coded feedback round-trip failed");
     }
     plan.wire_bits = kSeqBits + kCountBits;
-    if (fb->seq != seq_ || fb->requested == 0) return plan;
+    // The source is always party 0 of the wire, however many relay
+    // counts follow.
+    const std::size_t requested = fb->requested.front();
+    if (fb->seq != seq_ || requested == 0) return plan;
     // The receiver sizes its own burst (arq/adaptive_burst.h); the
     // sender obeys, bounded by the shared cap.
     const std::size_t count =
-        std::min(fb->requested, MaxRepairBurst(encoder_.num_source()));
+        std::min(requested, MaxRepairBurst(encoder_.num_source()));
     plan.frames = BatchRepairRecords(
         count, encoder_.symbol_bytes() * 8, body_bits_,
         config_.bits_per_codeword, [&](RepairFrame* frame) {
@@ -422,8 +436,7 @@ class CodedReceiverBase : public RecoveryReceiver {
   std::size_t rounds_ = 0;
 };
 
-// Two-party coded destination: one estimator, 32-bit (seq, requested)
-// wire.
+// Two-party coded destination: one estimator, a one-party wire.
 class CodedRepairReceiver : public CodedReceiverBase {
  public:
   CodedRepairReceiver(std::uint16_t seq, std::size_t total_codewords,
@@ -437,10 +450,7 @@ class CodedRepairReceiver : public CodedReceiverBase {
         Deficit(), estimator_.DeliveryRate(), config().repair_target_completion,
         MaxRepairBurst(NumSourceSymbols()));
     estimator_.OnRequested(n);
-    BitVec wire;
-    wire.AppendUint(seq(), kSeqBits);
-    wire.AppendUint(n, kCountBits);
-    return wire;
+    return EncodeCodedFeedbackWire(CodedFeedbackWire{seq(), {n}});
   }
 
   void IngestRepairFrame(const ReceivedRepairFrame& f) override {
@@ -481,61 +491,107 @@ class CodedRepairStrategy : public RecoveryStrategy {
 
 // ------------------------------------------------------------- relay-coded
 
-// Relay-coded feedback: seq, then one requested count per repair party
-// (source first, then the relay), broadcast so both hear it.
-constexpr std::size_t kRelayWireBits = kSeqBits + 2 * kCountBits;
-
-// Destination of the Crelay strategy: splits each round's deficit
-// between source and relay in proportion to their observed
-// repair-symbol delivery rates ("who is cheaper to hear"), then sizes
-// each share for the target completion probability at that party's own
-// rate. The source always gets at least one symbol of any nonzero
-// deficit: its equations are correct by construction, so progress is
-// guaranteed even against a relay that streams only poison.
+// Destination of the generalized Crelay strategy: splits each round's
+// deficit across the source and N relays in proportion to their
+// observed repair-symbol delivery rates ("who is cheaper to hear"),
+// then sizes each share for the target completion probability at that
+// party's own rate. Relay shares are floored, so the source always
+// absorbs the rounding remainder and gets at least one symbol of any
+// nonzero deficit: its equations are correct by construction, so
+// progress is guaranteed even against relays that stream only poison.
+// With one relay the allocation is exactly the original two-way split.
 class RelayCodedReceiver : public CodedReceiverBase {
  public:
   RelayCodedReceiver(std::uint16_t seq, std::size_t total_codewords,
                      const PpArqConfig& config)
       : CodedReceiverBase(seq, total_codewords, config),
-        source_estimator_(1.0 / (1.0 + config.repair_overhead)),
-        relay_estimator_(1.0 / (1.0 + config.repair_overhead)) {}
+        estimators_(1 + config.relay_parties,
+                    RepairDeliveryEstimator(1.0 / (1.0 + config.repair_overhead))) {}
 
  protected:
   BitVec BuildRequestWire() override {
     const std::size_t deficit = Deficit();
-    const double p_source = source_estimator_.DeliveryRate();
-    const double p_relay = relay_estimator_.DeliveryRate();
-    std::size_t to_relay = static_cast<std::size_t>(
-        std::floor(static_cast<double>(deficit) * p_relay /
-                   (p_source + p_relay)));
-    std::size_t to_source = deficit - to_relay;
-    if (deficit > 0 && to_source == 0) {
-      to_source = 1;
-      to_relay = deficit - 1;
+    const std::size_t parties = estimators_.size();
+    std::vector<double> rate(parties);
+    double rate_sum = 0.0;
+    for (std::size_t i = 0; i < parties; ++i) {
+      rate[i] = estimators_[i].DeliveryRate();
+      rate_sum += rate[i];
+    }
+    // Delivery-rate-weighted shares. The relay BLOC's share is floored
+    // as a whole (largest-remainder within it), so per-relay rounding
+    // cannot starve the bloc at small deficits; the source takes the
+    // remainder, which keeps it >= 1 for any nonzero deficit (its rate
+    // is positive, so the bloc's fraction is strictly below deficit) —
+    // the correctness backstop against all-poison relays. With one
+    // relay this is exactly the original two-way split.
+    std::vector<std::size_t> share(parties, 0);
+    const double relay_rate_sum = rate_sum - rate[0];
+    const std::size_t relay_total =
+        parties > 1 ? static_cast<std::size_t>(std::floor(
+                          static_cast<double>(deficit) * relay_rate_sum /
+                          rate_sum))
+                    : 0;
+    share[0] = deficit - relay_total;
+    // Endgame escape: integer flooring hands a small deficit entirely
+    // to the source, which livelocks when the direct path is dead (the
+    // source estimator pinned at its floor) however healthy the relays
+    // are. Ask the best relay for the deficit too — duplication costs
+    // a symbol or two, only in this pathological state.
+    if (relay_total == 0 && deficit > 0 && parties > 1 &&
+        rate[0] <= RepairDeliveryEstimator::kFloor) {
+      std::size_t best = 1;
+      for (std::size_t i = 2; i < parties; ++i) {
+        if (rate[i] > rate[best]) best = i;
+      }
+      share[best] = deficit;
+    }
+    if (relay_total > 0) {
+      struct Remainder {
+        double frac;
+        std::size_t party;
+      };
+      std::vector<Remainder> remainders;
+      std::size_t allotted = 0;
+      for (std::size_t i = 1; i < parties; ++i) {
+        const double quota =
+            static_cast<double>(relay_total) * rate[i] / relay_rate_sum;
+        share[i] = static_cast<std::size_t>(std::floor(quota));
+        allotted += share[i];
+        remainders.push_back({quota - std::floor(quota), i});
+      }
+      std::stable_sort(remainders.begin(), remainders.end(),
+                       [](const Remainder& a, const Remainder& b) {
+                         return a.frac > b.frac;
+                       });
+      for (std::size_t k = 0; allotted < relay_total; ++k, ++allotted) {
+        ++share[remainders[k].party];
+      }
     }
     const std::size_t cap = MaxRepairBurst(NumSourceSymbols());
     const double target = config().repair_target_completion;
-    const std::size_t n_source =
-        BurstSizeForTarget(to_source, p_source, target, cap);
-    const std::size_t n_relay =
-        BurstSizeForTarget(to_relay, p_relay, target, cap);
-    source_estimator_.OnRequested(n_source);
-    relay_estimator_.OnRequested(n_relay);
-    BitVec wire;
-    wire.AppendUint(seq(), kSeqBits);
-    wire.AppendUint(n_source, kCountBits);
-    wire.AppendUint(n_relay, kCountBits);
-    return wire;
+    CodedFeedbackWire fb;
+    fb.seq = seq();
+    fb.requested.reserve(parties);
+    for (std::size_t i = 0; i < parties; ++i) {
+      const std::size_t n = BurstSizeForTarget(share[i], rate[i], target, cap);
+      estimators_[i].OnRequested(n);
+      fb.requested.push_back(n);
+    }
+    return EncodeCodedFeedbackWire(fb);
   }
 
   void IngestRepairFrame(const ReceivedRepairFrame& f) override {
     if (f.origin == 0) {
-      ConsumeSourceFrame(f, source_estimator_);
+      ConsumeSourceFrame(f, estimators_[0]);
       return;
     }
+    if (f.origin >= estimators_.size()) return;  // not on the roster
     // A relay equation spans only the symbols its mask names; its
     // correctness rests on the relay's own SoftPHY labeling, so it is
-    // banked evictable under the relay-reported suspicion.
+    // banked evictable under the relay-reported suspicion, with the
+    // relay id as provenance so a poisoned relay's stream is evicted
+    // as a group.
     if (f.coef_mask.size() != NumSourceSymbols()) return;
     std::vector<bool> have(f.coef_mask.size());
     for (std::size_t i = 0; i < have.size(); ++i) have[i] = f.coef_mask.Get(i);
@@ -545,23 +601,26 @@ class RelayCodedReceiver : public CodedReceiverBase {
       // seed INSIDE the origin's 24-bit partition (fec::PartySeed), so
       // the reconstruction wraps exactly as the relay's counter did.
       const std::uint32_t seed = fec::PartySeed(
-          f.origin, (f.aux & 0xFFFFFFu) + static_cast<std::uint32_t>(k));
+          f.origin, fec::SeedCounter(f.aux) + static_cast<std::uint32_t>(k));
       session().ConsumeEquation(fec::MaskedCoefficients(seed, have),
                                 data.ToBytes(), f.suspicion,
-                                /*evictable=*/true);
+                                /*evictable=*/true, /*party=*/f.origin);
     });
-    relay_estimator_.OnDelivered(valid);
+    estimators_[f.origin].OnDelivered(valid);
   }
 
  private:
-  RepairDeliveryEstimator source_estimator_;
-  RepairDeliveryEstimator relay_estimator_;
+  std::vector<RepairDeliveryEstimator> estimators_;  // index = party id
 };
 
 // The overhearing relay: assembles its own (partial, possibly
 // miss-corrupted) copy of the initial transmission, and answers the
 // destination's broadcast feedback with masked RLNC equations over the
 // symbols it trusts, seeded from its own partition of the seed space.
+// When the session engine hands it a finite airtime budget it
+// truncates its burst to fit and defers entirely once the round's
+// budget is spent (ExOR-style: better-ranked relays were served
+// first).
 class RelayRepairParticipant : public RecoveryParticipant {
  public:
   RelayRepairParticipant(std::uint8_t relay_id, std::uint16_t seq,
@@ -582,31 +641,56 @@ class RelayRepairParticipant : public RecoveryParticipant {
     body_.Merge(symbols, config_.bits_per_codeword);
   }
 
+  // Observed bottleneck quality: the fraction of FEC symbols this relay
+  // trusts from its overheard copy. The session engine services relays
+  // in descending order of this rank when a round's airtime is
+  // budgeted.
+  double RepairQuality() override {
+    if (!body_.received) return 0.0;
+    EnsureLabeled();
+    if (have_.empty()) return 0.0;
+    return static_cast<double>(num_trusted_) /
+           static_cast<double>(have_.size());
+  }
+
   std::vector<SessionMessage> HandleMessage(
       const DeliveredMessage& msg) override {
     if (msg.type != SessionMessageType::kFeedback || !body_.received) {
       return {};
     }
-    const BitVec& wire = msg.feedback_wire;
-    if (wire.size() < kRelayWireBits ||
-        wire.ReadUint(0, kSeqBits) != seq_) {
-      return {};
-    }
+    const auto fb = DecodeCodedFeedbackWire(msg.feedback_wire);
+    if (!fb.has_value() || fb->seq != seq_) return {};
+    // This relay's requested count travels at index relay_id; a wire
+    // with a shorter roster asks nothing of it.
     const std::size_t requested =
-        wire.ReadUint(kSeqBits + kCountBits, kCountBits);
+        relay_id_ < fb->requested.size() ? fb->requested[relay_id_] : 0;
     if (requested == 0) return {};
     EnsureLabeled();
     if (num_trusted_ == 0) return {};  // nothing usable overheard
 
-    const std::size_t count =
-        std::min(requested, MaxRepairBurst(symbols_.size()));
+    std::size_t count = std::min(requested, MaxRepairBurst(symbols_.size()));
+    // Fit the burst to the round's remaining relay airtime: shed
+    // records until the wire cost (records plus one reliable
+    // descriptor per frame) is affordable, deferring outright when
+    // nothing is. Skipped seeds are harmless — every frame names its
+    // base seed explicitly.
+    const std::size_t payload_bits = symbols_.front().size() * 8;
+    const std::size_t descriptor_bits =
+        kSeedBits + kOriginBits + kSuspicionBits + have_.size();
+    const auto burst_cost = [&](std::size_t records) {
+      return BatchedBurstWireBits(records, payload_bits, body_.bits.size(),
+                                  descriptor_bits);
+    };
+    while (count > 0 && burst_cost(count) > msg.relay_budget_bits) --count;
+    if (count == 0) return {};  // round budget spent: defer
+
     SessionMessage reply;
     reply.type = SessionMessageType::kRepair;
     reply.to = msg.from;
     BitVec mask;
     for (const bool h : have_) mask.PushBack(h);
     reply.frames = BatchRepairRecords(
-        count, symbols_.front().size() * 8, body_.bits.size(),
+        count, payload_bits, body_.bits.size(),
         config_.bits_per_codeword, [&](RepairFrame* frame) {
           const std::uint32_t seed = fec::PartySeed(relay_id_, counter_++);
           if (frame) {
@@ -624,6 +708,10 @@ class RelayRepairParticipant : public RecoveryParticipant {
       reply.wire_bits += kSeedBits + kOriginBits + kSuspicionBits +
                          frame.coef_mask.size() + frame.bits.size();
     }
+    // The budget fit above priced the burst before building it; if
+    // BatchRepairRecords' packing ever diverges from burst_cost, the
+    // budget the engine charges would drift from the bits on the air.
+    assert(reply.wire_bits == burst_cost(count));
     return {std::move(reply)};
   }
 
@@ -664,6 +752,13 @@ class RelayCodedStrategy : public RecoveryStrategy {
       throw std::invalid_argument(
           "RelayCodedStrategy: FEC symbol must be whole octets");
     }
+    // Party ids must fit the 8-bit wire origin field and the party
+    // count (source + relays) the 8-bit wire roster field.
+    if (config.relay_parties == 0 ||
+        config.relay_parties >= fec::kMaxRepairParties - 1) {
+      throw std::invalid_argument(
+          "RelayCodedStrategy: relay_parties must be in [1, 254]");
+    }
   }
 
   const char* Name() const override { return "relay-coded-repair"; }
@@ -684,6 +779,10 @@ class RelayCodedStrategy : public RecoveryStrategy {
   std::unique_ptr<RecoveryParticipant> MakeRelayParticipant(
       std::uint8_t relay_id, std::uint16_t seq,
       std::size_t total_codewords) const override {
+    if (relay_id == 0 || relay_id > config_.relay_parties) {
+      throw std::invalid_argument(
+          "MakeRelayParticipant: relay id outside the configured roster");
+    }
     return std::make_unique<RelayRepairParticipant>(relay_id, seq,
                                                     total_codewords, config_);
   }
@@ -693,6 +792,43 @@ class RelayCodedStrategy : public RecoveryStrategy {
 };
 
 }  // namespace
+
+BitVec EncodeCodedFeedbackWire(const CodedFeedbackWire& feedback) {
+  if (feedback.requested.empty() ||
+      feedback.requested.size() >= fec::kMaxRepairParties) {
+    throw std::invalid_argument(
+        "EncodeCodedFeedbackWire: party count must be in [1, 255]");
+  }
+  BitVec wire;
+  wire.AppendUint(feedback.seq, kSeqBits);
+  wire.AppendUint(feedback.requested.size(), kPartyCountBits);
+  for (const std::size_t n : feedback.requested) {
+    if (n > 0xFFFF) {
+      throw std::invalid_argument(
+          "EncodeCodedFeedbackWire: requested count exceeds 16 bits");
+    }
+    wire.AppendUint(n, kCountBits);
+  }
+  return wire;
+}
+
+std::optional<CodedFeedbackWire> DecodeCodedFeedbackWire(const BitVec& wire) {
+  if (wire.size() < kSeqBits + kPartyCountBits) return std::nullopt;
+  CodedFeedbackWire out;
+  out.seq = static_cast<std::uint16_t>(wire.ReadUint(0, kSeqBits));
+  const std::size_t parties = wire.ReadUint(kSeqBits, kPartyCountBits);
+  if (parties == 0) return std::nullopt;
+  if (wire.size() < kSeqBits + kPartyCountBits + parties * kCountBits) {
+    return std::nullopt;  // truncated roster
+  }
+  out.requested.reserve(parties);
+  for (std::size_t i = 0; i < parties; ++i) {
+    out.requested.push_back(
+        wire.ReadUint(kSeqBits + kPartyCountBits + i * kCountBits,
+                      kCountBits));
+  }
+  return out;
+}
 
 std::unique_ptr<RecoveryStrategy> MakeRecoveryStrategy(
     const PpArqConfig& config) {

@@ -12,12 +12,14 @@
 //     the receiver's decoder reaches full rank. Repair symbols carry
 //     their own CRC-32, so corrupted ones are dropped rather than
 //     poisoning the basis.
-//   kRelayCodedRepair — the Crelay direction: an overhearing relay with
-//     its own partial copy of the initial transmission also answers the
-//     destination's (broadcast) feedback, streaming masked RLNC
-//     equations from a relay-id-partitioned seed space; the destination
-//     splits each round's burst between source and relay by who is
-//     cheaper to hear.
+//   kRelayCodedRepair — the Crelay direction, generalized to N relays:
+//     overhearing relays with their own partial copies of the initial
+//     transmission also answer the destination's (broadcast) feedback,
+//     each streaming masked RLNC equations from its own partition of
+//     the seed space; the destination splits each round's burst across
+//     all repair parties in proportion to their observed delivery
+//     rates, and the session engine schedules relay airtime
+//     (ExOR-style ranking + per-round budget, recovery_session.h).
 //
 // All parties of a strategy share a wire format for feedback; the run
 // loops (arq/link_sim.h: RunRecoveryExchange for the duplex case,
@@ -80,6 +82,25 @@ struct ReceivedRepairFrame {
   BitVec coef_mask;
   double suspicion = 0.0;
 };
+
+// The generalized coded feedback wire: seq, then an explicit party
+// count, then one requested repair-symbol count per party — index 0 is
+// always the source, 1..N the relay ids. Two-party coded repair is the
+// party_count == 1 special case; the original Crelay wire's fixed
+// (requested_src, requested_relay) pair is party_count == 2. Zero
+// counts are legal (a party the destination wants silent this round).
+struct CodedFeedbackWire {
+  std::uint16_t seq = 0;
+  std::vector<std::size_t> requested;  // index = repair party id
+
+  bool operator==(const CodedFeedbackWire&) const = default;
+};
+
+// Wire layout: seq (16 bits), party_count (8 bits, >= 1), then
+// party_count 16-bit counts. Decode returns nullopt on a truncated
+// wire or a zero party count.
+BitVec EncodeCodedFeedbackWire(const CodedFeedbackWire& feedback);
+std::optional<CodedFeedbackWire> DecodeCodedFeedbackWire(const BitVec& wire);
 
 class RecoverySender {
  public:

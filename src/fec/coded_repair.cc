@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <stdexcept>
 
 namespace ppr::fec {
@@ -76,7 +77,8 @@ bool CodedRepairSession::ConsumeRepair(const RepairSymbol& repair) {
 
 bool CodedRepairSession::ConsumeEquation(std::vector<std::uint8_t> coefs,
                                          std::vector<std::uint8_t> data,
-                                         double suspicion, bool evictable) {
+                                         double suspicion, bool evictable,
+                                         std::uint8_t party) {
   if (coefs.size() != num_source() || data.size() != symbol_bytes()) {
     throw std::invalid_argument("ConsumeEquation: shape mismatch");
   }
@@ -85,6 +87,7 @@ bool CodedRepairSession::ConsumeEquation(std::vector<std::uint8_t> coefs,
   eq.data = data;
   eq.suspicion = suspicion;
   eq.evictable = evictable;
+  eq.party = party;
   equations_.push_back(std::move(eq));
   return decoder_.AddEquation(std::move(coefs), std::move(data));
 }
@@ -101,37 +104,60 @@ std::vector<std::vector<std::uint8_t>> CodedRepairSession::Decode() const {
 
 std::size_t CodedRepairSession::EvictSuspects() {
   // One candidate list across both row kinds — still-trusted systematic
-  // symbols and still-banked evictable (relay) equations — most suspect
-  // first; stable order for determinism.
+  // symbols (individually) and evictable equations grouped by
+  // originating party (a relay's equations all share the relay's body
+  // image, so a miss poisons them together) — most suspect first;
+  // stable order for determinism. A party group's suspicion is the
+  // worst across its still-banked rows.
   struct Candidate {
     double suspicion;
-    bool is_equation;
-    std::size_t index;
+    bool is_party;
+    std::size_t index;  // symbol index, or the party id
   };
   std::vector<Candidate> order;
   for (std::size_t i = 0; i < num_source(); ++i) {
     if (trusted_[i]) order.push_back({suspicion_[i], false, i});
   }
-  for (std::size_t e = 0; e < equations_.size(); ++e) {
-    if (equations_[e].evictable && !equations_[e].distrusted) {
-      order.push_back({equations_[e].suspicion, true, e});
-    }
+  std::map<std::uint8_t, double> party_suspicion;
+  for (const auto& eq : equations_) {
+    if (!eq.evictable || eq.distrusted) continue;
+    auto [it, inserted] = party_suspicion.try_emplace(eq.party, eq.suspicion);
+    if (!inserted) it->second = std::max(it->second, eq.suspicion);
+  }
+  for (const auto& [party, suspicion] : party_suspicion) {
+    order.push_back({suspicion, true, party});
   }
   std::stable_sort(order.begin(), order.end(),
                    [](const Candidate& a, const Candidate& b) {
                      return a.suspicion > b.suspicion;
                    });
-  const std::size_t count = std::min(evict_batch_, order.size());
-  for (std::size_t k = 0; k < count; ++k) {
-    if (order[k].is_equation) {
-      equations_[order[k].index].distrusted = true;
+  const std::size_t picks = std::min(evict_batch_, order.size());
+  std::size_t rows = 0;
+  for (std::size_t k = 0; k < picks; ++k) {
+    if (order[k].is_party) {
+      for (auto& eq : equations_) {
+        if (eq.evictable && !eq.distrusted &&
+            eq.party == static_cast<std::uint8_t>(order[k].index)) {
+          eq.distrusted = true;
+          ++rows;
+        }
+      }
     } else {
       trusted_[order[k].index] = false;
+      ++rows;
     }
   }
   evict_batch_ *= 2;
-  if (count > 0) Rebuild();
-  return count;
+  if (rows > 0) Rebuild();
+  return rows;
+}
+
+std::size_t CodedRepairSession::equations_from(std::uint8_t party) const {
+  std::size_t n = 0;
+  for (const auto& eq : equations_) {
+    if (eq.evictable && !eq.distrusted && eq.party == party) ++n;
+  }
+  return n;
 }
 
 std::size_t CodedRepairSession::num_trusted() const {

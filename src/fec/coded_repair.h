@@ -67,22 +67,31 @@ class CodedRepairSession {
   // copy of the body (an overhearing relay): they pass the wire CRC yet
   // may still encode a SoftPHY miss, so a failed packet verify may
   // distrust them, ordered by `suspicion` alongside the systematic rows.
+  // `party` records provenance (the originating repair party,
+  // fec::PartySeed convention: 0 = source, 1+ = relay ids): every
+  // evictable equation a relay contributed was computed from the SAME
+  // foreign body image, so one SoftPHY miss poisons the relay's whole
+  // stream and eviction distrusts that party's equations as a group.
   bool ConsumeEquation(std::vector<std::uint8_t> coefs,
                        std::vector<std::uint8_t> data, double suspicion,
-                       bool evictable);
+                       bool evictable, std::uint8_t party = 0);
 
   // Decoded source symbols; requires CanDecode().
   std::vector<std::vector<std::uint8_t>> Decode() const;
 
   // The last decode failed external verification: distrust the most
   // suspect of the still-trusted systematic symbols and the still-banked
-  // evictable equations (one suspicion ordering across both kinds) and
-  // rebuild the basis. Returns how many rows were distrusted (0 when
-  // nothing evictable remains).
+  // evictable equation GROUPS (one suspicion ordering across both
+  // kinds; an evictable party's equations form one candidate whose
+  // suspicion is the worst across its banked rows, and evicting it
+  // distrusts the party's whole stream) and rebuild the basis. Returns
+  // how many rows were distrusted (0 when nothing evictable remains).
   std::size_t EvictSuspects();
 
   std::size_t num_trusted() const;
   std::size_t repairs_banked() const { return equations_.size(); }
+  // Still-banked (not distrusted) evictable equations from `party`.
+  std::size_t equations_from(std::uint8_t party) const;
 
  private:
   struct BankedEquation {
@@ -91,6 +100,7 @@ class CodedRepairSession {
     double suspicion = 0.0;
     bool evictable = false;
     bool distrusted = false;
+    std::uint8_t party = 0;
   };
 
   void Rebuild();

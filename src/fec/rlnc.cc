@@ -23,6 +23,12 @@ std::uint32_t PartySeed(std::uint8_t party, std::uint32_t counter) {
   return (static_cast<std::uint32_t>(party) << 24) | (counter & 0xFFFFFFu);
 }
 
+std::uint8_t SeedParty(std::uint32_t seed) {
+  return static_cast<std::uint8_t>(seed >> 24);
+}
+
+std::uint32_t SeedCounter(std::uint32_t seed) { return seed & 0xFFFFFFu; }
+
 std::vector<std::uint8_t> MaskedCoefficients(std::uint32_t seed,
                                              const std::vector<bool>& have) {
   auto coefs = RepairCoefficients(seed, have.size());

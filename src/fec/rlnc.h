@@ -39,8 +39,18 @@ std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
 // concurrent streams (the source plus any overhearing relays) can never
 // emit colliding seeds: party p owns seeds [p << 24, (p + 1) << 24).
 // Party 0 (the source) keeps the plain counter range existing senders
-// already use.
+// already use. The partition is collision-free for every distinct
+// (party, counter mod 2^24) pair, which covers arbitrary relay ids up
+// to kMaxRepairParties - 1 — the widest roster the 8-bit wire origin
+// field can name.
+inline constexpr std::size_t kMaxRepairParties = 256;
 std::uint32_t PartySeed(std::uint8_t party, std::uint32_t counter);
+
+// Inverse projections of PartySeed: the owning party and the in-party
+// counter a seed denotes. SeedParty(PartySeed(p, c)) == p and
+// SeedCounter(PartySeed(p, c)) == c mod 2^24 for every p, c.
+std::uint8_t SeedParty(std::uint32_t seed);
+std::uint32_t SeedCounter(std::uint32_t seed);
 
 // A repair equation over a PARTIAL view of the source block (the relay
 // case): coefficients are regenerated densely from `seed`, then zeroed

@@ -118,22 +118,37 @@ arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
   return arq::RunPpArqExchange(payload, arq_config, channel);
 }
 
-arq::SessionRunStats RunWaveformRelayRecovery(
+arq::SessionRunStats RunWaveformMultiRelayRecovery(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
-    const WaveformChannelParams& direct, const RelayWaveformParams& relay,
-    Rng& payload_rng) {
+    const WaveformChannelParams& direct,
+    const std::vector<RelayWaveformParams>& relays, Rng& payload_rng) {
   BitVec payload;
   for (std::size_t i = 0; i < payload_octets; ++i) {
     payload.AppendUint(payload_rng.UniformInt(256), 8);
   }
   arq::PpArqConfig config = arq_config;
   config.recovery = arq::RecoveryMode::kRelayCodedRepair;
-  arq::RelayExchangeChannels channels;
+  config.relay_parties = relays.size();
+  arq::MultiRelayExchangeChannels channels;
   channels.source_to_destination = MakeWaveformChannel(direct);
-  channels.source_to_relay = MakeWaveformChannel(relay.overhear);
-  channels.relay_to_destination = MakeWaveformChannel(relay.relay_link);
+  channels.source_to_relay.reserve(relays.size());
+  channels.relay_to_destination.reserve(relays.size());
+  for (const auto& relay : relays) {
+    channels.source_to_relay.push_back(MakeWaveformChannel(relay.overhear));
+    channels.relay_to_destination.push_back(
+        MakeWaveformChannel(relay.relay_link));
+  }
   const auto strategy = arq::MakeRecoveryStrategy(config);
-  return arq::RunRelayRecoveryExchange(payload, config, *strategy, channels);
+  return arq::RunMultiRelayRecoveryExchange(payload, config, *strategy,
+                                            channels);
+}
+
+arq::SessionRunStats RunWaveformRelayRecovery(
+    std::size_t payload_octets, const arq::PpArqConfig& arq_config,
+    const WaveformChannelParams& direct, const RelayWaveformParams& relay,
+    Rng& payload_rng) {
+  return RunWaveformMultiRelayRecovery(payload_octets, arq_config, direct,
+                                       {relay}, payload_rng);
 }
 
 RecoveryComparison CompareRecoveryStrategies(

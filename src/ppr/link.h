@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "arq/link_sim.h"
 #include "arq/recovery_session.h"
@@ -65,6 +66,17 @@ arq::SessionRunStats RunWaveformRelayRecovery(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
     const WaveformChannelParams& direct, const RelayWaveformParams& relay,
     Rng& payload_rng);
+
+// The N-relay waveform session: every relay's overhear hop and
+// relay -> destination hop is its own real AWGN+collision channel.
+// `arq_config.relay_parties` is overridden to relays.size() and
+// `arq_config.relay_airtime_budget_bits` becomes the session's
+// per-round relay budget, so dense overhearer sets contend for airtime
+// exactly as in the channel-abstracted simulator.
+arq::SessionRunStats RunWaveformMultiRelayRecovery(
+    std::size_t payload_octets, const arq::PpArqConfig& arq_config,
+    const WaveformChannelParams& direct,
+    const std::vector<RelayWaveformParams>& relays, Rng& payload_rng);
 
 // Runs the same payload under each recovery strategy, each over an
 // identically seeded direct waveform channel, so their repair traffic

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <deque>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "arq/link_sim.h"
@@ -128,43 +130,57 @@ struct LinkJob {
   std::size_t sender = 0;
   std::size_t receiver = 0;
   double snr_db = 0.0;
-  std::size_t relay = kNoRelay;
-  double overhear_snr_db = 0.0;
-  double relay_snr_db = 0.0;
+  std::vector<std::size_t> relays;  // best-first roster, may be empty
+  std::vector<double> overhear_snr_db;  // parallel to relays
+  std::vector<double> relay_snr_db;
   Rng link_rng{0};
 };
 
 // `fallback` replaces `strategy` on relay-mode links with no recruited
 // overhearer: a two-party exchange under the relay-aware destination
-// would waste its round-one burst split on a party that does not
-// exist, so such links run plain coded repair instead.
+// would waste its round-one burst split on parties that do not exist,
+// so such links run plain coded repair instead. Relay-mode links
+// instead build their own strategy sized to the recruited roster.
 LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
                              const RecoveryExperimentConfig& recovery,
-                             const arq::RecoveryStrategy& strategy,
                              const arq::RecoveryStrategy& fallback,
                              const phy::ChipCodebook& codebook, LinkJob job) {
   LinkRecoveryStats link;
   link.sender = job.sender;
   link.receiver = job.receiver;
   link.snr_db = job.snr_db;
-  link.relay = job.relay;
+  link.relays = job.relays;
+  link.relay = job.relays.empty() ? kNoRelay : job.relays.front();
   Rng channel_rng = job.link_rng.Fork();
   Rng payload_rng = job.link_rng.Fork();
-  const bool use_relay = job.relay != kNoRelay;
-  // Relay hops fork after the legacy streams, so the direct channel and
-  // payloads draw identically across all three strategies.
-  Rng overhear_rng = job.link_rng.Fork();
-  Rng relay_rng = job.link_rng.Fork();
+  const bool use_relay = !job.relays.empty();
 
   const auto channel = arq::MakeGilbertElliottChannel(
       codebook, LinkGeParams(config, job.snr_db), channel_rng);
-  arq::RelayExchangeChannels channels;
+  arq::MultiRelayExchangeChannels channels;
+  std::unique_ptr<arq::RecoveryStrategy> relay_strategy;
+  arq::PpArqConfig relay_config = recovery.arq;
+  // The channels hold pointers to their Rngs, so the per-relay streams
+  // need addresses stable for the whole link (deque never relocates).
+  std::deque<Rng> relay_rngs;
   if (use_relay) {
     channels.source_to_destination = channel;
-    channels.source_to_relay = arq::MakeGilbertElliottChannel(
-        codebook, LinkGeParams(config, job.overhear_snr_db), overhear_rng);
-    channels.relay_to_destination = arq::MakeGilbertElliottChannel(
-        codebook, LinkGeParams(config, job.relay_snr_db), relay_rng);
+    // Relay hops fork after the legacy streams (overhear then relay
+    // hop, per roster slot), so the direct channel and payloads draw
+    // identically across all strategies and roster sizes.
+    for (std::size_t i = 0; i < job.relays.size(); ++i) {
+      relay_rngs.push_back(job.link_rng.Fork());
+      channels.source_to_relay.push_back(arq::MakeGilbertElliottChannel(
+          codebook, LinkGeParams(config, job.overhear_snr_db[i]),
+          relay_rngs.back()));
+      relay_rngs.push_back(job.link_rng.Fork());
+      channels.relay_to_destination.push_back(arq::MakeGilbertElliottChannel(
+          codebook, LinkGeParams(config, job.relay_snr_db[i]),
+          relay_rngs.back()));
+    }
+    // The session is sized to the roster this link actually recruited.
+    relay_config.relay_parties = job.relays.size();
+    relay_strategy = arq::MakeRecoveryStrategy(relay_config);
   }
 
   for (std::size_t p = 0; p < recovery.packets_per_link; ++p) {
@@ -174,10 +190,16 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
     }
     arq::SessionRunStats stats;
     if (use_relay) {
-      stats = arq::RunRelayRecoveryExchange(payload, recovery.arq, strategy,
-                                            channels, recovery.max_rounds);
-      link.relay_repair_bits +=
-          stats.parties[arq::kSessionRelayId].repair_bits;
+      stats = arq::RunMultiRelayRecoveryExchange(payload, relay_config,
+                                                 *relay_strategy, channels,
+                                                 recovery.max_rounds);
+      for (std::size_t i = 0; i < job.relays.size(); ++i) {
+        link.relay_repair_bits +=
+            stats.parties[arq::kSessionRelayId + i].repair_bits;
+      }
+      link.max_round_relay_bits =
+          std::max(link.max_round_relay_bits, stats.max_round_relay_bits);
+      link.relay_deferrals += stats.relay_deferrals;
     } else {
       stats = arq::RunRecoveryExchangeSession(payload, recovery.arq, fallback,
                                               channel, recovery.max_rounds);
@@ -197,23 +219,24 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
 }  // namespace
 
 RecoveryExperimentResult RunLinkRecoveryExperiment(
-    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery) {
-  const TestbedTopology topology(config.testbed);
-  const RadioMedium medium(topology.Positions(), config.medium);
+    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery,
+    const TestbedTopology& topology, const RadioMedium& medium,
+    OverhearingRelayCache& relay_cache) {
   const phy::ChipCodebook codebook;
-  const auto strategy = arq::MakeRecoveryStrategy(recovery.arq);
   const bool relay_mode =
       recovery.arq.recovery == arq::RecoveryMode::kRelayCodedRepair;
-  // Relay-less links under relay mode degrade to plain coded repair.
+  // Relay-less links under relay mode degrade to plain coded repair;
+  // non-relay modes run `fallback` on every link.
   arq::PpArqConfig fallback_config = recovery.arq;
   if (relay_mode) fallback_config.recovery = arq::RecoveryMode::kCodedRepair;
-  const auto fallback = relay_mode ? arq::MakeRecoveryStrategy(fallback_config)
-                                   : nullptr;
+  const auto fallback = arq::MakeRecoveryStrategy(fallback_config);
 
   // Serial pass: enumerate audible links and fix their seeds. Every
   // (sender, receiver) pair forks `root` in the same order whether or
   // not it is audible, so the draw sequence is identical across
-  // recovery modes and thread counts.
+  // recovery modes and thread counts. Relay rosters come from the
+  // shared cache, computed at most once per (link, min_snr) however
+  // many legs a sweep runs.
   std::vector<LinkJob> jobs;
   Rng root(recovery.seed);
   for (std::size_t r = 0; r < topology.NumReceivers(); ++r) {
@@ -228,13 +251,16 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
       job.receiver = receiver;
       job.snr_db = snr_db;
       job.link_rng = link_rng;
-      if (relay_mode) {
-        const auto overhearers = OverhearingRelays(medium, sender, receiver,
-                                                   recovery.relay_min_snr_db);
-        if (!overhearers.empty()) {
-          job.relay = overhearers.front();
-          job.overhear_snr_db = medium.LinkSnrDb(sender, job.relay);
-          job.relay_snr_db = medium.LinkSnrDb(job.relay, receiver);
+      if (relay_mode && recovery.max_relays > 0) {
+        const auto& overhearers =
+            relay_cache.Get(sender, receiver, recovery.relay_min_snr_db);
+        const std::size_t take =
+            std::min(recovery.max_relays, overhearers.size());
+        for (std::size_t k = 0; k < take; ++k) {
+          const std::size_t relay = overhearers[k];
+          job.relays.push_back(relay);
+          job.overhear_snr_db.push_back(medium.LinkSnrDb(sender, relay));
+          job.relay_snr_db.push_back(medium.LinkSnrDb(relay, receiver));
         }
       }
       jobs.push_back(job);
@@ -253,9 +279,7 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
   const auto worker = [&] {
     for (std::size_t j = next.fetch_add(1); j < jobs.size();
          j = next.fetch_add(1)) {
-      links[j] = RunOneLink(config, recovery, *strategy,
-                            fallback ? *fallback : *strategy, codebook,
-                            jobs[j]);
+      links[j] = RunOneLink(config, recovery, *fallback, codebook, jobs[j]);
     }
   };
   if (num_threads == 1) {
@@ -280,16 +304,38 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
   return result;
 }
 
+RecoveryExperimentResult RunLinkRecoveryExperiment(
+    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery) {
+  const TestbedTopology topology(config.testbed);
+  const RadioMedium medium(topology.Positions(), config.medium);
+  OverhearingRelayCache relay_cache(medium);
+  return RunLinkRecoveryExperiment(config, recovery, topology, medium,
+                                   relay_cache);
+}
+
 RecoveryStrategyComparison CompareLinkRecoveryStrategies(
     const ExperimentConfig& config, const RecoveryExperimentConfig& recovery) {
+  const TestbedTopology topology(config.testbed);
+  const RadioMedium medium(topology.Positions(), config.medium);
+  OverhearingRelayCache relay_cache(medium);
+  const auto run = [&](const RecoveryExperimentConfig& variant) {
+    return RunLinkRecoveryExperiment(config, variant, topology, medium,
+                                     relay_cache);
+  };
   RecoveryStrategyComparison out;
   RecoveryExperimentConfig variant = recovery;
   variant.arq.recovery = arq::RecoveryMode::kChunkRetransmit;
-  out.chunk = RunLinkRecoveryExperiment(config, variant);
+  out.chunk = run(variant);
   variant.arq.recovery = arq::RecoveryMode::kCodedRepair;
-  out.coded = RunLinkRecoveryExperiment(config, variant);
+  out.coded = run(variant);
   variant.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
-  out.relay = RunLinkRecoveryExperiment(config, variant);
+  out.relay = run(variant);
+  for (const std::size_t max_relays : recovery.relay_count_sweep) {
+    variant.max_relays = max_relays;
+    out.relay_sweep.emplace_back(max_relays, run(variant));
+  }
+  out.relay_cache_hits = relay_cache.hits();
+  out.relay_cache_misses = relay_cache.misses();
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "arq/pp_arq.h"
@@ -98,9 +99,11 @@ ExperimentConfig MakePaperConfig(double offered_load_bps, bool carrier_sense,
 // strategy `recovery.arq.recovery` selects. This is how a strategy
 // choice (chunk retransmission vs coded vs relay-coded repair) is
 // evaluated across the whole testbed rather than a single hand-built
-// link. Under kRelayCodedRepair each link recruits its best-SNR
-// overhearer (sim/topology.h: OverhearingRelays) as the third party;
-// links nobody overhears fall back to the two-party exchange.
+// link. Under kRelayCodedRepair each link recruits its top
+// `max_relays` overhearers best-bottleneck-first (sim/topology.h:
+// OverhearingRelays, memoized via OverhearingRelayCache across a
+// sweep's strategy/relay-count legs); links nobody overhears fall back
+// to the two-party exchange.
 //
 // Links are independent, so the sweep is sharded across a thread pool;
 // per-link seeding is fixed before any worker runs, making results
@@ -118,6 +121,15 @@ struct RecoveryExperimentConfig {
   // marginal relay still contributes rank-increasing equations, and the
   // destination's burst split discounts lossy parties on its own.
   double relay_min_snr_db = 3.0;
+  // kRelayCodedRepair: how many of a link's ranked overhearers are
+  // recruited (the session is sized to however many actually exist,
+  // down to two-party when none do). The per-round relay airtime
+  // budget rides in arq.relay_airtime_budget_bits.
+  std::size_t max_relays = 1;
+  // CompareLinkRecoveryStrategies only: extra kRelayCodedRepair legs,
+  // one per entry, each overriding max_relays (e.g. {1, 2, 4} to study
+  // how repair airtime scales with roster size over identical links).
+  std::vector<std::size_t> relay_count_sweep;
 };
 
 inline constexpr std::size_t kNoRelay = static_cast<std::size_t>(-1);
@@ -131,11 +143,19 @@ struct LinkRecoveryStats {
   std::size_t repair_bits = 0;    // forward repair traffic (excl. initial)
   std::size_t feedback_bits = 0;  // reverse-direction traffic
   std::size_t feedback_rounds = 0;
-  // kRelayCodedRepair: the recruited overhearer (kNoRelay when the link
-  // ran two-party) and the split of repair_bits between the parties.
+  // kRelayCodedRepair: the recruited overhearers best-first (empty when
+  // the link ran two-party; `relay` mirrors the front entry for the
+  // single-relay consumers) and the split of repair_bits between the
+  // source and the relay set.
   std::size_t relay = kNoRelay;
+  std::vector<std::size_t> relays;
   std::size_t source_repair_bits = 0;
   std::size_t relay_repair_bits = 0;
+  // Relay airtime scheduling (arq::SessionRunStats):
+  // max_round_relay_bits is the MAX across the link's packets (the
+  // quantity a budget caps), relay_deferrals the sum.
+  std::size_t max_round_relay_bits = 0;
+  std::size_t relay_deferrals = 0;
 };
 
 struct RecoveryExperimentResult {
@@ -151,13 +171,28 @@ struct RecoveryExperimentResult {
 RecoveryExperimentResult RunLinkRecoveryExperiment(
     const ExperimentConfig& config, const RecoveryExperimentConfig& recovery);
 
+// Same run against a prebuilt topology/medium, recruiting relays
+// through the shared cache — how a sweep's legs avoid recomputing each
+// link's overhearer roster.
+RecoveryExperimentResult RunLinkRecoveryExperiment(
+    const ExperimentConfig& config, const RecoveryExperimentConfig& recovery,
+    const TestbedTopology& topology, const RadioMedium& medium,
+    OverhearingRelayCache& relay_cache);
+
 // Evaluates all three recovery strategies over the identical testbed
 // (same links, same per-link seeds), the whole-testbed counterpart of
-// core::CompareRecoveryStrategies.
+// core::CompareRecoveryStrategies. `recovery.relay_count_sweep` adds
+// further kRelayCodedRepair legs at other roster sizes; every leg
+// shares one OverhearingRelayCache, whose hit/miss counts are
+// reported.
 struct RecoveryStrategyComparison {
   RecoveryExperimentResult chunk;
   RecoveryExperimentResult coded;
-  RecoveryExperimentResult relay;
+  RecoveryExperimentResult relay;  // at recovery.max_relays
+  // One (max_relays, result) per relay_count_sweep entry.
+  std::vector<std::pair<std::size_t, RecoveryExperimentResult>> relay_sweep;
+  std::size_t relay_cache_hits = 0;
+  std::size_t relay_cache_misses = 0;
 };
 
 RecoveryStrategyComparison CompareLinkRecoveryStrategies(

@@ -22,14 +22,35 @@ std::vector<std::size_t> OverhearingRelays(const RadioMedium& medium,
     if (bottleneck < min_snr_db) continue;
     candidates.push_back({node, bottleneck});
   }
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     return a.bottleneck_snr_db > b.bottleneck_snr_db;
-                   });
+  // Bottleneck-SNR ties break toward the lower node id explicitly (not
+  // just by sort stability), so roster order is a pure function of the
+  // medium and can never drift with how callers shard or reorder their
+  // sweeps.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.bottleneck_snr_db != b.bottleneck_snr_db) {
+                return a.bottleneck_snr_db > b.bottleneck_snr_db;
+              }
+              return a.node < b.node;
+            });
   std::vector<std::size_t> out;
   out.reserve(candidates.size());
   for (const auto& c : candidates) out.push_back(c.node);
   return out;
+}
+
+const std::vector<std::size_t>& OverhearingRelayCache::Get(
+    std::size_t sender, std::size_t receiver, double min_snr_db) {
+  const auto key = std::make_tuple(sender, receiver, min_snr_db);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return cache_
+      .emplace(key, OverhearingRelays(*medium_, sender, receiver, min_snr_db))
+      .first->second;
 }
 
 TestbedTopology::TestbedTopology(const TestbedConfig& config)

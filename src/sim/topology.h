@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <tuple>
 #include <vector>
 
 #include "sim/medium.h"
@@ -56,11 +58,39 @@ MediumConfig IndoorMediumConfig(const TestbedConfig& testbed,
 // Topology hook for relay-assisted recovery: the nodes (other than the
 // link's own endpoints) that overhear `sender` AND can reach `receiver`,
 // both hops at `min_snr_db` or better, ordered best-first by the
-// bottleneck hop min(SNR(sender->node), SNR(node->receiver)). The front
-// entry is the link's natural Crelay relay.
+// bottleneck hop min(SNR(sender->node), SNR(node->receiver)); exact
+// bottleneck ties order by node id, so recruitment is seed-stable
+// however the surrounding sweep is sharded. The front entry is the
+// link's natural Crelay relay; the top k are an N-relay roster.
 std::vector<std::size_t> OverhearingRelays(const RadioMedium& medium,
                                            std::size_t sender,
                                            std::size_t receiver,
                                            double min_snr_db);
+
+// Memoizes OverhearingRelays per (sender, receiver, min_snr_db) against
+// one fixed medium, so a strategy sweep that replays the same topology
+// (CompareLinkRecoveryStrategies, relay-count sweeps) computes each
+// link's roster once. Not thread-safe: intended for the serial
+// job-enumeration pass of the experiment runners.
+class OverhearingRelayCache {
+ public:
+  explicit OverhearingRelayCache(const RadioMedium& medium)
+      : medium_(&medium) {}
+
+  const std::vector<std::size_t>& Get(std::size_t sender,
+                                      std::size_t receiver,
+                                      double min_snr_db);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  const RadioMedium* medium_;
+  std::map<std::tuple<std::size_t, std::size_t, double>,
+           std::vector<std::size_t>>
+      cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
 
 }  // namespace ppr::sim

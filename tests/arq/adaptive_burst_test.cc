@@ -64,9 +64,6 @@ TEST(RepairDeliveryEstimatorTest, SilenceClampsToFloor) {
 // receiver: a lossy round grows the next burst beyond the deficit,
 // while a clean round converges the request to deficit + 0.
 
-constexpr unsigned kSeqBits = 16;
-constexpr unsigned kCountBits = 16;
-
 // A receiver with `erased` trailing codewords unusable, so the session
 // opens with a known deficit.
 std::unique_ptr<RecoveryReceiver> ReceiverWithErasures(
@@ -92,8 +89,9 @@ struct WireRequest {
 };
 
 WireRequest ParseRequest(const BitVec& wire) {
-  return {static_cast<std::uint16_t>(wire.ReadUint(0, kSeqBits)),
-          wire.ReadUint(kSeqBits, kCountBits)};
+  const auto fb = DecodeCodedFeedbackWire(wire);
+  EXPECT_TRUE(fb.has_value());
+  return {fb->seq, fb->requested.front()};
 }
 
 TEST(AdaptiveCodedSizingTest, CleanDeliveryConvergesToDeficitPlusZero) {

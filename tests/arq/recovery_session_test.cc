@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "arq/link_sim.h"
+#include "common/crc.h"
 #include "common/rng.h"
+#include "fec/gf256.h"
 
 namespace ppr::arq {
 namespace {
@@ -345,6 +347,230 @@ TEST(RecoverySessionTest, RelayMissDoesNotPoisonDestination) {
   EXPECT_EQ(static_cast<DestinationParticipant&>(session.party(dest_id))
                 .AssembledPayload(),
             payload);
+}
+
+// --------------------------------------------------------------- N-relay
+
+// The N=1 anchor of the generalized stack: the refactored wire/session
+// must reproduce the pre-generalization kRelayCodedRepair exchange
+// bit-for-bit on the repair path. These constants were captured from
+// the fixed-two-count implementation (PR 2/3 era) on the identical
+// channel construction; only the feedback wire is allowed to differ
+// (it now carries an explicit party count, 56 bits per round instead
+// of 48).
+TEST(MultiRelaySessionTest, SingleRelayReproducesLegacyCrelayRepairPath) {
+  struct Pinned {
+    std::uint64_t seed;
+    std::size_t rounds, data_transmissions, forward_bits;
+    std::size_t source_repair_bits, relay_repair_bits;
+  };
+  const Pinned pinned[] = {
+      {901, 1, 3, 2509, 640, 557},
+      {902, 2, 4, 4813, 2656, 845},
+      {903, 1, 3, 2797, 832, 653},
+  };
+  const phy::ChipCodebook cb;
+  for (const auto& pin : pinned) {
+    Rng prng(pin.seed);
+    const BitVec payload = RandomPayload(prng, 160);
+    PpArqConfig config;
+    config.recovery = RecoveryMode::kRelayCodedRepair;
+    Rng direct(pin.seed ^ 0xA), overhear(pin.seed ^ 0xB),
+        relay_hop(pin.seed ^ 0xC);
+    const auto channels =
+        MakeGeChannels(cb, DegradedParams(), StrongParams(), StrongParams(),
+                       direct, overhear, relay_hop);
+    const auto stats = RunRelayRecoveryExchange(
+        payload, config, *MakeRecoveryStrategy(config), channels);
+    ASSERT_TRUE(stats.totals.success) << "seed=" << pin.seed;
+    EXPECT_EQ(stats.rounds, pin.rounds) << "seed=" << pin.seed;
+    EXPECT_EQ(stats.totals.data_transmissions, pin.data_transmissions)
+        << "seed=" << pin.seed;
+    EXPECT_EQ(stats.totals.forward_bits, pin.forward_bits)
+        << "seed=" << pin.seed;
+    EXPECT_EQ(stats.parties[kSessionSourceId].repair_bits,
+              pin.source_repair_bits)
+        << "seed=" << pin.seed;
+    EXPECT_EQ(stats.parties[kSessionRelayId].repair_bits,
+              pin.relay_repair_bits)
+        << "seed=" << pin.seed;
+    EXPECT_EQ(stats.totals.feedback_bits, stats.rounds * 56u)
+        << "seed=" << pin.seed;
+  }
+}
+
+MultiRelayExchangeChannels MakeDenseChannels(const BodyChannel& direct,
+                                             std::size_t num_relays) {
+  MultiRelayExchangeChannels channels;
+  channels.source_to_destination = direct;
+  for (std::size_t i = 0; i < num_relays; ++i) {
+    channels.source_to_relay.push_back(PerfectChannel());
+    channels.relay_to_destination.push_back(PerfectChannel());
+  }
+  return channels;
+}
+
+TEST(MultiRelaySessionTest, TwoRelaySessionDeliversExactPayload) {
+  const phy::ChipCodebook cb;
+  Rng prng(661);
+  const BitVec payload = RandomPayload(prng, 150);
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kRelayCodedRepair;
+  config.relay_parties = 2;
+  MultiRelayExchangeChannels channels;
+  // Channels hold a pointer to their Rng, so every stream outlives the
+  // session.
+  Rng direct(662), overhear_a(663), hop_a(663 ^ 0xFF), overhear_b(664),
+      hop_b(664 ^ 0xFF);
+  channels.source_to_destination =
+      MakeGilbertElliottChannel(cb, DegradedParams(), direct);
+  channels.source_to_relay = {
+      MakeGilbertElliottChannel(cb, StrongParams(), overhear_a),
+      MakeGilbertElliottChannel(cb, StrongParams(), overhear_b)};
+  channels.relay_to_destination = {
+      MakeGilbertElliottChannel(cb, StrongParams(), hop_a),
+      MakeGilbertElliottChannel(cb, StrongParams(), hop_b)};
+  const BitVec body = PpArqSender::MakeBody(payload);
+  const auto strategy = MakeRecoveryStrategy(config);
+  RecoverySession session;
+  session.AddParty(strategy->MakeSourceParticipant(body, 1));
+  const PartyId dest_id = session.AddParty(
+      strategy->MakeDestinationParticipant(1, body.size() / 4));
+  for (std::uint8_t r = 1; r <= 2; ++r) {
+    const PartyId id = session.AddParty(
+        strategy->MakeRelayParticipant(r, 1, body.size() / 4));
+    session.SetEdgeChannel(0, id, channels.source_to_relay[r - 1]);
+    session.SetEdgeChannel(id, dest_id,
+                           channels.relay_to_destination[r - 1]);
+  }
+  session.SetEdgeChannel(0, dest_id, channels.source_to_destination);
+  session.TransmitInitial(0, body);
+  const auto stats = session.Run(32);
+  ASSERT_TRUE(stats.totals.success);
+  EXPECT_EQ(static_cast<DestinationParticipant&>(session.party(dest_id))
+                .AssembledPayload(),
+            payload);
+  EXPECT_GT(stats.parties[kSessionRelayId].repair_bits +
+                stats.parties[kSessionRelayId + 1].repair_bits,
+            0u);
+}
+
+// The acceptance scenario for airtime scheduling: a dense (4
+// overhearer) set behind a dead direct link. Unbudgeted, every relay
+// streams each round; with a budget, per-round relay bits are capped
+// and the worst-ranked relays defer — yet the session still completes
+// (the relays' equations carry the packet).
+TEST(MultiRelaySessionTest, AirtimeBudgetCapsPerRoundRelayBits) {
+  constexpr std::size_t kBudgetBits = 2000;
+  const auto run = [](std::size_t budget_bits) {
+    Rng prng(671);
+    const BitVec payload = RandomPayload(prng, 160);
+    PpArqConfig config;
+    config.recovery = RecoveryMode::kRelayCodedRepair;
+    config.relay_parties = 4;
+    config.relay_airtime_budget_bits = budget_bits;
+    const auto channels = MakeDenseChannels(DeadChannel(), 4);
+    return RunMultiRelayRecoveryExchange(
+        payload, config, *MakeRecoveryStrategy(config), channels);
+  };
+  const auto unbudgeted = run(0);
+  const auto budgeted = run(kBudgetBits);
+  ASSERT_TRUE(unbudgeted.totals.success);
+  ASSERT_TRUE(budgeted.totals.success);
+  // The dense set genuinely contends: left alone it exceeds the budget
+  // in at least one round; scheduled, it never does.
+  EXPECT_GT(unbudgeted.max_round_relay_bits, kBudgetBits);
+  EXPECT_LE(budgeted.max_round_relay_bits, kBudgetBits);
+  EXPECT_GT(budgeted.max_round_relay_bits, 0u);
+  EXPECT_EQ(unbudgeted.relay_deferrals, 0u);
+  EXPECT_GT(budgeted.relay_deferrals, 0u);
+}
+
+// Satellite: a golden two-relay session transcript, pinned as a CRC
+// constant and replayed under every available GF(256) backend. Catches
+// both cross-backend divergence and cross-version drift (wire layout,
+// allocator, seed partitioning, scheduling order) in one number.
+TEST(MultiRelaySessionTest, GoldenTwoRelayTranscriptIsBackendInvariant) {
+  constexpr std::uint32_t kGoldenTranscriptCrc = 0x074B461A;
+  const auto run = [] {
+    const phy::ChipCodebook cb;
+    Rng prng(691);
+    const BitVec payload = RandomPayload(prng, 180);
+    PpArqConfig config;
+    config.recovery = RecoveryMode::kRelayCodedRepair;
+    config.relay_parties = 2;
+    MultiRelayExchangeChannels channels;
+    Rng direct(692), overhear_a(693), hop_a(694), overhear_b(695), hop_b(696);
+    channels.source_to_destination =
+        MakeGilbertElliottChannel(cb, DegradedParams(), direct);
+    channels.source_to_relay = {
+        MakeGilbertElliottChannel(cb, StrongParams(), overhear_a),
+        MakeGilbertElliottChannel(cb, StrongParams(), overhear_b)};
+    channels.relay_to_destination = {
+        MakeGilbertElliottChannel(cb, StrongParams(), hop_a),
+        MakeGilbertElliottChannel(cb, StrongParams(), hop_b)};
+    const auto stats = RunMultiRelayRecoveryExchange(
+        payload, config, *MakeRecoveryStrategy(config), channels);
+    EXPECT_TRUE(stats.totals.success);
+    // Serialize the observable transcript: totals, the per-party
+    // breakdown, and the repair-message sizes in transmission order.
+    BitVec transcript;
+    transcript.AppendUint(stats.rounds, 16);
+    transcript.AppendUint(stats.totals.data_transmissions, 16);
+    transcript.AppendUint(stats.totals.forward_bits, 32);
+    transcript.AppendUint(stats.totals.feedback_bits, 32);
+    for (const auto& party : stats.parties) {
+      transcript.AppendUint(party.repair_bits, 32);
+      transcript.AppendUint(party.repair_messages, 16);
+      transcript.AppendUint(party.feedback_bits, 32);
+    }
+    for (const auto bits : stats.totals.retransmission_bits) {
+      transcript.AppendUint(bits, 32);
+    }
+    return Crc32Bits(transcript);
+  };
+  const std::uint32_t reference = [&] {
+    fec::GfImplScope scope(fec::GfImpl::kScalar);
+    return run();
+  }();
+  EXPECT_EQ(reference, kGoldenTranscriptCrc);
+  for (const fec::GfImpl impl : fec::GfAvailableImpls()) {
+    fec::GfImplScope scope(impl);
+    ASSERT_TRUE(scope.ok());
+    EXPECT_EQ(run(), kGoldenTranscriptCrc) << fec::GfImplName(impl);
+  }
+}
+
+// ExOR ordering: under a tight budget the relay with the better
+// overheard copy is served first; the poor-copy relay's turn comes
+// when nothing affordable remains, so it stays off the air entirely.
+TEST(MultiRelaySessionTest, BudgetServesBetterRankedRelayFirst) {
+  Rng prng(681);
+  const BitVec payload = RandomPayload(prng, 160);
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kRelayCodedRepair;
+  config.relay_parties = 2;
+  config.relay_airtime_budget_bits = 800;
+  MultiRelayExchangeChannels channels;
+  channels.source_to_destination = DeadChannel();
+  // Relay 1 (lower party id): half its copy is honestly erased — a
+  // poor overhearer. Relay 2: perfect copy, the better rank.
+  channels.source_to_relay.push_back([](const BitVec& bits) {
+    auto symbols = PerfectChannel()(bits);
+    for (std::size_t i = 0; i < symbols.size() / 2; ++i) {
+      symbols[i].hint = std::numeric_limits<double>::infinity();
+    }
+    return symbols;
+  });
+  channels.source_to_relay.push_back(PerfectChannel());
+  channels.relay_to_destination.push_back(PerfectChannel());
+  channels.relay_to_destination.push_back(PerfectChannel());
+  const auto stats = RunMultiRelayRecoveryExchange(
+      payload, config, *MakeRecoveryStrategy(config), channels);
+  ASSERT_TRUE(stats.totals.success);
+  EXPECT_GT(stats.parties[kSessionRelayId + 1].repair_bits, 0u);
+  EXPECT_EQ(stats.parties[kSessionRelayId].repair_bits, 0u);
+  EXPECT_GT(stats.relay_deferrals, 0u);
 }
 
 }  // namespace

@@ -70,6 +70,57 @@ Outcome RunExchange(const RecoveryStrategy& strategy,
   return out;
 }
 
+// Satellite: the generalized feedback wire round-trips any roster size
+// the protocol supports, including zero-count parties (a party the
+// destination wants silent this round).
+TEST(CodedFeedbackWireTest, RoundTripsForRostersOfOneThroughEight) {
+  Rng rng(551);
+  for (std::size_t parties = 1; parties <= 8; ++parties) {
+    for (int trial = 0; trial < 32; ++trial) {
+      CodedFeedbackWire fb;
+      fb.seq = static_cast<std::uint16_t>(rng.UniformInt(0x10000));
+      for (std::size_t i = 0; i < parties; ++i) {
+        // Mix zero counts in liberally.
+        fb.requested.push_back(rng.Bernoulli(0.25)
+                                   ? 0
+                                   : rng.UniformInt(0x10000));
+      }
+      const BitVec wire = EncodeCodedFeedbackWire(fb);
+      EXPECT_EQ(wire.size(), 16u + 8u + parties * 16u);
+      const auto decoded = DecodeCodedFeedbackWire(wire);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, fb);
+    }
+  }
+}
+
+TEST(CodedFeedbackWireTest, RejectsTruncatedAndDegenerateWires) {
+  CodedFeedbackWire fb;
+  fb.seq = 77;
+  fb.requested = {3, 0, 9};
+  const BitVec wire = EncodeCodedFeedbackWire(fb);
+  // Every strict prefix fails to decode: a wire that promises three
+  // counts must carry all three.
+  for (std::size_t bits = 0; bits < wire.size(); ++bits) {
+    EXPECT_EQ(DecodeCodedFeedbackWire(wire.Slice(0, bits)), std::nullopt)
+        << "prefix of " << bits << " bits";
+  }
+  // A zero party count is not a wire.
+  BitVec empty_roster;
+  empty_roster.AppendUint(77, 16);
+  empty_roster.AppendUint(0, 8);
+  EXPECT_EQ(DecodeCodedFeedbackWire(empty_roster), std::nullopt);
+  // Encoding rejects rosters the 8-bit count field cannot carry.
+  EXPECT_THROW(EncodeCodedFeedbackWire(CodedFeedbackWire{1, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      EncodeCodedFeedbackWire(CodedFeedbackWire{
+          1, std::vector<std::size_t>(300, 1)}),
+      std::invalid_argument);
+  EXPECT_THROW(EncodeCodedFeedbackWire(CodedFeedbackWire{1, {0x10000}}),
+               std::invalid_argument);
+}
+
 TEST(RecoveryStrategyTest, FactoryDispatchesOnMode) {
   PpArqConfig config;
   EXPECT_STREQ(MakeRecoveryStrategy(config)->Name(), "chunk-retransmit");
@@ -164,9 +215,8 @@ TEST(RecoveryStrategyTest, LargeRepairBurstsSplitIntoBodySizedFrames) {
   config.recovery = RecoveryMode::kCodedRepair;
   auto sender = MakeRecoveryStrategy(config)->MakeSender(body, 1);
 
-  BitVec wire;
-  wire.AppendUint(1, 16);       // seq
-  wire.AppendUint(0xFFFF, 16);  // deficit: everything (clamped)
+  const BitVec wire = EncodeCodedFeedbackWire(
+      CodedFeedbackWire{/*seq=*/1, {0xFFFF}});  // deficit: everything (clamped)
   const auto plan = sender->HandleFeedback(wire);
   ASSERT_GT(plan.frames.size(), 1u);
   std::size_t total_bits = 0;
@@ -191,8 +241,9 @@ TEST(RecoveryStrategyTest, UnparsableFeedbackThrows) {
 }
 
 TEST(RecoveryStrategyTest, CodedFeedbackIsCompact) {
-  // Coded feedback is a fixed 32-bit (seq, deficit) record, far below
-  // the chunk-mode feedback with its per-gap verification data.
+  // Coded feedback is a fixed 40-bit (seq, party_count = 1, deficit)
+  // record, far below the chunk-mode feedback with its per-gap
+  // verification data.
   Rng prng(531);
   const BitVec payload = RandomPayload(prng, 200);
   PpArqConfig config;
@@ -202,7 +253,7 @@ TEST(RecoveryStrategyTest, CodedFeedbackIsCompact) {
   ASSERT_TRUE(out.success);
   ASSERT_GT(out.stats.data_transmissions, 1u);
   const std::size_t rounds = out.stats.data_transmissions - 1;
-  EXPECT_EQ(out.stats.feedback_bits, rounds * 32u);
+  EXPECT_EQ(out.stats.feedback_bits, rounds * 40u);
 }
 
 }  // namespace

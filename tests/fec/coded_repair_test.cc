@@ -122,6 +122,71 @@ TEST(PartySeedTest, PartitionsAreDisjointAndSourceKeepsPlainCounters) {
   EXPECT_EQ(PartySeed(1, 0x1000001), (1u << 24) | 1u);
 }
 
+TEST(PartySeedTest, ProjectionsInvertThePartitionForArbitraryRelayIds) {
+  for (const std::uint32_t party : {0u, 1u, 2u, 7u, 63u, 200u, 255u}) {
+    for (const std::uint32_t counter : {0u, 1u, 0x123456u, 0xFFFFFFu}) {
+      const std::uint32_t seed =
+          PartySeed(static_cast<std::uint8_t>(party), counter);
+      EXPECT_EQ(SeedParty(seed), party);
+      EXPECT_EQ(SeedCounter(seed), counter);
+    }
+  }
+  // Distinct parties can never collide, whatever their counters do.
+  EXPECT_NE(SeedParty(PartySeed(3, 0xFFFFFF)), SeedParty(PartySeed(4, 0)));
+}
+
+// Per-party provenance: a poisoned relay's equations are evicted as a
+// group (they all share the relay's wrong body image), while another
+// relay's stream stays banked.
+TEST(CodedRepairSessionTest, EvictionDistrustsAPoisonedRelayAsAGroup) {
+  Rng rng(471);
+  Fixture f(rng, 96);  // 12 symbols
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  std::vector<double> suspicion(f.truth.size(), 0.0);
+  good[2] = good[5] = good[9] = false;  // three honest erasures
+  for (auto& b : received[2]) b ^= 0xFF;
+  CodedRepairSession session(received, good, suspicion);
+  ASSERT_EQ(session.Deficit(), 3u);
+
+  const std::vector<bool> have(f.truth.size(), true);
+  // Relay 1 is honest: two equations over the true block.
+  for (std::uint32_t c = 1; c <= 2; ++c) {
+    const std::uint32_t seed = PartySeed(1, c);
+    const auto repair = MakeMaskedRepair(f.truth, have, seed);
+    session.ConsumeEquation(MaskedCoefficients(seed, have), repair.data,
+                            /*suspicion=*/1.0, /*evictable=*/true,
+                            /*party=*/1);
+  }
+  // Relay 2's copy carries a confident miss: every equation it streams
+  // is consistent with the wrong body.
+  auto poisoned_copy = f.truth;
+  poisoned_copy[7][1] ^= 0x40;
+  for (std::uint32_t c = 1; c <= 3; ++c) {
+    const std::uint32_t seed = PartySeed(2, c);
+    const auto repair = MakeMaskedRepair(poisoned_copy, have, seed);
+    session.ConsumeEquation(MaskedCoefficients(seed, have), repair.data,
+                            /*suspicion=*/4.0, /*evictable=*/true,
+                            /*party=*/2);
+  }
+  ASSERT_EQ(session.equations_from(1), 2u);
+  ASSERT_EQ(session.equations_from(2), 3u);
+  ASSERT_TRUE(session.CanDecode());
+  EXPECT_NE(session.Decode(), f.truth);  // relay 2's poison is in the basis
+
+  // One eviction pass: relay 2 is the most suspect candidate, and its
+  // WHOLE stream is distrusted in one step — relay 1's survives.
+  EXPECT_EQ(session.EvictSuspects(), 3u);
+  EXPECT_EQ(session.equations_from(2), 0u);
+  EXPECT_EQ(session.equations_from(1), 2u);
+  std::uint32_t source_seed = 1;
+  while (!session.CanDecode()) {
+    session.ConsumeRepair(f.encoder.MakeRepair(source_seed++));
+    ASSERT_LT(source_seed, 16u);
+  }
+  EXPECT_EQ(session.Decode(), f.truth);
+}
+
 TEST(MaskedRepairTest, DestinationReproducesTheMaskedEquation) {
   Rng rng(406);
   Fixture f(rng, 128);

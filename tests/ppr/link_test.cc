@@ -148,5 +148,36 @@ TEST(WaveformRelayTest, RelayRecoversOverDegradedDirectLink) {
             coded_repair_bits);
 }
 
+TEST(WaveformRelayTest, TwoRelaySessionRunsOverRealChannels) {
+  // Degraded direct path, two overhearing relays on their own real
+  // waveform hops; the N-party session completes and accounts one
+  // party slot per relay.
+  auto direct = CleanParams();
+  direct.ec_n0_db = 5.0;
+  direct.collision_probability = 0.6;
+  direct.interferer_relative_db = 0.0;
+  direct.interferer_octets = 60;
+  direct.seed = 61;
+
+  std::vector<RelayWaveformParams> relays(2);
+  relays[0].overhear = CleanParams();
+  relays[0].overhear.seed = 62;
+  relays[0].relay_link = CleanParams();
+  relays[0].relay_link.seed = 63;
+  relays[1].overhear = CleanParams();
+  relays[1].overhear.seed = 64;
+  relays[1].relay_link = CleanParams();
+  relays[1].relay_link.seed = 65;
+
+  Rng payload_rng(66);
+  const auto stats =
+      RunWaveformMultiRelayRecovery(150, {}, direct, relays, payload_rng);
+  EXPECT_TRUE(stats.totals.success);
+  ASSERT_EQ(stats.parties.size(), 4u);
+  EXPECT_GT(stats.parties[arq::kSessionRelayId].repair_bits +
+                stats.parties[arq::kSessionRelayId + 1].repair_bits,
+            0u);
+}
+
 }  // namespace
 }  // namespace ppr::core

@@ -73,19 +73,23 @@ void ExpectSameResults(const RecoveryExperimentResult& a,
 
 // The satellite property: sharding the sweep across a thread pool must
 // not change a single bit of the results, because per-link seeds are
-// fixed before any worker runs.
+// fixed before any worker runs — including multi-relay rosters, whose
+// tie-broken recruitment order is a pure function of the medium.
 TEST(LinkRecoveryExperimentTest, IdenticalResultsAtAnyThreadCount) {
   const auto config = SmallConfig();
-  for (const auto mode : {arq::RecoveryMode::kCodedRepair,
-                          arq::RecoveryMode::kRelayCodedRepair}) {
-    auto recovery = SmallRecovery();
-    recovery.arq.recovery = mode;
-    recovery.num_threads = 1;
-    const auto serial = RunLinkRecoveryExperiment(config, recovery);
-    for (const std::size_t threads : {2u, 5u, 16u}) {
-      recovery.num_threads = threads;
-      const auto sharded = RunLinkRecoveryExperiment(config, recovery);
-      ExpectSameResults(serial, sharded);
+  for (const std::size_t max_relays : {1u, 2u}) {
+    for (const auto mode : {arq::RecoveryMode::kCodedRepair,
+                            arq::RecoveryMode::kRelayCodedRepair}) {
+      auto recovery = SmallRecovery();
+      recovery.arq.recovery = mode;
+      recovery.max_relays = max_relays;
+      recovery.num_threads = 1;
+      const auto serial = RunLinkRecoveryExperiment(config, recovery);
+      for (const std::size_t threads : {2u, 5u, 16u}) {
+        recovery.num_threads = threads;
+        const auto sharded = RunLinkRecoveryExperiment(config, recovery);
+        ExpectSameResults(serial, sharded);
+      }
     }
   }
 }
@@ -99,8 +103,14 @@ TEST(LinkRecoveryExperimentTest, RelayModeRecruitsOverhearers) {
   EXPECT_EQ(result.completed, result.packets);
   std::size_t with_relay = 0;
   for (const auto& link : result.links) {
-    if (link.relay == kNoRelay) continue;
+    if (link.relay == kNoRelay) {
+      EXPECT_TRUE(link.relays.empty());
+      continue;
+    }
     ++with_relay;
+    ASSERT_FALSE(link.relays.empty());
+    EXPECT_EQ(link.relays.front(), link.relay);
+    EXPECT_LE(link.relays.size(), recovery.max_relays);
     EXPECT_NE(link.relay, link.sender);
     EXPECT_NE(link.relay, link.receiver);
     // The per-party split accounts for all repair traffic.
@@ -108,6 +118,76 @@ TEST(LinkRecoveryExperimentTest, RelayModeRecruitsOverhearers) {
               link.repair_bits);
   }
   EXPECT_GT(with_relay, 0u);
+}
+
+// The tentpole's testbed-level acceptance: sweeping the relay roster
+// over identical links, a second relay strictly reduces total repair
+// airtime on at least one lossy link, and the shared recruitment cache
+// serves the added legs.
+TEST(LinkRecoveryExperimentTest, SecondRelayReducesRepairAirtimeSomewhere) {
+  auto config = SmallConfig();
+  // Admit weaker links and raise the impairment-burst rate so repair
+  // rounds actually happen on this shrunken testbed.
+  config.min_link_snr_db = 2.0;
+  config.receiver.impairment_rate = 0.02;
+  auto recovery = SmallRecovery();
+  recovery.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  recovery.relay_min_snr_db = -10.0;  // deeper roster
+  recovery.max_relays = 1;
+  recovery.relay_count_sweep = {2};
+  const auto cmp = CompareLinkRecoveryStrategies(config, recovery);
+  ASSERT_EQ(cmp.relay_sweep.size(), 1u);
+  const auto& one = cmp.relay;
+  const auto& two = cmp.relay_sweep.front().second;
+  ASSERT_EQ(one.links.size(), two.links.size());
+  EXPECT_EQ(two.completed, two.packets);
+  std::size_t improved = 0;
+  for (std::size_t i = 0; i < one.links.size(); ++i) {
+    ASSERT_EQ(one.links[i].sender, two.links[i].sender);
+    ASSERT_EQ(one.links[i].receiver, two.links[i].receiver);
+    if (two.links[i].relays.size() < 2) continue;
+    if (two.links[i].completed == two.links[i].packets &&
+        two.links[i].repair_bits < one.links[i].repair_bits) {
+      ++improved;
+    }
+  }
+  EXPECT_GT(improved, 0u);
+  // The relay leg and the sweep leg ran over the same links: the
+  // second leg's rosters all came from the shared cache.
+  EXPECT_GT(cmp.relay_cache_hits, 0u);
+  EXPECT_GT(cmp.relay_cache_misses, 0u);
+}
+
+// A dense (>= 4 overhearers per link) roster under a finite per-round
+// budget: relay bits per round are capped on every link, the cap
+// genuinely binds (some link exceeds it when unbudgeted), deferrals
+// are recorded, and recovery still completes.
+TEST(LinkRecoveryExperimentTest, AirtimeBudgetCapsDenseRosters) {
+  auto config = SmallConfig();
+  config.min_link_snr_db = 2.0;
+  config.receiver.impairment_rate = 0.02;
+  auto recovery = SmallRecovery();
+  recovery.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  recovery.relay_min_snr_db = -25.0;  // dense: admit marginal overhearers
+  recovery.max_relays = 4;
+  const auto unbudgeted = RunLinkRecoveryExperiment(config, recovery);
+  constexpr std::size_t kBudget = 300;
+  recovery.arq.relay_airtime_budget_bits = kBudget;
+  const auto budgeted = RunLinkRecoveryExperiment(config, recovery);
+  EXPECT_EQ(budgeted.completed, budgeted.packets);
+  std::size_t dense_links = 0;
+  std::size_t deferrals = 0;
+  std::size_t binding_links = 0;
+  ASSERT_EQ(budgeted.links.size(), unbudgeted.links.size());
+  for (std::size_t i = 0; i < budgeted.links.size(); ++i) {
+    EXPECT_LE(budgeted.links[i].max_round_relay_bits, kBudget);
+    if (unbudgeted.links[i].max_round_relay_bits > kBudget) ++binding_links;
+    if (budgeted.links[i].relays.size() >= 4) ++dense_links;
+    deferrals += budgeted.links[i].relay_deferrals;
+  }
+  EXPECT_GT(dense_links, 0u);
+  EXPECT_GT(binding_links, 0u);
+  EXPECT_GT(deferrals, 0u);
 }
 
 // The ISSUE's reporting criterion: one call evaluates all three

@@ -1,6 +1,7 @@
 #include "sim/topology.h"
 
 #include <gtest/gtest.h>
+#include <algorithm>
 #include <set>
 
 #include "sim/medium.h"
@@ -79,6 +80,50 @@ TEST(TestbedTopologyTest, EachReceiverHearsAHandfulOfSenders) {
     EXPECT_GE(audible, 3) << "receiver " << r;
     EXPECT_LE(audible, 14) << "receiver " << r;
   }
+}
+
+// Satellite: relay recruitment determinism. Two overhearers placed
+// mirror-symmetric about the sender-receiver axis (no shadowing, no
+// walls) tie exactly on bottleneck SNR; the roster must order the tie
+// by node id, not by incidental sort behavior, so sharded sweeps are
+// seed-stable at any thread count.
+TEST(OverhearingRelaysTest, ExactBottleneckTiesOrderByNodeId) {
+  MediumConfig config;
+  config.shadowing_sigma_db = 0.0;  // ties must be exact
+  // node 0 = sender, 1 = receiver, 2..5 = candidates in two mirror
+  // pairs; the closer pair (ids 4, 5) ranks ahead of the farther
+  // (ids 2, 3) on bottleneck SNR.
+  const std::vector<Point> positions = {
+      {0.0, 0.0}, {10.0, 0.0},
+      {5.0, 3.0}, {5.0, -3.0},
+      {5.0, 1.0}, {5.0, -1.0},
+  };
+  const RadioMedium medium(positions, config);
+  ASSERT_DOUBLE_EQ(
+      std::min(medium.LinkSnrDb(0, 2), medium.LinkSnrDb(2, 1)),
+      std::min(medium.LinkSnrDb(0, 3), medium.LinkSnrDb(3, 1)));
+  const auto relays = OverhearingRelays(medium, 0, 1, -200.0);
+  EXPECT_EQ(relays, (std::vector<std::size_t>{4, 5, 2, 3}));
+}
+
+TEST(OverhearingRelayCacheTest, MemoizesPerLinkAndThreshold) {
+  const TestbedTopology topology;
+  const RadioMedium medium(topology.Positions(),
+                           IndoorMediumConfig(topology.config(), 11));
+  OverhearingRelayCache cache(medium);
+  const std::size_t sender = topology.SenderId(0);
+  const std::size_t receiver = topology.ReceiverId(0);
+  const auto& first = cache.Get(sender, receiver, 3.0);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const auto& again = cache.Get(sender, receiver, 3.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(&first, &again);  // the cached vector itself
+  EXPECT_EQ(again, OverhearingRelays(medium, sender, receiver, 3.0));
+  // A different threshold or link is its own entry.
+  cache.Get(sender, receiver, 6.0);
+  cache.Get(sender, topology.ReceiverId(1), 3.0);
+  EXPECT_EQ(cache.misses(), 3u);
 }
 
 }  // namespace
