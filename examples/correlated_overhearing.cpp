@@ -1,0 +1,107 @@
+// Correlated overhearing on the shared broadcast medium: one collided
+// transmission, heard by the destination and two overhearing relays
+// registered on the same ppr::core::WaveformMedium. The interferer is
+// drawn ONCE for the transmission and projected through each
+// listener's geometry, so the per-listener SoftPHY hint traces flare
+// over the same codeword span — the regime where a relay's "clean
+// copy" can no longer be taken for granted. An independent-draw medium
+// over the same parameters shows the legacy model for contrast: each
+// listener collides (or not) on its own.
+//
+//   $ ./examples/example_correlated_overhearing
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "ppr/medium.h"
+
+int main() {
+  using namespace ppr;
+
+  core::PipelineConfig pipeline;
+  pipeline.modem.samples_per_chip = 4;
+  pipeline.max_payload_octets = 256;
+
+  // One listener template: quiet channel (Ec/N0 12 dB) so the burst is
+  // the only impairment; each listener hears the interferer at its own
+  // relative power (its geometry).
+  const auto listener = [&](std::uint64_t seed, double interferer_db) {
+    core::WaveformListenerParams p;
+    p.pipeline = pipeline;
+    p.ec_n0_db = 12.0;
+    p.seed = seed;
+    p.interferer_relative_db = interferer_db;
+    // The private climate the independent (legacy) mode draws from;
+    // ignored under a shared interferer, whose climate is the medium's.
+    p.collision_probability = 1.0;
+    p.interferer_octets = 60;
+    return p;
+  };
+
+  // A collision on every transmission, 60-octet bursts.
+  core::SharedClimate climate;
+  climate.collision_probability = 1.0;
+  climate.interferer_octets = 60;
+
+  Rng rng(7);
+  BitVec body;
+  for (int i = 0; i < 120 * 2; ++i) body.AppendUint(rng.UniformInt(16), 4);
+
+  const auto trace = [&](arq::CollisionCorrelation correlation) {
+    auto medium = core::WaveformMedium::Create(correlation, /*seed=*/99,
+                                               climate);
+    medium->AddListener(listener(1, 3.0));   // destination
+    medium->AddListener(listener(2, 6.0));   // relay near the interferer
+    medium->AddListener(listener(3, -9.0));  // relay farther away
+    const auto receptions = medium->Transmit({body});
+
+    for (const auto& r : receptions) {
+      std::size_t wrong = 0, lo = r.symbols.size(), hi = 0;
+      for (std::size_t k = 0; k < r.symbols.size(); ++k) {
+        if (r.symbols[k].symbol != body.ReadUint(4 * k, 4)) {
+          ++wrong;
+          lo = std::min(lo, k);
+          hi = std::max(hi, k);
+        }
+      }
+      std::printf("  listener %zu: collided=%d  ", r.listener,
+                  r.collided ? 1 : 0);
+      if (wrong == 0) {
+        std::printf("no corrupted codewords\n");
+      } else {
+        std::printf("%3zu corrupted codewords in [%zu, %zu]\n", wrong, lo,
+                    hi);
+      }
+      // A compact hint trace: one character per 8 codewords, taller =
+      // worse worst-case Hamming hint in that bucket.
+      std::printf("    hints: ");
+      for (std::size_t k = 0; k < r.symbols.size(); k += 8) {
+        int worst = 0;
+        for (std::size_t j = k; j < std::min(k + 8, r.symbols.size()); ++j) {
+          worst = std::max(worst, r.symbols[j].hamming_distance);
+        }
+        std::printf("%c", worst == 0           ? '.'
+                          : worst <= 4         ? ':'
+                          : worst <= 8         ? '|'
+                                               : '#');
+      }
+      std::printf("\n");
+    }
+    const auto& stats = medium->medium_stats();
+    std::printf("  joint collisions: %zu/%zu, P(overhear loss | direct "
+                "loss) = %.2f\n",
+                stats.joint_collision_frames, stats.broadcast_frames,
+                arq::OverhearLossGivenDirectLoss(stats));
+  };
+
+  std::printf("shared interferer (one draw, every listener):\n");
+  trace(arq::CollisionCorrelation::kSharedInterferer);
+  std::printf("\nindependent draws (legacy per-hop model):\n");
+  trace(arq::CollisionCorrelation::kIndependent);
+  std::printf(
+      "\nUnder the shared interferer the same codeword span flares at\n"
+      "every listener (scaled by its geometry); under independent draws\n"
+      "each listener is hit by its own private burst at its own offset,\n"
+      "so the damage never lines up.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Chip-level twin of the waveform shared medium (ppr/medium.h): one
+// transmission, correlated receptions at every registered listener.
+//
+// The interferer is the Gilbert-Elliott bad state. Under
+// CollisionCorrelation::kSharedInterferer the medium draws ONE
+// bad-state timeline per transmission — from a seed that is a pure
+// function of (medium seed, sender, transmission index), see
+// SeedForTransmission — and projects it through every listener: the
+// same codeword span is impaired everywhere, at each listener's own
+// per-state chip error rate, while the chip flips themselves stay
+// private per listener. Under kIndependent every listener reproduces
+// MakeGilbertElliottChannel bit-for-bit from its own persistent Rng:
+// private collision draws, the pre-medium behavior.
+//
+// Listener 0 is the reference listener (the destination in the session
+// runners); the joint-loss statistics condition on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arq/link_sim.h"
+#include "common/rng.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::arq {
+
+// Deterministic per-transmission seed: a pure function of the medium
+// seed, the transmitting node, and the transmission's index in that
+// sender's stream — NOT of the listener roster size, channel call
+// order, or thread schedule. This centralizes the per-hop seed
+// derivation that used to be ad hoc per channel (every hop hashing its
+// own WaveformChannelParams::seed).
+std::uint64_t SeedForTransmission(std::uint64_t medium_seed,
+                                  std::size_t sender, std::uint64_t tx_index);
+
+// Per-listener joint-loss accounting over broadcast transmissions.
+// "Collision" means the interferer (the bad state / a burst)
+// overlapped this listener's copy; "corrupted" means at least one
+// codeword decoded wrong.
+struct ListenerLossStats {
+  std::size_t broadcast_frames = 0;
+  std::size_t collision_frames = 0;
+  std::size_t corrupted_frames = 0;
+  // Correlation against the reference listener (listener 0), counted
+  // on the same transmission:
+  std::size_t joint_collision_frames = 0;  // collided here AND at ref
+  std::size_t joint_corrupted_frames = 0;  // corrupted here AND at ref
+  std::size_t reference_corrupted_frames = 0;  // conditional denominator
+};
+
+// P(this listener lost the transmission | the reference listener lost
+// it) — the overhear-loss-given-direct-loss correlation a shared
+// interferer creates. 0 when the reference listener never lost.
+double OverhearLossGivenDirectLoss(const ListenerLossStats& stats);
+
+// Transmission-level aggregate across the whole roster, again
+// conditioned on the reference listener: "joint" counts transmissions
+// where the reference AND at least one other listener were hit.
+struct SharedMediumStats {
+  std::size_t broadcast_frames = 0;
+  std::size_t reference_collision_frames = 0;
+  std::size_t reference_corrupted_frames = 0;
+  std::size_t joint_collision_frames = 0;
+  std::size_t joint_corrupted_frames = 0;
+};
+
+double OverhearLossGivenDirectLoss(const SharedMediumStats& stats);
+
+// One broadcast's loss outcome at one listener, as both media observe
+// it.
+struct ReceptionLossFlags {
+  bool collided = false;
+  bool corrupted = false;
+};
+
+// Folds one broadcast's per-listener outcomes into the per-listener
+// and medium-level joint-loss stats (entry i and listeners[i] belong
+// to listener i; listener 0 is the reference). Shared by ChipMedium
+// and ppr::core::WaveformMedium so the joint-stats semantics cannot
+// drift apart.
+void AccumulateJointLossStats(const std::vector<ReceptionLossFlags>& receptions,
+                              const std::vector<ListenerLossStats*>& listeners,
+                              SharedMediumStats& medium);
+
+class ChipMedium : public std::enable_shared_from_this<ChipMedium> {
+ public:
+  // `process` supplies the shared burst timeline's state-transition
+  // probabilities (kSharedInterferer only; each listener's per-state
+  // chip error rates always come from its own params). `sender` is the
+  // transmitting node's identity in SeedForTransmission.
+  static std::shared_ptr<ChipMedium> Create(const phy::ChipCodebook& codebook,
+                                            CollisionCorrelation correlation,
+                                            std::uint64_t medium_seed,
+                                            const GilbertElliottParams& process,
+                                            std::size_t sender = 0);
+
+  // Registers a listener; ids are assigned in call order. The Rng seeds
+  // the listener's private draws (taken by value so the medium owns the
+  // stream; kIndependent replays it exactly as the legacy channel
+  // would).
+  std::size_t AddListener(const GilbertElliottParams& params, Rng rng);
+
+  // One shared-medium transmission: the interferer timeline is drawn
+  // once and every listener receives its own projection, in listener
+  // order. Counted in the joint-loss stats.
+  std::vector<std::vector<phy::DecodedSymbol>> Broadcast(const BitVec& bits);
+
+  // arq adapters. The broadcast channel runs Broadcast(); a unicast
+  // channel is a later transmission in the same sender stream heard
+  // only by `listener` (repair traffic) — it advances the transmission
+  // counter and shares the seed chain but does not enter the
+  // joint-loss stats.
+  BroadcastBodyChannel MakeBroadcastChannel();
+  BodyChannel MakeUnicastChannel(std::size_t listener);
+
+  const ListenerLossStats& StatsFor(std::size_t listener) const;
+  const SharedMediumStats& medium_stats() const { return medium_stats_; }
+  std::size_t num_listeners() const { return listeners_.size(); }
+  std::uint64_t transmissions() const { return tx_index_; }
+
+ private:
+  ChipMedium(const phy::ChipCodebook& codebook,
+             CollisionCorrelation correlation, std::uint64_t medium_seed,
+             const GilbertElliottParams& process, std::size_t sender);
+
+  struct Listener {
+    GilbertElliottParams params;
+    Rng rng;
+    bool in_bad = false;  // kIndependent: persistent Markov state
+    ListenerLossStats stats;
+  };
+
+  struct Reception {
+    std::vector<phy::DecodedSymbol> symbols;
+    bool collided = false;
+    bool corrupted = false;
+  };
+
+  Reception ReceiveAt(Listener& listener, const BitVec& bits,
+                      const std::vector<bool>& shared_states,
+                      std::uint64_t tx_seed, std::size_t listener_index);
+  std::vector<bool> DrawTimeline(std::size_t codewords,
+                                 std::uint64_t tx_seed) const;
+
+  phy::ChipCodebook codebook_;
+  CollisionCorrelation correlation_;
+  std::uint64_t medium_seed_;
+  GilbertElliottParams process_;
+  std::size_t sender_;
+  std::uint64_t tx_index_ = 0;
+  std::vector<Listener> listeners_;
+  SharedMediumStats medium_stats_;
+};
+
+}  // namespace ppr::arq

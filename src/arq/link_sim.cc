@@ -10,13 +10,10 @@
 #include "phy/channel.h"
 
 namespace ppr::arq {
-namespace {
 
-// Decodes one logical nibble through the codebook with injected chip
-// errors; shared by both synthetic channels.
-phy::DecodedSymbol TransmitNibble(const phy::ChipCodebook& codebook,
-                                  std::uint8_t nibble, double chip_error_p,
-                                  Rng& rng) {
+phy::DecodedSymbol ChipTransmitNibble(const phy::ChipCodebook& codebook,
+                                      std::uint8_t nibble,
+                                      double chip_error_p, Rng& rng) {
   const phy::ChipWord sent = codebook.Codeword(nibble);
   const phy::ChipWord received =
       sent ^ phy::SampleChipErrorMask(rng, chip_error_p);
@@ -27,8 +24,6 @@ phy::DecodedSymbol TransmitNibble(const phy::ChipCodebook& codebook,
   d.hint = static_cast<double>(distance);
   return d;
 }
-
-}  // namespace
 
 BitVec SymbolsToLogicalBits(const std::vector<phy::DecodedSymbol>& symbols) {
   BitVec bits;
@@ -154,7 +149,7 @@ BodyChannel MakeChipErrorChannel(const phy::ChipCodebook& codebook,
     out.reserve(bits.size() / 4);
     for (std::size_t i = 0; i < bits.size(); i += 4) {
       const auto nibble = static_cast<std::uint8_t>(bits.ReadUint(i, 4));
-      out.push_back(TransmitNibble(*cb, nibble, chip_error_p, *rng_ptr));
+      out.push_back(ChipTransmitNibble(*cb, nibble, chip_error_p, *rng_ptr));
     }
     return out;
   };
@@ -182,7 +177,7 @@ BodyChannel MakeGilbertElliottChannel(const phy::ChipCodebook& codebook,
       const double p =
           *in_bad ? params.chip_error_bad : params.chip_error_good;
       const auto nibble = static_cast<std::uint8_t>(bits.ReadUint(i, 4));
-      out.push_back(TransmitNibble(*cb, nibble, p, *rng_ptr));
+      out.push_back(ChipTransmitNibble(*cb, nibble, p, *rng_ptr));
     }
     return out;
   };

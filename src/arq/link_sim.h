@@ -28,6 +28,27 @@ namespace ppr::arq {
 using BodyChannel =
     std::function<std::vector<phy::DecodedSymbol>(const BitVec&)>;
 
+// One transmission heard by several listeners at once: returns one
+// reception (a vector of DecodedSymbols) per registered listener, in
+// listener order. Backed by a shared medium (arq/chip_medium.h,
+// ppr/medium.h) the receptions are correlated — the same interferer
+// draw projected through each listener's own geometry; backed by
+// private per-hop channels they are independent.
+using BroadcastBodyChannel =
+    std::function<std::vector<std::vector<phy::DecodedSymbol>>(const BitVec&)>;
+
+// How collisions correlate across the co-located listeners of one
+// transmission. The paper's testbed is a broadcast medium: an
+// interferer that collides with a transmission hits the destination
+// AND the overhearing relays, so private per-hop collision draws
+// (kIndependent, the legacy model) systematically overstate how often
+// a relay holds a clean copy exactly when the destination needs one.
+enum class CollisionCorrelation {
+  kIndependent,       // each hop draws its own collisions (legacy)
+  kSharedInterferer,  // one interferer draw per transmission, projected
+                      // through every listener
+};
+
 struct ArqRunStats {
   bool success = false;
   std::size_t data_transmissions = 0;  // initial + retransmission frames
@@ -91,5 +112,13 @@ BodyChannel MakeGilbertElliottChannel(const phy::ChipCodebook& codebook,
 // Extracts the logical bit stream from ARQ-layer codewords (codeword i
 // carries bits [4i, 4i+4), MSB first).
 BitVec SymbolsToLogicalBits(const std::vector<phy::DecodedSymbol>& symbols);
+
+// Decodes one logical nibble through the codebook with each chip
+// flipped independently at `chip_error_p`: the primitive the synthetic
+// channels above and the chip-level broadcast medium
+// (arq/chip_medium.h) share.
+phy::DecodedSymbol ChipTransmitNibble(const phy::ChipCodebook& codebook,
+                                      std::uint8_t nibble,
+                                      double chip_error_p, Rng& rng);
 
 }  // namespace ppr::arq

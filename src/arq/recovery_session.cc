@@ -124,6 +124,22 @@ void RecoverySession::SetEdgeChannel(PartyId from, PartyId to,
   edges_[{from, to}] = std::move(channel);
 }
 
+void RecoverySession::SetInitialBroadcast(PartyId from,
+                                          std::vector<PartyId> listeners,
+                                          BroadcastBodyChannel channel) {
+  if (!channel) {
+    throw std::invalid_argument("RecoverySession: null broadcast channel");
+  }
+  for (const PartyId id : listeners) {
+    if (id >= parties_.size() || id == from) {
+      throw std::invalid_argument("RecoverySession: bad broadcast listener");
+    }
+  }
+  broadcast_from_ = from;
+  broadcast_listeners_ = std::move(listeners);
+  broadcast_channel_ = std::move(channel);
+}
+
 void RecoverySession::SetRelayAirtimeBudget(std::size_t bits_per_round) {
   relay_airtime_budget_ = bits_per_round == 0 ? kNoAirtimeBudget
                                               : bits_per_round;
@@ -141,6 +157,17 @@ DestinationParticipant* RecoverySession::Destination() const {
 void RecoverySession::TransmitInitial(PartyId source, const BitVec& body) {
   stats_.totals.forward_bits += body.size();
   ++stats_.totals.data_transmissions;
+  if (broadcast_channel_ && broadcast_from_ == source) {
+    const auto receptions = broadcast_channel_(body);
+    if (receptions.size() != broadcast_listeners_.size()) {
+      throw std::logic_error(
+          "RecoverySession: broadcast reception count != listener count");
+    }
+    for (std::size_t i = 0; i < receptions.size(); ++i) {
+      parties_.at(broadcast_listeners_[i])->IngestInitial(receptions[i]);
+    }
+    return;
+  }
   for (PartyId to = 0; to < parties_.size(); ++to) {
     if (to == source) continue;
     const auto edge = edges_.find({source, to});
@@ -308,12 +335,13 @@ SessionRunStats RunMultiRelayRecoveryExchange(
     const BitVec& payload_bits, const PpArqConfig& config,
     const RecoveryStrategy& strategy,
     const MultiRelayExchangeChannels& channels, std::size_t max_rounds) {
-  if (channels.source_to_relay.size() != channels.relay_to_destination.size()) {
+  if (channels.source_to_relay.size() != channels.relay_to_destination.size() &&
+      !(channels.initial_broadcast && channels.source_to_relay.empty())) {
     throw std::invalid_argument(
         "RunMultiRelayRecoveryExchange: per-relay channel vectors must "
         "be the same length");
   }
-  const std::size_t num_relays = channels.source_to_relay.size();
+  const std::size_t num_relays = channels.relay_to_destination.size();
   if (num_relays == 0 || config.relay_parties < num_relays) {
     throw std::invalid_argument(
         "RunMultiRelayRecoveryExchange: config.relay_parties must cover "
@@ -341,9 +369,20 @@ SessionRunStats RunMultiRelayRecoveryExchange(
           "RunMultiRelayRecoveryExchange: strategy has no relay role");
     }
     const PartyId relay_party = session.AddParty(std::move(relay));
-    session.SetEdgeChannel(source, relay_party, channels.source_to_relay[i]);
+    if (i < channels.source_to_relay.size() && channels.source_to_relay[i]) {
+      session.SetEdgeChannel(source, relay_party, channels.source_to_relay[i]);
+    }
     session.SetEdgeChannel(relay_party, destination,
                            channels.relay_to_destination[i]);
+  }
+  if (channels.initial_broadcast) {
+    std::vector<PartyId> listeners;
+    listeners.push_back(destination);
+    for (std::size_t i = 0; i < num_relays; ++i) {
+      listeners.push_back(kSessionRelayId + i);
+    }
+    session.SetInitialBroadcast(source, std::move(listeners),
+                                channels.initial_broadcast);
   }
   session.SetRelayAirtimeBudget(config.relay_airtime_budget_bits);
   session.TransmitInitial(source, body);

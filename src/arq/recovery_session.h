@@ -166,6 +166,16 @@ class RecoverySession {
   // simply not heard on edges without a channel.
   void SetEdgeChannel(PartyId from, PartyId to, BodyChannel channel);
 
+  // Correlated initial delivery: when set, TransmitInitial(from, body)
+  // makes ONE transmission on `channel` and hands reception i to
+  // listeners[i], instead of pushing the body through each per-edge
+  // channel privately. Edges from `from` then carry only post-initial
+  // (repair) traffic. Backed by a shared medium (arq/chip_medium.h or
+  // ppr/medium.h) this is what makes collisions hit the destination
+  // and the overhearing relays together.
+  void SetInitialBroadcast(PartyId from, std::vector<PartyId> listeners,
+                           BroadcastBodyChannel channel);
+
   // Per-round cap on total relay repair airtime (bits, descriptors
   // included); 0 means unlimited. See the ExOR scheduling note atop
   // this header.
@@ -191,6 +201,9 @@ class RecoverySession {
 
   std::vector<std::unique_ptr<RecoveryParticipant>> parties_;
   std::map<std::pair<PartyId, PartyId>, BodyChannel> edges_;
+  PartyId broadcast_from_ = kBroadcastId;
+  std::vector<PartyId> broadcast_listeners_;
+  BroadcastBodyChannel broadcast_channel_;
   SessionRunStats stats_;
   std::size_t relay_airtime_budget_ = kNoAirtimeBudget;  // per round
   std::size_t round_budget_left_ = kNoAirtimeBudget;
@@ -207,11 +220,18 @@ struct RelayExchangeChannels {
 // Channels of the N-relay topology: relay i (party id
 // kSessionRelayId + i, repair party id i + 1) overhears the source on
 // source_to_relay[i] and reaches the destination on
-// relay_to_destination[i]. The two vectors must be the same length.
+// relay_to_destination[i]. The two vectors must be the same length —
+// unless `initial_broadcast` is set, in which case source_to_relay may
+// be left empty: the broadcast carries the only source -> relay
+// traffic (relays never ingest repair), and source_to_destination
+// carries the source's post-initial repair frames.
 struct MultiRelayExchangeChannels {
   BodyChannel source_to_destination;
   std::vector<BodyChannel> source_to_relay;
   std::vector<BodyChannel> relay_to_destination;
+  // Shared-medium initial delivery: one transmission, one reception
+  // per listener in session order (destination first, then relays).
+  BroadcastBodyChannel initial_broadcast;
 };
 
 // Party ids the exchange runners assign (indexes into

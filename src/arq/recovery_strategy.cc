@@ -223,7 +223,6 @@ std::vector<RepairFrame> BatchRepairRecords(std::size_t count,
                                             std::size_t body_bits,
                                             std::size_t bits_per_codeword,
                                             const MakeRecord& make_record) {
-  const std::size_t record_bits = RepairRecordBits(record_payload_bits);
   const std::size_t per_frame =
       RepairRecordsPerFrame(record_payload_bits, body_bits);
   std::vector<RepairFrame> frames;

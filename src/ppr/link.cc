@@ -1,109 +1,15 @@
 #include "ppr/link.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <memory>
-#include <numbers>
-
-#include "phy/channel.h"
+#include "arq/chip_medium.h"
+#include "ppr/medium.h"
 
 namespace ppr::core {
-namespace {
-
-// Fills a vector of all-bad codewords: the ARQ layer treats these as
-// "nothing useful received".
-std::vector<phy::DecodedSymbol> AllBad(std::size_t count) {
-  std::vector<phy::DecodedSymbol> out(count);
-  for (auto& s : out) {
-    s.symbol = 0;
-    s.hint = std::numeric_limits<double>::infinity();
-    s.hamming_distance = phy::kChipsPerSymbol;
-  }
-  return out;
-}
-
-}  // namespace
 
 arq::BodyChannel MakeWaveformChannel(const WaveformChannelParams& params) {
-  struct State {
-    WaveformChannelParams params;
-    FrameModulator modulator;
-    ReceiverPipeline pipeline;
-    Rng rng;
-    std::uint16_t next_seq = 1;
-
-    explicit State(const WaveformChannelParams& p)
-        : params(p),
-          modulator(p.pipeline.modem),
-          pipeline(p.pipeline),
-          rng(p.seed) {}
-  };
-  auto state = std::make_shared<State>(params);
-
-  return [state](const BitVec& bits) -> std::vector<phy::DecodedSymbol> {
-    auto& s = *state;
-    const std::size_t nibbles = bits.size() / 4;
-    // Pad the body to whole octets for framing.
-    BitVec padded = bits;
-    while (padded.size() % 8 != 0) padded.PushBack(false);
-    const auto payload = padded.ToBytes();
-
-    frame::FrameHeader header;
-    header.length = static_cast<std::uint16_t>(payload.size());
-    header.dst = 2;
-    header.src = 1;
-    header.seq = s.next_seq++;
-
-    phy::SampleVec wave = s.modulator.Modulate(header, payload);
-    // Each transmitter has its own carrier phase; the receiver recovers
-    // it from the sync correlation.
-    phy::ApplyCarrierOffset(wave, 0.0,
-                            s.rng.UniformDouble(0.0, 2.0 * std::numbers::pi));
-
-    // Guard padding so sync search starts and ends in noise.
-    const int sps = s.params.pipeline.modem.samples_per_chip;
-    const std::size_t guard = static_cast<std::size_t>(64 * sps);
-    phy::SampleVec air(wave.size() + 2 * guard, phy::Sample{0.0, 0.0});
-    phy::MixInto(air, wave, guard);
-
-    // Collision: a concurrent burst overlapping part of the frame.
-    if (s.rng.Bernoulli(s.params.collision_probability)) {
-      std::vector<std::uint8_t> junk(s.params.interferer_octets);
-      for (auto& b : junk) {
-        b = static_cast<std::uint8_t>(s.rng.UniformInt(256));
-      }
-      phy::SampleVec burst = s.modulator.ModulateOctets(junk);
-      phy::ApplyCarrierOffset(
-          burst, 0.0, s.rng.UniformDouble(0.0, 2.0 * std::numbers::pi));
-      const double gain =
-          std::pow(10.0, s.params.interferer_relative_db / 20.0);
-      const std::size_t span = air.size() > burst.size()
-                                   ? air.size() - burst.size()
-                                   : 1;
-      const std::size_t offset = s.rng.UniformInt(span);
-      phy::MixInto(air, burst, offset, gain);
-    }
-
-    const double sigma = phy::NoiseSigmaForEcN0(
-        std::pow(10.0, s.params.ec_n0_db / 10.0),
-        s.params.pipeline.modem.amplitude, sps);
-    phy::AddAwgn(air, sigma, s.rng);
-
-    const auto frames = s.pipeline.Process(air);
-    // Use the recovered frame matching this transmission's seq (there is
-    // at most one expected frame per call).
-    for (const auto& f : frames) {
-      if (f.header.seq != header.seq || f.header.length != payload.size()) {
-        continue;
-      }
-      auto symbols = f.PayloadSymbols();
-      if (symbols.size() < nibbles) break;
-      symbols.resize(nibbles);  // drop padding codewords
-      return symbols;
-    }
-    return AllBad(nibbles);
-  };
+  auto medium = WaveformMedium::Create(arq::CollisionCorrelation::kIndependent,
+                                       params.seed);
+  const auto id = medium->AddListener(ListenerFromChannelParams(params));
+  return medium->MakeListenerChannel(id);
 }
 
 arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
@@ -121,7 +27,9 @@ arq::ArqRunStats RunWaveformPpArq(std::size_t payload_octets,
 arq::SessionRunStats RunWaveformMultiRelayRecovery(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
     const WaveformChannelParams& direct,
-    const std::vector<RelayWaveformParams>& relays, Rng& payload_rng) {
+    const std::vector<RelayWaveformParams>& relays, Rng& payload_rng,
+    arq::CollisionCorrelation correlation,
+    WaveformMediumStats* medium_stats) {
   BitVec payload;
   for (std::size_t i = 0; i < payload_octets; ++i) {
     payload.AppendUint(payload_rng.UniformInt(256), 8);
@@ -129,18 +37,47 @@ arq::SessionRunStats RunWaveformMultiRelayRecovery(
   arq::PpArqConfig config = arq_config;
   config.recovery = arq::RecoveryMode::kRelayCodedRepair;
   config.relay_parties = relays.size();
-  arq::MultiRelayExchangeChannels channels;
-  channels.source_to_destination = MakeWaveformChannel(direct);
-  channels.source_to_relay.reserve(relays.size());
-  channels.relay_to_destination.reserve(relays.size());
+
+  // One shared medium carries the source's broadcast: the destination
+  // is listener 0, each relay's overheard copy a further listener. The
+  // shared-interferer climate (presence, burst length) is the direct
+  // path's; every listener projects the burst at its own relative
+  // power.
+  auto medium = WaveformMedium::Create(
+      correlation, direct.seed,
+      {direct.collision_probability, direct.interferer_octets});
+  medium->AddListener(ListenerFromChannelParams(direct));
   for (const auto& relay : relays) {
-    channels.source_to_relay.push_back(MakeWaveformChannel(relay.overhear));
-    channels.relay_to_destination.push_back(
-        MakeWaveformChannel(relay.relay_link));
+    medium->AddListener(ListenerFromChannelParams(relay.overhear));
   }
+
+  arq::MultiRelayExchangeChannels channels;
+  channels.initial_broadcast = medium->MakeBroadcastChannel();
+  channels.source_to_destination = medium->MakeListenerChannel(0);
+  channels.relay_to_destination.reserve(relays.size());
+  for (std::size_t i = 0; i < relays.size(); ++i) {
+    WaveformChannelParams hop = relays[i].relay_link;
+    if (correlation == arq::CollisionCorrelation::kSharedInterferer) {
+      // Centralized seed ownership: the relay's transmit domain derives
+      // from the medium chain instead of whatever ad-hoc seed the hop
+      // params carry, so roster size cannot reorder draws.
+      hop.seed = arq::SeedForTransmission(direct.seed,
+                                          arq::kSessionRelayId + i, 0);
+    }
+    channels.relay_to_destination.push_back(MakeWaveformChannel(hop));
+  }
+
   const auto strategy = arq::MakeRecoveryStrategy(config);
-  return arq::RunMultiRelayRecoveryExchange(payload, config, *strategy,
-                                            channels);
+  auto stats = arq::RunMultiRelayRecoveryExchange(payload, config, *strategy,
+                                                  channels);
+  if (medium_stats) {
+    medium_stats->medium = medium->medium_stats();
+    medium_stats->listeners.clear();
+    for (std::size_t i = 0; i < medium->num_listeners(); ++i) {
+      medium_stats->listeners.push_back(medium->StatsFor(i));
+    }
+  }
+  return stats;
 }
 
 arq::SessionRunStats RunWaveformRelayRecovery(
@@ -154,7 +91,7 @@ arq::SessionRunStats RunWaveformRelayRecovery(
 RecoveryComparison CompareRecoveryStrategies(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
     const WaveformChannelParams& params, std::uint64_t payload_seed,
-    const RelayWaveformParams* relay) {
+    const RelayWaveformParams* relay, arq::CollisionCorrelation correlation) {
   RecoveryComparison out;
   arq::PpArqConfig config = arq_config;
 
@@ -168,8 +105,9 @@ RecoveryComparison CompareRecoveryStrategies(
 
   if (relay) {
     Rng relay_rng(payload_seed);
-    out.relay = RunWaveformRelayRecovery(payload_octets, arq_config, params,
-                                         *relay, relay_rng);
+    out.relay = RunWaveformMultiRelayRecovery(payload_octets, arq_config,
+                                              params, {*relay}, relay_rng,
+                                              correlation, &out.relay_medium);
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include "arq/link_sim.h"
 #include "arq/recovery_session.h"
 #include "common/rng.h"
+#include "ppr/medium.h"
 #include "ppr/receiver_pipeline.h"
 
 namespace ppr::core {
@@ -41,6 +42,10 @@ struct WaveformChannelParams {
 // When the pipeline fails to recover the frame at all, every codeword
 // comes back with an infinitely-bad hint (the ARQ layer then re-requests
 // everything it still needs).
+//
+// Implemented as a single-listener WaveformMedium (ppr/medium.h) in
+// CollisionCorrelation::kIndependent mode, which reproduces the
+// original point-to-point channel bit-for-bit.
 arq::BodyChannel MakeWaveformChannel(const WaveformChannelParams& params);
 
 // One PP-ARQ packet exchange over the waveform channel, under the
@@ -67,16 +72,40 @@ arq::SessionRunStats RunWaveformRelayRecovery(
     const WaveformChannelParams& direct, const RelayWaveformParams& relay,
     Rng& payload_rng);
 
-// The N-relay waveform session: every relay's overhear hop and
-// relay -> destination hop is its own real AWGN+collision channel.
-// `arq_config.relay_parties` is overridden to relays.size() and
+// Joint-loss statistics of one waveform session's shared medium:
+// listener 0 is the destination, listener i the i-th relay's overheard
+// copy; `medium` aggregates across the roster (the
+// overhear-loss-given-direct-loss correlation the session saw).
+struct WaveformMediumStats {
+  arq::SharedMediumStats medium;
+  std::vector<arq::ListenerLossStats> listeners;
+};
+
+// The N-relay waveform session, rebuilt on the shared medium: the
+// source's initial transmission is ONE WaveformMedium broadcast heard
+// by the destination and every relay (collision draws correlated per
+// `correlation`), the source's repair frames continue the
+// destination-listener stream, and each relay -> destination hop is
+// its own real AWGN+collision channel. `arq_config.relay_parties` is
+// overridden to relays.size() and
 // `arq_config.relay_airtime_budget_bits` becomes the session's
 // per-round relay budget, so dense overhearer sets contend for airtime
 // exactly as in the channel-abstracted simulator.
+//
+// Under kIndependent every hop draws privately, bit-for-bit the
+// pre-medium behavior (relay hops seeded by their own params.seed);
+// under kSharedInterferer the interferer climate comes from `direct`
+// (its collision probability and burst length), each listener projects
+// the shared burst at its own interferer_relative_db, and every hop
+// seed derives from the medium chain (arq::SeedForTransmission on
+// direct.seed), so roster size cannot reorder draws.
 arq::SessionRunStats RunWaveformMultiRelayRecovery(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
     const WaveformChannelParams& direct,
-    const std::vector<RelayWaveformParams>& relays, Rng& payload_rng);
+    const std::vector<RelayWaveformParams>& relays, Rng& payload_rng,
+    arq::CollisionCorrelation correlation =
+        arq::CollisionCorrelation::kIndependent,
+    WaveformMediumStats* medium_stats = nullptr);
 
 // Runs the same payload under each recovery strategy, each over an
 // identically seeded direct waveform channel, so their repair traffic
@@ -88,11 +117,15 @@ struct RecoveryComparison {
   arq::ArqRunStats chunk;
   arq::ArqRunStats coded;
   std::optional<arq::SessionRunStats> relay;
+  // Relay leg only: the shared medium's joint-loss view.
+  WaveformMediumStats relay_medium;
 };
 
 RecoveryComparison CompareRecoveryStrategies(
     std::size_t payload_octets, const arq::PpArqConfig& arq_config,
     const WaveformChannelParams& params, std::uint64_t payload_seed,
-    const RelayWaveformParams* relay = nullptr);
+    const RelayWaveformParams* relay = nullptr,
+    arq::CollisionCorrelation correlation =
+        arq::CollisionCorrelation::kIndependent);
 
 }  // namespace ppr::core

@@ -9,11 +9,18 @@
 #include <memory>
 #include <thread>
 
+#include "arq/chip_medium.h"
 #include "arq/link_sim.h"
 #include "arq/recovery_session.h"
 #include "phy/channel.h"
 
 namespace ppr::sim {
+
+double LinkRecoveryStats::OverhearLossGivenDirectLoss() const {
+  if (direct_loss_frames == 0) return 0.0;
+  return static_cast<double>(joint_loss_frames) /
+         static_cast<double>(direct_loss_frames);
+}
 
 double LinkResult::Fdr(std::size_t scheme_index) const {
   if (frames_sent == 0) return 0.0;
@@ -155,32 +162,45 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
   Rng payload_rng = job.link_rng.Fork();
   const bool use_relay = !job.relays.empty();
 
-  const auto channel = arq::MakeGilbertElliottChannel(
-      codebook, LinkGeParams(config, job.snr_db), channel_rng);
+  arq::BodyChannel channel;
   arq::MultiRelayExchangeChannels channels;
+  std::shared_ptr<arq::ChipMedium> medium;
   std::unique_ptr<arq::RecoveryStrategy> relay_strategy;
   arq::PpArqConfig relay_config = recovery.arq;
-  // The channels hold pointers to their Rngs, so the per-relay streams
-  // need addresses stable for the whole link (deque never relocates).
+  // The relay-hop channels hold pointers to their Rngs, so those
+  // streams need addresses stable for the whole link (deque never
+  // relocates).
   std::deque<Rng> relay_rngs;
   if (use_relay) {
-    channels.source_to_destination = channel;
-    // Relay hops fork after the legacy streams (overhear then relay
-    // hop, per roster slot), so the direct channel and payloads draw
-    // identically across all strategies and roster sizes.
+    // The source's broadcast domain is one shared chip-level medium:
+    // destination first (listener 0, the joint-loss reference), then
+    // each recruited overhearer. The medium seed is a pure function of
+    // (experiment seed, link), so neither roster size nor thread
+    // schedule can reorder the shared-interferer draws; in independent
+    // mode every listener replays the legacy per-hop channel from its
+    // own forked stream (overhear then relay hop, per roster slot, the
+    // pre-medium fork order).
+    medium = arq::ChipMedium::Create(
+        codebook, recovery.correlation,
+        arq::SeedForTransmission(recovery.seed, job.sender, job.receiver),
+        LinkGeParams(config, job.snr_db));
+    medium->AddListener(LinkGeParams(config, job.snr_db), channel_rng);
     for (std::size_t i = 0; i < job.relays.size(); ++i) {
-      relay_rngs.push_back(job.link_rng.Fork());
-      channels.source_to_relay.push_back(arq::MakeGilbertElliottChannel(
-          codebook, LinkGeParams(config, job.overhear_snr_db[i]),
-          relay_rngs.back()));
+      medium->AddListener(LinkGeParams(config, job.overhear_snr_db[i]),
+                          job.link_rng.Fork());
       relay_rngs.push_back(job.link_rng.Fork());
       channels.relay_to_destination.push_back(arq::MakeGilbertElliottChannel(
           codebook, LinkGeParams(config, job.relay_snr_db[i]),
           relay_rngs.back()));
     }
+    channels.initial_broadcast = medium->MakeBroadcastChannel();
+    channels.source_to_destination = medium->MakeUnicastChannel(0);
     // The session is sized to the roster this link actually recruited.
     relay_config.relay_parties = job.relays.size();
     relay_strategy = arq::MakeRecoveryStrategy(relay_config);
+  } else {
+    channel = arq::MakeGilbertElliottChannel(
+        codebook, LinkGeParams(config, job.snr_db), channel_rng);
   }
 
   for (std::size_t p = 0; p < recovery.packets_per_link; ++p) {
@@ -212,6 +232,13 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
     for (const auto bits : stats.totals.retransmission_bits) {
       link.repair_bits += bits;
     }
+  }
+  if (medium) {
+    const auto& ms = medium->medium_stats();
+    link.direct_collision_frames = ms.reference_collision_frames;
+    link.joint_collision_frames = ms.joint_collision_frames;
+    link.direct_loss_frames = ms.reference_corrupted_frames;
+    link.joint_loss_frames = ms.joint_corrupted_frames;
   }
   return link;
 }
@@ -300,6 +327,10 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
     result.total_feedback_bits += link.feedback_bits;
     result.total_source_repair_bits += link.source_repair_bits;
     result.total_relay_repair_bits += link.relay_repair_bits;
+    result.total_direct_collision_frames += link.direct_collision_frames;
+    result.total_joint_collision_frames += link.joint_collision_frames;
+    result.total_direct_loss_frames += link.direct_loss_frames;
+    result.total_joint_loss_frames += link.joint_loss_frames;
   }
   return result;
 }

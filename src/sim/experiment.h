@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "arq/link_sim.h"
 #include "arq/pp_arq.h"
 #include "sim/delivery.h"
 #include "sim/medium.h"
@@ -130,6 +131,16 @@ struct RecoveryExperimentConfig {
   // one per entry, each overriding max_relays (e.g. {1, 2, 4} to study
   // how repair airtime scales with roster size over identical links).
   std::vector<std::size_t> relay_count_sweep;
+  // How collisions correlate across the source's co-located listeners
+  // (the destination and every recruited relay) on each link.
+  // kIndependent keeps the legacy private per-hop impairment draws;
+  // kSharedInterferer draws ONE impairment-burst timeline per
+  // transmission and projects it through every listener
+  // (arq::ChipMedium) — the broadcast-medium regime the paper's
+  // testbed actually exhibits, where a collision that costs the
+  // destination its copy usually costs the overhearers theirs too.
+  arq::CollisionCorrelation correlation =
+      arq::CollisionCorrelation::kIndependent;
 };
 
 inline constexpr std::size_t kNoRelay = static_cast<std::size_t>(-1);
@@ -156,6 +167,18 @@ struct LinkRecoveryStats {
   // quantity a budget caps), relay_deferrals the sum.
   std::size_t max_round_relay_bits = 0;
   std::size_t relay_deferrals = 0;
+  // Shared-medium joint-loss accounting over the link's initial
+  // (broadcast) transmissions, relay links only (arq::ChipMedium;
+  // zero on two-party links). "Collision" = an impairment burst
+  // overlapped that copy; "loss" = >=1 codeword decoded wrong.
+  std::size_t direct_collision_frames = 0;  // destination copy hit
+  std::size_t joint_collision_frames = 0;   // destination AND >=1 relay hit
+  std::size_t direct_loss_frames = 0;       // destination copy corrupted
+  std::size_t joint_loss_frames = 0;        // ...and >=1 relay's copy too
+  // P(some relay's copy lost | the destination's copy lost): the
+  // overhear-loss-given-direct-loss correlation. 0 without relays or
+  // direct losses.
+  double OverhearLossGivenDirectLoss() const;
 };
 
 struct RecoveryExperimentResult {
@@ -166,6 +189,10 @@ struct RecoveryExperimentResult {
   std::size_t total_feedback_bits = 0;
   std::size_t total_source_repair_bits = 0;
   std::size_t total_relay_repair_bits = 0;
+  std::size_t total_direct_collision_frames = 0;
+  std::size_t total_joint_collision_frames = 0;
+  std::size_t total_direct_loss_frames = 0;
+  std::size_t total_joint_loss_frames = 0;
 };
 
 RecoveryExperimentResult RunLinkRecoveryExperiment(

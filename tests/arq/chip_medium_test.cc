@@ -1,0 +1,208 @@
+// The chip-level shared broadcast medium: legacy equivalence of the
+// independent mode, correlated impairment spans under a shared
+// interferer, roster-invariant seed derivation, and the joint-loss
+// accounting.
+#include "arq/chip_medium.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arq/link_sim.h"
+
+namespace ppr::arq {
+namespace {
+
+BitVec RandomBody(Rng& rng, std::size_t codewords) {
+  BitVec bits;
+  for (std::size_t i = 0; i < codewords; ++i) {
+    bits.AppendUint(rng.UniformInt(16), 4);
+  }
+  return bits;
+}
+
+GilbertElliottParams BurstyParams(double chip_error_bad = 0.2) {
+  GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.2;
+  ge.chip_error_good = 0.0005;
+  ge.chip_error_bad = chip_error_bad;
+  return ge;
+}
+
+void ExpectSameSymbols(const std::vector<phy::DecodedSymbol>& a,
+                       const std::vector<phy::DecodedSymbol>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].symbol, b[i].symbol);
+    EXPECT_EQ(a[i].hamming_distance, b[i].hamming_distance);
+    EXPECT_EQ(a[i].hint, b[i].hint);
+  }
+}
+
+std::set<std::size_t> WrongCodewords(const BitVec& sent,
+                                     const std::vector<phy::DecodedSymbol>& rx) {
+  std::set<std::size_t> wrong;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    if (rx[i].symbol != sent.ReadUint(4 * i, 4)) wrong.insert(i);
+  }
+  return wrong;
+}
+
+// The equivalence pin: in kIndependent mode every listener — across a
+// broadcast and interleaved unicast (repair) traffic — reproduces the
+// legacy MakeGilbertElliottChannel draw for draw.
+TEST(ChipMediumTest, IndependentModeMatchesLegacyChannels) {
+  const phy::ChipCodebook codebook;
+  const auto ge_a = BurstyParams();
+  auto ge_b = BurstyParams();
+  ge_b.chip_error_bad = 0.3;
+
+  auto medium = ChipMedium::Create(
+      codebook, CollisionCorrelation::kIndependent, /*medium_seed=*/7,
+      BurstyParams());
+  medium->AddListener(ge_a, Rng(41));
+  medium->AddListener(ge_b, Rng(42));
+  const auto broadcast = medium->MakeBroadcastChannel();
+  const auto unicast0 = medium->MakeUnicastChannel(0);
+
+  Rng legacy_a(41);
+  Rng legacy_b(42);
+  const auto channel_a = MakeGilbertElliottChannel(codebook, ge_a, legacy_a);
+  const auto channel_b = MakeGilbertElliottChannel(codebook, ge_b, legacy_b);
+
+  Rng payload(99);
+  const BitVec initial = RandomBody(payload, 160);
+  const auto receptions = broadcast(initial);
+  ASSERT_EQ(receptions.size(), 2u);
+  ExpectSameSymbols(receptions[0], channel_a(initial));
+  ExpectSameSymbols(receptions[1], channel_b(initial));
+
+  // Unicast repair traffic continues listener 0's stream exactly where
+  // the legacy channel's next call would be.
+  for (int round = 0; round < 3; ++round) {
+    const BitVec repair = RandomBody(payload, 52);
+    ExpectSameSymbols(unicast0(repair), channel_a(repair));
+  }
+}
+
+// A shared interferer must impair the same codeword span at every
+// listener — scaled by each listener's own bad-state chip error rate —
+// while a listener the burst cannot hurt (chip_error_bad == clean
+// rate) still reports the collision but loses nothing.
+TEST(ChipMediumTest, SharedInterfererImpairsSameSpan) {
+  const phy::ChipCodebook codebook;
+  auto process = BurstyParams();
+  process.p_good_to_bad = 0.1;
+
+  auto medium = ChipMedium::Create(
+      codebook, CollisionCorrelation::kSharedInterferer, /*medium_seed=*/21,
+      process);
+  // Destination and overhearer both vulnerable (chips flip at 40% in
+  // the burst); the third listener's radio is unaffected by the burst.
+  auto vulnerable = BurstyParams(0.4);
+  vulnerable.chip_error_good = 0.0;
+  auto immune = vulnerable;
+  immune.chip_error_bad = 0.0;
+  medium->AddListener(vulnerable, Rng(1));
+  medium->AddListener(vulnerable, Rng(2));
+  medium->AddListener(immune, Rng(3));
+
+  Rng payload(7);
+  const BitVec body = RandomBody(payload, 200);
+  const auto receptions = medium->Broadcast(body);
+
+  const auto wrong0 = WrongCodewords(body, receptions[0]);
+  const auto wrong1 = WrongCodewords(body, receptions[1]);
+  const auto wrong2 = WrongCodewords(body, receptions[2]);
+  ASSERT_FALSE(wrong0.empty());  // the burst did real damage
+  ASSERT_FALSE(wrong1.empty());
+  EXPECT_TRUE(wrong2.empty());  // collided, but this radio shrugged it off
+
+  // Same burst, same span: the two vulnerable listeners' corrupted
+  // codewords overlap (private chip flips fray the edges, nothing
+  // more).
+  std::set<std::size_t> both;
+  for (const auto k : wrong0) {
+    if (wrong1.count(k)) both.insert(k);
+  }
+  EXPECT_FALSE(both.empty());
+
+  // Collision flags are the shared draw: identical at every listener.
+  const auto& s0 = medium->StatsFor(0);
+  const auto& s1 = medium->StatsFor(1);
+  const auto& s2 = medium->StatsFor(2);
+  EXPECT_EQ(s0.collision_frames, 1u);
+  EXPECT_EQ(s1.collision_frames, 1u);
+  EXPECT_EQ(s2.collision_frames, 1u);
+  EXPECT_EQ(s1.joint_collision_frames, 1u);
+  EXPECT_EQ(s1.joint_corrupted_frames, 1u);
+  EXPECT_EQ(s2.joint_corrupted_frames, 0u);
+  EXPECT_EQ(OverhearLossGivenDirectLoss(s1), 1.0);
+  EXPECT_EQ(OverhearLossGivenDirectLoss(s2), 0.0);
+  const auto& ms = medium->medium_stats();
+  EXPECT_EQ(ms.joint_collision_frames, 1u);
+  EXPECT_EQ(ms.joint_corrupted_frames, 1u);
+}
+
+// SeedForTransmission is a pure function: same inputs same seed,
+// different sender or index different seed.
+TEST(ChipMediumTest, SeedForTransmissionIsPure) {
+  EXPECT_EQ(SeedForTransmission(1, 2, 3), SeedForTransmission(1, 2, 3));
+  EXPECT_NE(SeedForTransmission(1, 2, 3), SeedForTransmission(1, 2, 4));
+  EXPECT_NE(SeedForTransmission(1, 2, 3), SeedForTransmission(1, 3, 3));
+  EXPECT_NE(SeedForTransmission(2, 2, 3), SeedForTransmission(1, 2, 3));
+}
+
+// The draw-centralization property the medium exists for: in shared
+// mode a listener's reception is a pure function of (medium seed,
+// sender, transmission index, listener index) — growing the roster
+// cannot reorder anyone else's draws.
+TEST(ChipMediumTest, RosterSizeCannotReorderSharedDraws) {
+  const phy::ChipCodebook codebook;
+  const auto process = BurstyParams();
+  Rng payload(13);
+  const BitVec body = RandomBody(payload, 120);
+  const BitVec repair = RandomBody(payload, 40);
+
+  auto solo = ChipMedium::Create(
+      codebook, CollisionCorrelation::kSharedInterferer, 5, process);
+  solo->AddListener(BurstyParams(), Rng(1));
+  const auto solo_rx = solo->Broadcast(body);
+  const auto solo_repair = solo->MakeUnicastChannel(0)(repair);
+
+  auto trio = ChipMedium::Create(
+      codebook, CollisionCorrelation::kSharedInterferer, 5, process);
+  trio->AddListener(BurstyParams(), Rng(1));
+  trio->AddListener(BurstyParams(0.3), Rng(2));
+  trio->AddListener(BurstyParams(0.1), Rng(3));
+  const auto trio_rx = trio->Broadcast(body);
+  const auto trio_repair = trio->MakeUnicastChannel(0)(repair);
+
+  ExpectSameSymbols(solo_rx[0], trio_rx[0]);
+  ExpectSameSymbols(solo_repair, trio_repair);
+}
+
+// Unicast (repair) traffic advances the seed chain but stays out of
+// the joint-loss stats: those describe correlated broadcast
+// receptions only.
+TEST(ChipMediumTest, UnicastTrafficDoesNotEnterJointStats) {
+  const phy::ChipCodebook codebook;
+  auto medium = ChipMedium::Create(
+      codebook, CollisionCorrelation::kSharedInterferer, 9, BurstyParams());
+  medium->AddListener(BurstyParams(), Rng(1));
+  medium->AddListener(BurstyParams(), Rng(2));
+  const auto unicast = medium->MakeUnicastChannel(0);
+
+  Rng payload(3);
+  medium->Broadcast(RandomBody(payload, 80));
+  unicast(RandomBody(payload, 80));
+  unicast(RandomBody(payload, 80));
+  EXPECT_EQ(medium->StatsFor(0).broadcast_frames, 1u);
+  EXPECT_EQ(medium->StatsFor(1).broadcast_frames, 1u);
+  EXPECT_EQ(medium->medium_stats().broadcast_frames, 1u);
+  EXPECT_EQ(medium->transmissions(), 3u);
+}
+
+}  // namespace
+}  // namespace ppr::arq

@@ -544,6 +544,70 @@ TEST(MultiRelaySessionTest, GoldenTwoRelayTranscriptIsBackendInvariant) {
 // ExOR ordering: under a tight budget the relay with the better
 // overheard copy is served first; the poor-copy relay's turn comes
 // when nothing affordable remains, so it stays off the air entirely.
+// The broadcast rewiring pin: delivering the initial transmission
+// through one BroadcastBodyChannel that wraps the same per-edge
+// channels must reproduce the per-edge session exactly — same draws,
+// same accounting — so MultiRelayExchangeChannels::initial_broadcast
+// only changes WHERE the receptions come from, never the protocol.
+TEST(MultiRelaySessionTest, InitialBroadcastMatchesPerEdgeDelivery) {
+  const phy::ChipCodebook cb;
+  PpArqConfig config;
+  config.recovery = RecoveryMode::kRelayCodedRepair;
+  config.relay_parties = 2;
+  const auto strategy = MakeRecoveryStrategy(config);
+
+  const auto run = [&](bool broadcast) {
+    Rng prng(671);
+    const BitVec payload = RandomPayload(prng, 150);
+    // Channels hold a pointer to their Rng, so every stream outlives
+    // the session.
+    Rng direct(672), overhear_a(673), hop_a(673 ^ 0xFF), overhear_b(674),
+        hop_b(674 ^ 0xFF);
+    MultiRelayExchangeChannels channels;
+    channels.source_to_destination =
+        MakeGilbertElliottChannel(cb, DegradedParams(), direct);
+    const auto to_relay_a =
+        MakeGilbertElliottChannel(cb, StrongParams(), overhear_a);
+    const auto to_relay_b =
+        MakeGilbertElliottChannel(cb, StrongParams(), overhear_b);
+    channels.relay_to_destination = {
+        MakeGilbertElliottChannel(cb, StrongParams(), hop_a),
+        MakeGilbertElliottChannel(cb, StrongParams(), hop_b)};
+    if (broadcast) {
+      const auto to_destination = channels.source_to_destination;
+      channels.initial_broadcast =
+          [to_destination, to_relay_a, to_relay_b](const BitVec& bits) {
+            std::vector<std::vector<phy::DecodedSymbol>> out;
+            out.push_back(to_destination(bits));
+            out.push_back(to_relay_a(bits));
+            out.push_back(to_relay_b(bits));
+            return out;
+          };
+    } else {
+      channels.source_to_relay = {to_relay_a, to_relay_b};
+    }
+    return RunMultiRelayRecoveryExchange(payload, config, *strategy,
+                                         channels);
+  };
+
+  const auto edges = run(false);
+  const auto broadcast = run(true);
+  EXPECT_EQ(edges.totals.success, broadcast.totals.success);
+  EXPECT_EQ(edges.totals.forward_bits, broadcast.totals.forward_bits);
+  EXPECT_EQ(edges.totals.feedback_bits, broadcast.totals.feedback_bits);
+  EXPECT_EQ(edges.totals.retransmission_bits,
+            broadcast.totals.retransmission_bits);
+  EXPECT_EQ(edges.rounds, broadcast.rounds);
+  ASSERT_EQ(edges.parties.size(), broadcast.parties.size());
+  for (std::size_t i = 0; i < edges.parties.size(); ++i) {
+    EXPECT_EQ(edges.parties[i].repair_bits, broadcast.parties[i].repair_bits);
+    EXPECT_EQ(edges.parties[i].repair_messages,
+              broadcast.parties[i].repair_messages);
+    EXPECT_EQ(edges.parties[i].feedback_bits,
+              broadcast.parties[i].feedback_bits);
+  }
+}
+
 TEST(MultiRelaySessionTest, BudgetServesBetterRankedRelayFirst) {
   Rng prng(681);
   const BitVec payload = RandomPayload(prng, 160);

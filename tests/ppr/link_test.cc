@@ -179,5 +179,69 @@ TEST(WaveformRelayTest, TwoRelaySessionRunsOverRealChannels) {
             0u);
 }
 
+TEST(WaveformRelayTest, SharedInterfererCorrelatesListenerLosses) {
+  // The same collision-prone direct path and two clean-ish overhearers,
+  // run under both correlation modes over varied per-packet seeds. The
+  // shared medium makes every interferer draw hit the whole roster:
+  // every collided destination copy is a collided overhearer copy, and
+  // every lost destination copy is a lost overhearer copy — while the
+  // independent legs keep coincidence-level overlap only.
+  const auto run = [&](arq::CollisionCorrelation corr) {
+    struct Totals {
+      std::size_t ok = 0;
+      arq::SharedMediumStats medium;
+    } totals;
+    for (int p = 0; p < 5; ++p) {
+      WaveformChannelParams direct = CleanParams();
+      direct.ec_n0_db = 4.5;
+      direct.collision_probability = 0.7;
+      direct.interferer_relative_db = 3.0;
+      direct.interferer_octets = 100;
+      direct.seed = 520 + 17 * p;
+      std::vector<RelayWaveformParams> relays(2);
+      for (int r = 0; r < 2; ++r) {
+        relays[r].overhear = direct;
+        relays[r].overhear.ec_n0_db = 10.0;
+        relays[r].overhear.seed = 7000 + 100 * p + r;
+        relays[r].relay_link = direct;
+        relays[r].relay_link.ec_n0_db = 10.0;
+        relays[r].relay_link.collision_probability = 0.1;
+        relays[r].relay_link.seed = 8000 + 100 * p + r;
+      }
+      Rng payload_rng(66 + p);
+      WaveformMediumStats ms;
+      const auto stats = RunWaveformMultiRelayRecovery(
+          100, {}, direct, relays, payload_rng, corr, &ms);
+      if (stats.totals.success) ++totals.ok;
+      EXPECT_EQ(ms.listeners.size(), 3u);  // destination + two overhearers
+      totals.medium.broadcast_frames += ms.medium.broadcast_frames;
+      totals.medium.reference_collision_frames +=
+          ms.medium.reference_collision_frames;
+      totals.medium.reference_corrupted_frames +=
+          ms.medium.reference_corrupted_frames;
+      totals.medium.joint_collision_frames += ms.medium.joint_collision_frames;
+      totals.medium.joint_corrupted_frames += ms.medium.joint_corrupted_frames;
+    }
+    return totals;
+  };
+
+  const auto independent = run(arq::CollisionCorrelation::kIndependent);
+  const auto shared = run(arq::CollisionCorrelation::kSharedInterferer);
+  EXPECT_EQ(independent.ok, 5u);
+  EXPECT_EQ(shared.ok, 5u);
+
+  // Shared mode: a collision at the destination IS a collision at the
+  // overhearers, and with both overhearers inside the burst's
+  // footprint, every direct loss is a joint loss.
+  ASSERT_GT(shared.medium.reference_collision_frames, 0u);
+  EXPECT_EQ(shared.medium.joint_collision_frames,
+            shared.medium.reference_collision_frames);
+  ASSERT_GT(shared.medium.reference_corrupted_frames, 0u);
+  EXPECT_EQ(arq::OverhearLossGivenDirectLoss(shared.medium), 1.0);
+  // Independent mode: private draws spare the overhearers on some of
+  // the destination's bad transmissions.
+  EXPECT_LT(arq::OverhearLossGivenDirectLoss(independent.medium), 1.0);
+}
+
 }  // namespace
 }  // namespace ppr::core

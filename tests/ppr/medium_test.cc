@@ -1,0 +1,301 @@
+// The waveform shared broadcast medium: bit-for-bit equivalence of the
+// single-listener / kIndependent configuration with the pre-medium
+// point-to-point channel, correlated burst spans under a shared
+// interferer (scaled by listener geometry), roster-invariant seed
+// derivation, and the joint-loss stats.
+#include "ppr/medium.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numbers>
+#include <set>
+
+#include "phy/channel.h"
+#include "ppr/link.h"
+
+namespace ppr::core {
+namespace {
+
+WaveformChannelParams BaseParams() {
+  WaveformChannelParams params;
+  params.pipeline.modem.samples_per_chip = 4;
+  params.pipeline.max_payload_octets = 400;
+  params.ec_n0_db = 6.0;
+  params.seed = 31;
+  return params;
+}
+
+BitVec RandomBody(Rng& rng, std::size_t codewords) {
+  BitVec bits;
+  for (std::size_t i = 0; i < codewords; ++i) {
+    bits.AppendUint(rng.UniformInt(16), 4);
+  }
+  return bits;
+}
+
+void ExpectSameSymbols(const std::vector<phy::DecodedSymbol>& a,
+                       const std::vector<phy::DecodedSymbol>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].symbol, b[i].symbol);
+    EXPECT_EQ(a[i].hamming_distance, b[i].hamming_distance);
+    EXPECT_EQ(a[i].hint, b[i].hint);
+  }
+}
+
+std::set<std::size_t> WrongCodewords(const BitVec& sent,
+                                     const std::vector<phy::DecodedSymbol>& rx) {
+  std::set<std::size_t> wrong;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    if (rx[i].symbol != sent.ReadUint(4 * i, 4)) wrong.insert(i);
+  }
+  return wrong;
+}
+
+// Reference implementation: the pre-medium MakeWaveformChannel, kept
+// verbatim as the golden draw sequence the kIndependent single-listener
+// medium must reproduce bit-for-bit.
+arq::BodyChannel MakeLegacyReferenceChannel(const WaveformChannelParams& p) {
+  struct State {
+    WaveformChannelParams params;
+    FrameModulator modulator;
+    ReceiverPipeline pipeline;
+    Rng rng;
+    std::uint16_t next_seq = 1;
+    explicit State(const WaveformChannelParams& p)
+        : params(p), modulator(p.pipeline.modem), pipeline(p.pipeline),
+          rng(p.seed) {}
+  };
+  auto state = std::make_shared<State>(p);
+  return [state](const BitVec& bits) -> std::vector<phy::DecodedSymbol> {
+    auto& s = *state;
+    const std::size_t nibbles = bits.size() / 4;
+    BitVec padded = bits;
+    while (padded.size() % 8 != 0) padded.PushBack(false);
+    const auto payload = padded.ToBytes();
+
+    frame::FrameHeader header;
+    header.length = static_cast<std::uint16_t>(payload.size());
+    header.dst = 2;
+    header.src = 1;
+    header.seq = s.next_seq++;
+
+    phy::SampleVec wave = s.modulator.Modulate(header, payload);
+    phy::ApplyCarrierOffset(wave, 0.0,
+                            s.rng.UniformDouble(0.0, 2.0 * std::numbers::pi));
+    const int sps = s.params.pipeline.modem.samples_per_chip;
+    const std::size_t guard = static_cast<std::size_t>(64 * sps);
+    phy::SampleVec air(wave.size() + 2 * guard, phy::Sample{0.0, 0.0});
+    phy::MixInto(air, wave, guard);
+
+    if (s.rng.Bernoulli(s.params.collision_probability)) {
+      std::vector<std::uint8_t> junk(s.params.interferer_octets);
+      for (auto& b : junk) {
+        b = static_cast<std::uint8_t>(s.rng.UniformInt(256));
+      }
+      phy::SampleVec burst = s.modulator.ModulateOctets(junk);
+      phy::ApplyCarrierOffset(
+          burst, 0.0, s.rng.UniformDouble(0.0, 2.0 * std::numbers::pi));
+      const double gain =
+          std::pow(10.0, s.params.interferer_relative_db / 20.0);
+      const std::size_t span =
+          air.size() > burst.size() ? air.size() - burst.size() : 1;
+      const std::size_t offset = s.rng.UniformInt(span);
+      phy::MixInto(air, burst, offset, gain);
+    }
+
+    const double sigma = phy::NoiseSigmaForEcN0(
+        std::pow(10.0, s.params.ec_n0_db / 10.0),
+        s.params.pipeline.modem.amplitude, sps);
+    phy::AddAwgn(air, sigma, s.rng);
+
+    const auto frames = s.pipeline.Process(air);
+    for (const auto& f : frames) {
+      if (f.header.seq != header.seq || f.header.length != payload.size()) {
+        continue;
+      }
+      auto symbols = f.PayloadSymbols();
+      if (symbols.size() < nibbles) break;
+      symbols.resize(nibbles);
+      return symbols;
+    }
+    std::vector<phy::DecodedSymbol> bad(nibbles);
+    for (auto& d : bad) {
+      d.symbol = 0;
+      d.hint = std::numeric_limits<double>::infinity();
+      d.hamming_distance = phy::kChipsPerSymbol;
+    }
+    return bad;
+  };
+}
+
+// The equivalence pin (tentpole acceptance): MakeWaveformChannel — now
+// a single-listener kIndependent medium — reproduces the pre-medium
+// channel bit-for-bit across clean, noisy, and collided transmissions.
+TEST(WaveformMediumTest, SoloIndependentListenerMatchesLegacyChannel) {
+  auto params = BaseParams();
+  params.ec_n0_db = 5.0;
+  params.collision_probability = 0.6;
+  params.interferer_relative_db = 0.0;
+  params.interferer_octets = 60;
+  params.seed = 77;
+
+  const auto medium_channel = MakeWaveformChannel(params);
+  const auto legacy_channel = MakeLegacyReferenceChannel(params);
+  Rng payload(501);
+  for (int call = 0; call < 4; ++call) {
+    const BitVec body = RandomBody(payload, 120);
+    ExpectSameSymbols(medium_channel(body), legacy_channel(body));
+  }
+}
+
+// In kIndependent mode a broadcast is exactly N private channels: same
+// draws as each listener's own MakeWaveformChannel, any roster size.
+TEST(WaveformMediumTest, IndependentBroadcastMatchesPrivateChannels) {
+  auto direct = BaseParams();
+  direct.collision_probability = 0.5;
+  direct.interferer_octets = 60;
+  direct.seed = 81;
+  auto overhear = BaseParams();
+  overhear.ec_n0_db = 8.0;
+  overhear.seed = 82;
+
+  auto medium = WaveformMedium::Create(
+      arq::CollisionCorrelation::kIndependent, direct.seed);
+  medium->AddListener(ListenerFromChannelParams(direct));
+  medium->AddListener(ListenerFromChannelParams(overhear));
+
+  const auto direct_private = MakeWaveformChannel(direct);
+  const auto overhear_private = MakeWaveformChannel(overhear);
+
+  Rng payload(502);
+  const BitVec body = RandomBody(payload, 150);
+  const auto receptions = medium->Transmit({body});
+  ASSERT_EQ(receptions.size(), 2u);
+  ExpectSameSymbols(receptions[0].symbols, direct_private(body));
+  ExpectSameSymbols(receptions[1].symbols, overhear_private(body));
+}
+
+// The satellite property: under kSharedInterferer a forced collision
+// corrupts the SAME symbol span at the destination and the relay —
+// projected through each listener's geometry, so a listener where the
+// interferer arrives 20 dB down loses far less of that span.
+TEST(WaveformMediumTest, SharedInterfererCorruptsSameSpanScaledByGeometry) {
+  auto listener = BaseParams();
+  listener.ec_n0_db = 12.0;  // noise effectively off: only the burst hurts
+  listener.interferer_relative_db = 3.0;
+
+  SharedClimate climate;
+  climate.collision_probability = 1.0;  // forced collision
+  climate.interferer_octets = 50;
+
+  auto medium = WaveformMedium::Create(
+      arq::CollisionCorrelation::kSharedInterferer, /*medium_seed=*/300,
+      climate);
+  auto dest = ListenerFromChannelParams(listener);
+  dest.seed = 1;
+  auto relay = ListenerFromChannelParams(listener);
+  relay.seed = 2;
+  auto far = ListenerFromChannelParams(listener);  // far from the interferer
+  far.seed = 3;
+  far.interferer_relative_db = -20.0;
+  medium->AddListener(dest);
+  medium->AddListener(relay);
+  medium->AddListener(far);
+
+  Rng payload(503);
+  const BitVec body = RandomBody(payload, 220);
+  const auto receptions = medium->Transmit({body});
+  ASSERT_EQ(receptions.size(), 3u);
+  EXPECT_TRUE(receptions[0].collided);
+  EXPECT_TRUE(receptions[1].collided);
+  EXPECT_TRUE(receptions[2].collided);
+
+  const auto wrong_dest = WrongCodewords(body, receptions[0].symbols);
+  const auto wrong_relay = WrongCodewords(body, receptions[1].symbols);
+  const auto wrong_far = WrongCodewords(body, receptions[2].symbols);
+  ASSERT_FALSE(wrong_dest.empty());
+  ASSERT_FALSE(wrong_relay.empty());
+
+  // Same burst, same span: the corrupted windows overlap.
+  const std::size_t lo =
+      std::max(*wrong_dest.begin(), *wrong_relay.begin());
+  const std::size_t hi =
+      std::min(*wrong_dest.rbegin(), *wrong_relay.rbegin());
+  EXPECT_LE(lo, hi) << "corrupted spans do not overlap";
+
+  // Geometry scales the damage: at -20 dB the same burst costs far
+  // fewer codewords.
+  EXPECT_LT(wrong_far.size(), wrong_dest.size());
+
+  const auto& ms = medium->medium_stats();
+  EXPECT_EQ(ms.reference_collision_frames, 1u);
+  EXPECT_EQ(ms.joint_collision_frames, 1u);
+  EXPECT_EQ(ms.joint_corrupted_frames, 1u);
+}
+
+// Shared-mode draws derive from (medium seed, sender, tx index,
+// listener): adding listeners cannot change what an existing listener
+// receives.
+TEST(WaveformMediumTest, RosterSizeCannotReorderSharedDraws) {
+  auto params = BaseParams();
+  params.interferer_relative_db = 0.0;
+  SharedClimate climate;
+  climate.collision_probability = 0.7;
+  climate.interferer_octets = 40;
+
+  Rng payload(504);
+  const BitVec body = RandomBody(payload, 100);
+  const BitVec repair = RandomBody(payload, 44);
+
+  auto solo = WaveformMedium::Create(
+      arq::CollisionCorrelation::kSharedInterferer, 42, climate);
+  solo->AddListener(ListenerFromChannelParams(params));
+  const auto solo_rx = solo->Transmit({body});
+  const auto solo_repair = solo->MakeListenerChannel(0)(repair);
+
+  auto duo = WaveformMedium::Create(
+      arq::CollisionCorrelation::kSharedInterferer, 42, climate);
+  duo->AddListener(ListenerFromChannelParams(params));
+  auto other = ListenerFromChannelParams(params);
+  other.seed = 99;
+  other.gain = 0.7;
+  duo->AddListener(other);
+  const auto duo_rx = duo->Transmit({body});
+  const auto duo_repair = duo->MakeListenerChannel(0)(repair);
+
+  ExpectSameSymbols(solo_rx[0].symbols, duo_rx[0].symbols);
+  ExpectSameSymbols(solo_repair, duo_repair);
+}
+
+// Per-sender transmission counters: two senders on one medium keep
+// disjoint seed chains, and an explicit Transmission::seed override
+// reproduces a transmission exactly.
+TEST(WaveformMediumTest, SenderStreamsAndSeedOverride) {
+  auto params = BaseParams();
+  SharedClimate climate;
+  climate.collision_probability = 1.0;
+  climate.interferer_octets = 30;
+  auto medium = WaveformMedium::Create(
+      arq::CollisionCorrelation::kSharedInterferer, 17, climate);
+  medium->AddListener(ListenerFromChannelParams(params));
+
+  EXPECT_NE(medium->SeedForTransmission(0, 1),
+            medium->SeedForTransmission(1, 1));
+
+  Rng payload(505);
+  const BitVec body = RandomBody(payload, 80);
+  Transmission tx;
+  tx.body_bits = body;
+  tx.seed = medium->SeedForTransmission(0, 1);
+  const auto a = medium->Transmit(tx);
+  const auto b = medium->Transmit(tx);  // same forced seed: identical draw
+  EXPECT_EQ(a[0].collided, b[0].collided);
+  ExpectSameSymbols(a[0].symbols, b[0].symbols);
+}
+
+}  // namespace
+}  // namespace ppr::core

@@ -66,9 +66,17 @@ void ExpectSameResults(const RecoveryExperimentResult& a,
     EXPECT_EQ(a.links[i].relay_repair_bits, b.links[i].relay_repair_bits);
     EXPECT_EQ(a.links[i].feedback_bits, b.links[i].feedback_bits);
     EXPECT_EQ(a.links[i].feedback_rounds, b.links[i].feedback_rounds);
+    EXPECT_EQ(a.links[i].direct_collision_frames,
+              b.links[i].direct_collision_frames);
+    EXPECT_EQ(a.links[i].joint_collision_frames,
+              b.links[i].joint_collision_frames);
+    EXPECT_EQ(a.links[i].direct_loss_frames, b.links[i].direct_loss_frames);
+    EXPECT_EQ(a.links[i].joint_loss_frames, b.links[i].joint_loss_frames);
   }
   EXPECT_EQ(a.total_repair_bits, b.total_repair_bits);
   EXPECT_EQ(a.total_feedback_bits, b.total_feedback_bits);
+  EXPECT_EQ(a.total_joint_collision_frames, b.total_joint_collision_frames);
+  EXPECT_EQ(a.total_joint_loss_frames, b.total_joint_loss_frames);
 }
 
 // The satellite property: sharding the sweep across a thread pool must
@@ -188,6 +196,84 @@ TEST(LinkRecoveryExperimentTest, AirtimeBudgetCapsDenseRosters) {
   EXPECT_GT(dense_links, 0u);
   EXPECT_GT(binding_links, 0u);
   EXPECT_GT(deferrals, 0u);
+}
+
+// The shared-medium acceptance: under kSharedInterferer every
+// impairment burst that hits the destination's initial reception hits
+// the recruited overhearers too, so the overhear-loss-given-direct-loss
+// conditional rises to certainty while the independent leg keeps
+// coincidental overlap only — and correlated losses visibly devalue the
+// relays (fewer relay repair bits, more source repair bits, over the
+// identical links and seeds).
+TEST(LinkRecoveryExperimentTest, SharedInterfererCorrelatesOverhearLoss) {
+  auto config = SmallConfig();
+  // Rare bursts on otherwise-clean links: losses are collision-driven,
+  // so the correlation mode is what decides whether a relay's copy
+  // survives when the destination's dies.
+  config.receiver.impairment_rate = 0.002;
+  auto recovery = SmallRecovery();
+  recovery.packets_per_link = 6;
+  recovery.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  recovery.relay_min_snr_db = -10.0;
+  recovery.max_relays = 2;
+
+  recovery.correlation = arq::CollisionCorrelation::kIndependent;
+  const auto independent = RunLinkRecoveryExperiment(config, recovery);
+  recovery.correlation = arq::CollisionCorrelation::kSharedInterferer;
+  const auto shared = RunLinkRecoveryExperiment(config, recovery);
+
+  EXPECT_EQ(independent.completed, independent.packets);
+  EXPECT_EQ(shared.completed, shared.packets);
+
+  // The shared interferer is one draw per transmission: a burst at the
+  // destination IS a burst at every relay-holding listener.
+  ASSERT_GT(shared.total_direct_collision_frames, 0u);
+  EXPECT_EQ(shared.total_joint_collision_frames,
+            shared.total_direct_collision_frames);
+  ASSERT_GT(shared.total_direct_loss_frames, 0u);
+  const double shared_cond =
+      static_cast<double>(shared.total_joint_loss_frames) /
+      static_cast<double>(shared.total_direct_loss_frames);
+  const double independent_cond =
+      independent.total_direct_loss_frames == 0
+          ? 0.0
+          : static_cast<double>(independent.total_joint_loss_frames) /
+                static_cast<double>(independent.total_direct_loss_frames);
+  EXPECT_GT(shared_cond, 0.0);
+  EXPECT_GT(shared_cond, independent_cond);
+
+  // Correlated collisions are the regime where relays stop looking
+  // like free repair capacity: their copies die with the
+  // destination's, so they carry measurably less of the repair burden.
+  EXPECT_LT(shared.total_relay_repair_bits, independent.total_relay_repair_bits);
+  EXPECT_GT(shared.total_source_repair_bits,
+            independent.total_source_repair_bits);
+
+  // Per-link accessor agrees with the totals' story somewhere.
+  std::size_t correlated_links = 0;
+  for (const auto& link : shared.links) {
+    if (link.OverhearLossGivenDirectLoss() > 0.0) ++correlated_links;
+  }
+  EXPECT_GT(correlated_links, 0u);
+}
+
+// Joint-loss stats are part of the deterministic result contract:
+// identical at every thread count, in both correlation modes.
+TEST(LinkRecoveryExperimentTest, SharedModeIdenticalAtAnyThreadCount) {
+  auto config = SmallConfig();
+  config.receiver.impairment_rate = 0.002;
+  auto recovery = SmallRecovery();
+  recovery.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  recovery.relay_min_snr_db = -10.0;
+  recovery.max_relays = 2;
+  recovery.correlation = arq::CollisionCorrelation::kSharedInterferer;
+  recovery.num_threads = 1;
+  const auto serial = RunLinkRecoveryExperiment(config, recovery);
+  for (const std::size_t threads : {3u, 16u}) {
+    recovery.num_threads = threads;
+    const auto sharded = RunLinkRecoveryExperiment(config, recovery);
+    ExpectSameResults(serial, sharded);
+  }
 }
 
 // The ISSUE's reporting criterion: one call evaluates all three
