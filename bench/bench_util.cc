@@ -1,7 +1,9 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
 
 namespace ppr::bench {
 
@@ -31,8 +33,18 @@ void WriteJsonScalar(std::FILE* f, const JsonScalar& v) {
   }
 }
 
+// Fields are emitted in sorted key order (stable for duplicate keys), so
+// a report is byte-stable for a given record set no matter how the caller
+// assembled it — the same contract the obs:: exporters keep.
+JsonRecord SortedByKey(JsonRecord record) {
+  std::stable_sort(
+      record.begin(), record.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  return record;
+}
+
 void WriteJsonFields(std::FILE* f, const JsonRecord& record) {
-  for (const auto& [key, value] : record) {
+  for (const auto& [key, value] : SortedByKey(record)) {
     std::fprintf(f, ", ");
     WriteJsonString(f, key);
     std::fprintf(f, ": ");
@@ -56,8 +68,16 @@ bool WriteJsonReport(const std::string& path, const JsonRecord& header,
   WriteJsonString(f, records_key);
   std::fprintf(f, ": [");
   for (std::size_t i = 0; i < records.size(); ++i) {
-    std::fprintf(f, "%s\n  {\"index\": %zu", i ? "," : "", i);
-    WriteJsonFields(f, records[i]);
+    JsonRecord with_index = records[i];
+    with_index.emplace_back("index", static_cast<std::int64_t>(i));
+    std::fprintf(f, "%s\n  {", i ? "," : "");
+    const JsonRecord sorted = SortedByKey(std::move(with_index));
+    for (std::size_t k = 0; k < sorted.size(); ++k) {
+      if (k) std::fprintf(f, ", ");
+      WriteJsonString(f, sorted[k].first);
+      std::fprintf(f, ": ");
+      WriteJsonScalar(f, sorted[k].second);
+    }
     std::fprintf(f, "}");
   }
   std::fprintf(f, "\n]}\n");

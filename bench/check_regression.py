@@ -4,7 +4,7 @@
 Usage:
     check_regression.py CURRENT BASELINE [--symbol-bytes N]
                         [--max-regression F] [--min-speedup F]
-                        [--require-simd]
+                        [--require-simd] [--strict]
 
 CURRENT and BASELINE are bench_fec.json files produced by
 `micro_fec_bench --json <path>`. The gated metric is the dispatched-
@@ -19,7 +19,11 @@ generation differences. The build fails (exit 1) when:
     floor, or
   * --require-simd is set and the active backend is scalar (the hosted
     runner is expected to dispatch a vector kernel; losing that is
-    itself a regression).
+    itself a regression), or
+  * --strict is set and a baseline record has no matching
+    (kernel, impl, symbol_bytes[, terms]) record in CURRENT — a
+    silently dropped benchmark would otherwise shrink coverage without
+    tripping any ratio gate. Without --strict this only warns.
 
 Refreshing the baseline (after an intentional kernel change):
 
@@ -70,6 +74,27 @@ def has_impl(doc, impl, symbol_bytes):
                for rec in doc["results"])
 
 
+def record_key(rec):
+    return (rec.get("kernel"), rec.get("impl"), rec.get("symbol_bytes"),
+            rec.get("terms"))
+
+
+def describe_key(key):
+    kernel, impl, symbol_bytes, terms = key
+    desc = f"kernel={kernel} impl={impl} symbol_bytes={symbol_bytes}"
+    if terms is not None:
+        desc += f" terms={terms}"
+    return desc
+
+
+def missing_from_current(cur_doc, base_doc):
+    """Baseline record keys with no matching record in the current report."""
+    have = {record_key(rec) for rec in cur_doc["results"]}
+    return [key for key in
+            dict.fromkeys(record_key(rec) for rec in base_doc["results"])
+            if key not in have]
+
+
 def speedup(doc, path, symbol_bytes, impl=None, required=True):
     impl = impl or doc.get("active_impl", "scalar")
     scalar = axpy_mbps(doc, path, "scalar", symbol_bytes, required=required)
@@ -88,9 +113,20 @@ def main():
     parser.add_argument("--max-regression", type=float, default=0.20)
     parser.add_argument("--min-speedup", type=float, default=4.0)
     parser.add_argument("--require-simd", action="store_true")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (instead of warn) when a baseline record is missing "
+             "from the current report")
     args = parser.parse_args()
 
     cur_doc, base_doc = load(args.current), load(args.baseline)
+    failures = []
+    for key in missing_from_current(cur_doc, base_doc):
+        msg = f"baseline record missing from current report: {describe_key(key)}"
+        if args.strict:
+            failures.append(msg)
+        else:
+            print(f"warning: {msg}", file=sys.stderr)
     cur_impl, cur = speedup(cur_doc, args.current, args.symbol_bytes)
     # Compare like with like: when the baseline recorded the runner's
     # active backend, gate against that backend's ratio rather than the
@@ -110,7 +146,6 @@ def main():
     print(f"current:  {cur_impl} {cur:.2f}x scalar at "
           f"{args.symbol_bytes} B")
 
-    failures = []
     if cur_impl == "scalar":
         if args.require_simd:
             failures.append(

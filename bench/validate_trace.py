@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate the trace exports written by obs::Tracer.
+
+Usage:
+    validate_trace.py --jsonl trace.jsonl --chrome trace.json
+                      [--min-events N]
+
+Checks (both files are optional; pass what the run produced):
+
+  * JSONL: every line is a standalone JSON object with the required
+    keys (args, cat, name, ph, pid, tid, ts; dur on ph == "X"), keys in
+    sorted order (the byte-stable contract), integer timestamps.
+  * Chrome trace: the whole document parses, carries displayTimeUnit
+    and a traceEvents list, and every event has the required keys in
+    sorted order with numeric microsecond timestamps.
+  * --min-events N (default 0) fails when either export holds fewer
+    events — an instrumented run that traced nothing is itself a bug.
+    PPR_OBS_OFF builds export valid empty documents; validate those
+    with the default floor of 0.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+JSONL_REQUIRED = {"args", "cat", "name", "ph", "pid", "tid", "ts"}
+PHASES = {"X", "i"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def ordered(pairs):
+    return collections.OrderedDict(pairs)
+
+
+def check_sorted(obj, where):
+    keys = list(obj.keys())
+    if keys != sorted(keys):
+        return fail(f"{where}: keys not sorted: {keys}")
+    return 0
+
+
+def check_event(event, where, ts_type):
+    rc = check_sorted(event, where)
+    missing = JSONL_REQUIRED - set(event)
+    if missing:
+        rc |= fail(f"{where}: missing keys {sorted(missing)}")
+        return rc
+    if event["ph"] not in PHASES:
+        rc |= fail(f"{where}: unexpected phase {event['ph']!r}")
+    if event["ph"] == "X" and "dur" not in event:
+        rc |= fail(f"{where}: complete event lacks dur")
+    for key in ("ts", "dur"):
+        if key in event and not isinstance(event[key], ts_type):
+            rc |= fail(f"{where}: {key} is {type(event[key]).__name__}, "
+                       f"want {ts_type}")
+    if not isinstance(event["args"], dict):
+        rc |= fail(f"{where}: args is not an object")
+    else:
+        rc |= check_sorted(event["args"], f"{where} args")
+    return rc
+
+
+def check_jsonl(path, min_events):
+    rc = 0
+    events = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                event = json.loads(line, object_pairs_hook=ordered)
+            except json.JSONDecodeError as e:
+                rc |= fail(f"{where}: {e}")
+                continue
+            events += 1
+            # JSONL keeps integer nanoseconds.
+            rc |= check_event(event, where, int)
+    if events < min_events:
+        rc |= fail(f"{path}: {events} events, expected >= {min_events}")
+    if rc == 0:
+        print(f"{path}: {events} events OK")
+    return rc
+
+
+def check_chrome(path, min_events):
+    rc = 0
+    with open(path) as f:
+        try:
+            doc = json.load(f, object_pairs_hook=ordered)
+        except json.JSONDecodeError as e:
+            return fail(f"{path}: {e}")
+    if doc.get("displayTimeUnit") != "ms":
+        rc |= fail(f"{path}: displayTimeUnit is not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return rc | fail(f"{path}: traceEvents is not a list")
+    for i, event in enumerate(events):
+        # Chrome traces carry microseconds as decimals.
+        rc |= check_event(event, f"{path} event {i}", (int, float))
+    if len(events) < min_events:
+        rc |= fail(f"{path}: {len(events)} events, expected >= {min_events}")
+    if rc == 0:
+        print(f"{path}: {len(events)} events OK")
+    return rc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--jsonl")
+    parser.add_argument("--chrome")
+    parser.add_argument("--min-events", type=int, default=0)
+    args = parser.parse_args()
+    if not args.jsonl and not args.chrome:
+        parser.error("pass --jsonl and/or --chrome")
+    rc = 0
+    if args.jsonl:
+        rc |= check_jsonl(args.jsonl, args.min_events)
+    if args.chrome:
+        rc |= check_chrome(args.chrome, args.min_events)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

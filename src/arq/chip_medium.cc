@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace ppr::arq {
 namespace {
 
@@ -61,6 +63,23 @@ void AccumulateJointLossStats(const std::vector<ReceptionLossFlags>& receptions,
   }
   if (ref_collided && other_collided) ++medium.joint_collision_frames;
   if (ref_corrupted && other_corrupted) ++medium.joint_corrupted_frames;
+  obs::Count("medium.broadcasts");
+  if (ref_collided) obs::Count("medium.ref_collisions");
+  if (ref_corrupted) obs::Count("medium.ref_losses");
+  if (ref_collided && other_collided) obs::Count("medium.joint_collisions");
+  if (ref_corrupted && other_corrupted) {
+    obs::Count("medium.joint_losses");
+    obs::TraceInstant("medium.joint_loss", "medium", [&] {
+      return obs::TraceArgs{
+          {"listeners", static_cast<std::int64_t>(listeners.size())}};
+    });
+  } else if (ref_collided) {
+    obs::TraceInstant("medium.collision", "medium", [&] {
+      return obs::TraceArgs{
+          {"joint", (ref_collided && other_collided) ? 1 : 0},
+          {"listeners", static_cast<std::int64_t>(listeners.size())}};
+    });
+  }
 }
 
 ChipMedium::ChipMedium(const phy::ChipCodebook& codebook,
@@ -161,6 +180,8 @@ std::vector<std::vector<phy::DecodedSymbol>> ChipMedium::Broadcast(
     throw std::logic_error("ChipMedium: broadcast with no listeners");
   }
   ++tx_index_;
+  obs::Count("medium.chip.transmissions");
+  obs::Count("medium.chip.transmitted_bits", bits.size());
   std::vector<bool> shared_states;
   std::uint64_t tx_seed = 0;
   if (correlation_ == CollisionCorrelation::kSharedInterferer) {
@@ -203,6 +224,8 @@ BodyChannel ChipMedium::MakeUnicastChannel(std::size_t listener) {
   auto self = shared_from_this();
   return [self, listener](const BitVec& bits) {
     ++self->tx_index_;
+    obs::Count("medium.chip.transmissions");
+    obs::Count("medium.chip.transmitted_bits", bits.size());
     std::vector<bool> shared_states;
     std::uint64_t tx_seed = 0;
     if (self->correlation_ == CollisionCorrelation::kSharedInterferer) {

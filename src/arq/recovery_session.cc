@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace ppr::arq {
 namespace {
 
@@ -181,6 +183,12 @@ void RecoverySession::Account(const SessionMessage& msg) {
   if (msg.type == SessionMessageType::kFeedback) {
     stats_.totals.feedback_bits += msg.feedback_wire.size();
     party.feedback_bits += msg.feedback_wire.size();
+    obs::Count("arq.session.feedback_bits", msg.feedback_wire.size());
+    obs::TraceInstant("session.feedback", "arq", [&] {
+      return obs::TraceArgs{
+          {"bits", static_cast<std::int64_t>(msg.feedback_wire.size())},
+          {"from", static_cast<std::int64_t>(msg.from)}};
+    });
     return;
   }
   stats_.totals.forward_bits += msg.wire_bits;
@@ -188,9 +196,21 @@ void RecoverySession::Account(const SessionMessage& msg) {
   ++stats_.totals.data_transmissions;
   party.repair_bits += msg.wire_bits;
   ++party.repair_messages;
-  if (parties_[msg.from]->role() == PartyRole::kRelay) {
+  const bool from_relay = parties_[msg.from]->role() == PartyRole::kRelay;
+  if (from_relay) {
     round_relay_bits_ += msg.wire_bits;
   }
+  obs::Count("arq.session.repair_messages");
+  obs::Count(from_relay ? "arq.session.repair_bits.relay"
+                        : "arq.session.repair_bits.source",
+             msg.wire_bits);
+  obs::TraceInstant("session.repair", "arq", [&] {
+    return obs::TraceArgs{
+        {"bits", static_cast<std::int64_t>(msg.wire_bits)},
+        {"frames", static_cast<std::int64_t>(msg.frames.size())},
+        {"from", static_cast<std::int64_t>(msg.from)},
+        {"relay", from_relay ? 1 : 0}};
+  });
 }
 
 // Broadcast delivery order: non-relay parties in id order (the source
@@ -277,7 +297,15 @@ void RecoverySession::Deliver(const SessionMessage& msg) {
         reply.from = to;
         queue.push_back(std::move(reply));
       }
-      if (budgeted_relay && !relay_sent_repair) ++stats_.relay_deferrals;
+      if (budgeted_relay && !relay_sent_repair) {
+        ++stats_.relay_deferrals;
+        obs::Count("arq.session.relay_deferrals");
+        obs::TraceInstant("session.relay_deferral", "arq", [&] {
+          return obs::TraceArgs{
+              {"budget_left", static_cast<std::int64_t>(round_budget_left_)},
+              {"relay", static_cast<std::int64_t>(to)}};
+        });
+      }
     }
   }
 }
@@ -295,19 +323,32 @@ SessionRunStats RecoverySession::Run(std::size_t max_rounds) {
     auto opening = destination->StartRound();
     if (opening.empty()) {
       stats_.totals.success = true;
+      obs::Count("arq.session.completed");
       return stats_;
     }
     ++stats_.rounds;
     round_budget_left_ = relay_airtime_budget_;
     round_relay_bits_ = 0;
+    obs::Count("arq.session.rounds");
+    const std::uint64_t round_start_ns = obs::NowNs();
     for (auto& msg : opening) {
       msg.from = destination_id;
       Deliver(msg);
     }
+    const std::uint64_t round_ns = obs::NowNs() - round_start_ns;
+    obs::ObserveDuration("arq.session.round_ns", round_ns);
+    obs::Observe("arq.session.round_relay_bits", round_relay_bits_);
+    obs::TraceComplete("session.round", "arq", round_start_ns, round_ns, [&] {
+      return obs::TraceArgs{
+          {"relay_bits", static_cast<std::int64_t>(round_relay_bits_)},
+          {"round", static_cast<std::int64_t>(round + 1)}};
+    });
     stats_.max_round_relay_bits =
         std::max(stats_.max_round_relay_bits, round_relay_bits_);
   }
   stats_.totals.success = destination->Complete();
+  obs::Count(stats_.totals.success ? "arq.session.completed"
+                                   : "arq.session.failed");
   return stats_;
 }
 

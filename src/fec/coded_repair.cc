@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace ppr::fec {
 
 std::vector<std::vector<std::uint8_t>> BodyToSymbols(
@@ -89,7 +91,17 @@ bool CodedRepairSession::ConsumeEquation(std::vector<std::uint8_t> coefs,
   eq.evictable = evictable;
   eq.party = party;
   equations_.push_back(std::move(eq));
-  return decoder_.AddEquation(std::move(coefs), std::move(data));
+  const bool rank_up = decoder_.AddEquation(std::move(coefs), std::move(data));
+  obs::Count(party == 0 ? "fec.coded.equations.source"
+                        : "fec.coded.equations.relay");
+  if (rank_up) obs::Count("fec.coded.rank_increments");
+  obs::TraceInstant("coded.equation", "fec", [&] {
+    return obs::TraceArgs{
+        {"party", static_cast<std::int64_t>(party)},
+        {"rank", static_cast<std::int64_t>(decoder_.rank())},
+        {"rank_up", rank_up ? 1 : 0}};
+  });
+  return rank_up;
 }
 
 std::vector<std::vector<std::uint8_t>> CodedRepairSession::Decode() const {
@@ -148,6 +160,12 @@ std::size_t CodedRepairSession::EvictSuspects() {
     }
   }
   evict_batch_ *= 2;
+  obs::Count("fec.coded.evictions");
+  obs::Count("fec.coded.evicted_rows", rows);
+  obs::TraceInstant("coded.evict", "fec", [&] {
+    return obs::TraceArgs{{"candidates", static_cast<std::int64_t>(order.size())},
+                          {"rows", static_cast<std::int64_t>(rows)}};
+  });
   if (rows > 0) Rebuild();
   return rows;
 }
@@ -167,6 +185,7 @@ std::size_t CodedRepairSession::num_trusted() const {
 }
 
 void CodedRepairSession::Rebuild() {
+  obs::Count("fec.coded.rebuilds");
   decoder_ = RlncDecoder(num_source(), symbol_bytes());
   for (std::size_t i = 0; i < num_source(); ++i) {
     if (trusted_[i]) decoder_.AddSource(i, received_[i]);

@@ -369,7 +369,45 @@ Active& ActiveState() {
   return active;
 }
 
+// Per-thread, per-backend op counters: plain (non-atomic) uint64s are
+// enough because only the owning thread reads or writes them.
+#if !defined(PPR_OBS_OFF)
+
+struct GfThreadCounters {
+  std::uint64_t calls[4] = {};
+  std::uint64_t bytes[4] = {};
+};
+
+GfThreadCounters& ThreadCounters() {
+  static thread_local GfThreadCounters counters;
+  return counters;
+}
+
+inline void CountOp(GfImpl impl, std::uint64_t bytes) {
+  GfThreadCounters& c = ThreadCounters();
+  const auto i = static_cast<std::size_t>(impl);
+  ++c.calls[i];
+  c.bytes[i] += bytes;
+}
+
+#else
+
+inline void CountOp(GfImpl, std::uint64_t) {}
+
+#endif  // PPR_OBS_OFF
+
 }  // namespace
+
+GfOpStats GfThreadStatsFor(GfImpl impl) {
+#if !defined(PPR_OBS_OFF)
+  const GfThreadCounters& c = ThreadCounters();
+  const auto i = static_cast<std::size_t>(impl);
+  return {c.calls[i], c.bytes[i]};
+#else
+  (void)impl;
+  return {};
+#endif
+}
 
 std::uint8_t GfExp(unsigned power) {
   assert(power < 510);
@@ -442,6 +480,7 @@ void GfAxpy(std::span<std::uint8_t> dst, std::uint8_t coef,
   assert(dst.size() == src.size());
   const std::size_t n = std::min(dst.size(), src.size());
   if (n == 0 || coef == 0) return;
+  CountOp(ActiveState().impl, n);
   if (coef == 1) {
     XorBytes(dst.data(), src.data(), n);
     return;
@@ -452,6 +491,11 @@ void GfAxpy(std::span<std::uint8_t> dst, std::uint8_t coef,
 void GfAxpyN(std::span<std::uint8_t> dst, std::span<const GfTerm> terms) {
   const Active& active = ActiveState();
   const Backend& backend = active.backend;
+  std::uint64_t counted = 0;
+  for (const GfTerm& term : terms) {
+    if (term.coef != 0) counted += std::min(term.src.size(), dst.size());
+  }
+  if (counted > 0) CountOp(active.impl, counted);
   // Walk dst in L1-resident blocks so one repair burst streams the
   // accumulator through cache once per block rather than once per term.
   // Worth it only for the vector kernels, whose per-block table setup
@@ -477,6 +521,7 @@ void GfAxpyN(std::span<std::uint8_t> dst, std::span<const GfTerm> terms) {
 
 void GfScale(std::span<std::uint8_t> data, std::uint8_t coef) {
   if (coef == 1 || data.empty()) return;
+  CountOp(ActiveState().impl, data.size());
   if (coef == 0) {
     std::memset(data.data(), 0, data.size());
     return;

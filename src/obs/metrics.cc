@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ppr::obs {
+
+std::string CanonicalMetricKey(std::string_view name, const LabelSet& labels) {
+  if (labels.empty()) return std::string(name);
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+std::uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank over the bucketized mass; the answer is the bucket's
+  // inclusive lower bound (exact for the common power-of-two counts,
+  // within 2x otherwise — the resolution log2 buckets buy).
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * count + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::BucketLowerBound(i);
+  }
+  return max;
+}
+
+void Snapshot::Merge(const Snapshot& other) {
+  for (const auto& [key, value] : other.counters) counters[key] += value;
+  for (const auto& [key, value] : other.gauges) {
+    auto [it, inserted] = gauges.try_emplace(key, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [key, value] : other.histograms) {
+    histograms[key].Merge(value);
+  }
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendUint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Snapshot::ToJson() const {
+  // std::map iteration is already sorted; every level of the document
+  // therefore has sorted keys, which is what makes the export
+  // byte-stable and diffable.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, key);
+    out += ':';
+    AppendUint(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, key);
+    out += ':';
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, key);
+    out += ":{\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ',';
+      AppendUint(out, h.buckets[i]);
+    }
+    out += "],\"count\":";
+    AppendUint(out, h.count);
+    out += ",\"max\":";
+    AppendUint(out, h.max);
+    out += ",\"min\":";
+    AppendUint(out, h.min);
+    out += ",\"sum\":";
+    AppendUint(out, h.sum);
+    out += '}';
+  }
+  out += "},\"schema\":1}";
+  return out;
+}
+
+#if !defined(PPR_OBS_OFF)
+
+MetricRegistry::Shard& MetricRegistry::ShardForThisThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& shard = shards_[std::this_thread::get_id()];
+  if (!shard) shard = std::make_unique<Shard>();
+  return *shard;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name,
+                                    const LabelSet& labels) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = shard.counters[CanonicalMetricKey(name, labels)];
+  if (!cell) cell = std::make_unique<Counter>();
+  return cell.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name, const LabelSet& labels) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = shard.gauges[CanonicalMetricKey(name, labels)];
+  if (!cell) cell = std::make_unique<Gauge>();
+  return cell.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        const LabelSet& labels) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = shard.histograms[CanonicalMetricKey(name, labels)];
+  if (!cell) cell = std::make_unique<Histogram>();
+  return cell.get();
+}
+
+Snapshot MetricRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [tid, shard] : shards_) {
+    for (const auto& [key, cell] : shard->counters) {
+      snap.counters[key] += cell->value();
+    }
+    for (const auto& [key, cell] : shard->gauges) {
+      auto [it, inserted] = snap.gauges.try_emplace(key, cell->value());
+      if (!inserted) it->second = std::max(it->second, cell->value());
+    }
+    for (const auto& [key, cell] : shard->histograms) {
+      HistogramSnapshot h;
+      if (cell->count() > 0) {
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (cell->bucket(i) > 0) last = i + 1;
+        }
+        h.buckets.resize(last);
+        for (std::size_t i = 0; i < last; ++i) h.buckets[i] = cell->bucket(i);
+        h.count = cell->count();
+        h.sum = cell->sum();
+        h.min = cell->min();
+        h.max = cell->max();
+      }
+      // operator[] registers the key even when this shard's cell is
+      // still empty, so exports list every histogram ever resolved.
+      snap.histograms[key].Merge(h);
+    }
+  }
+  return snap;
+}
+
+#else  // PPR_OBS_OFF: no storage; Get* hands out shared dummy cells.
+
+Counter* MetricRegistry::GetCounter(std::string_view, const LabelSet&) {
+  static Counter dummy;
+  return &dummy;
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view, const LabelSet&) {
+  static Gauge dummy;
+  return &dummy;
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view, const LabelSet&) {
+  static Histogram dummy;
+  return &dummy;
+}
+
+Snapshot MetricRegistry::TakeSnapshot() const { return {}; }
+
+#endif  // PPR_OBS_OFF
+
+}  // namespace ppr::obs

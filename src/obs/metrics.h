@@ -1,0 +1,233 @@
+// Metrics core of the observability subsystem: labeled counters,
+// gauges, and bounded log2-bucket histograms behind a MetricRegistry
+// with per-thread shards.
+//
+// Design constraints, in order:
+//
+//   * Deterministic aggregation. A registry's TakeSnapshot() merges its
+//     shards into one sorted map; because counter and histogram merges
+//     are commutative sums, the merged snapshot is invariant to how
+//     work was split across threads. sim::RunLinkRecoveryExperiment
+//     leans on this: per-link registries merge into one experiment
+//     snapshot that is byte-identical at any thread count.
+//   * Bounded memory. A histogram is 64 log2 buckets plus count / sum /
+//     min / max, regardless of how many samples it absorbs — a sweep
+//     can stream millions of rounds through one without O(rounds)
+//     retention.
+//   * Cheap hot path. Get*() resolves a cell once (mutex + map lookup);
+//     the returned pointer's Add()/Record() is a handful of relaxed
+//     atomic ops on a cell only this thread writes (shards are keyed by
+//     thread id). Cache the pointer where the call site is hot.
+//   * Compile-out. Under PPR_OBS_OFF every mutator is an empty inline
+//     and registries hold no storage; the API keeps its shape so call
+//     sites build unchanged.
+//
+// Label sets are canonicalized into the metric key as
+// "name{k1=v1,k2=v2}" with keys sorted, so exports are byte-stable
+// regardless of construction order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ppr::obs {
+
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+// "name" or "name{k1=v1,k2=v2}" with label keys sorted.
+std::string CanonicalMetricKey(std::string_view name, const LabelSet& labels);
+
+// A monotonically increasing count. Cells live in a registry shard
+// written by one thread; Add() is a relaxed store so a concurrent
+// TakeSnapshot() reads a consistent (if slightly stale) value.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+#if !defined(PPR_OBS_OFF)
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  std::uint64_t value() const {
+#if !defined(PPR_OBS_OFF)
+    return v_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+ private:
+#if !defined(PPR_OBS_OFF)
+  std::atomic<std::uint64_t> v_{0};
+#endif
+};
+
+// A point-in-time value (e.g. a configuration knob or high-water mark).
+// Merging snapshots takes the max, the only commutative choice that is
+// also useful for high-water readings.
+class Gauge {
+ public:
+  void Set(double v) {
+#if !defined(PPR_OBS_OFF)
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  double value() const {
+#if !defined(PPR_OBS_OFF)
+    return v_.load(std::memory_order_relaxed);
+#else
+    return 0.0;
+#endif
+  }
+
+ private:
+#if !defined(PPR_OBS_OFF)
+  std::atomic<double> v_{0.0};
+#endif
+};
+
+// Bounded log2-bucket histogram over non-negative integer samples
+// (bit counts, nanoseconds, ranks). Bucket 0 holds v == 0; bucket i
+// (i >= 1) holds 2^(i-1) <= v < 2^i; the last bucket absorbs the tail.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  static std::size_t BucketIndex(std::uint64_t v) {
+    if (v == 0) return 0;
+    const std::size_t idx = 64 - static_cast<std::size_t>(__builtin_clzll(v));
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+  // Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t BucketLowerBound(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void Record(std::uint64_t v) {
+#if !defined(PPR_OBS_OFF)
+    const auto relaxed = std::memory_order_relaxed;
+    auto& bucket = buckets_[BucketIndex(v)];
+    bucket.store(bucket.load(relaxed) + 1, relaxed);
+    count_.store(count_.load(relaxed) + 1, relaxed);
+    sum_.store(sum_.load(relaxed) + v, relaxed);
+    if (count_.load(relaxed) == 1 || v < min_.load(relaxed)) {
+      min_.store(v, relaxed);
+    }
+    if (v > max_.load(relaxed)) max_.store(v, relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  std::uint64_t count() const {
+#if !defined(PPR_OBS_OFF)
+    return count_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+#if !defined(PPR_OBS_OFF)
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+#else
+  std::uint64_t bucket(std::size_t) const { return 0; }
+  std::uint64_t sum() const { return 0; }
+  std::uint64_t min() const { return 0; }
+  std::uint64_t max() const { return 0; }
+#endif
+
+ private:
+#if !defined(PPR_OBS_OFF)
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{0};
+  std::atomic<std::uint64_t> max_{0};
+#endif
+};
+
+struct HistogramSnapshot {
+  // Trailing zero buckets trimmed; buckets[i] follows
+  // Histogram::BucketIndex.
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  void Merge(const HistogramSnapshot& other);
+  // Nearest-bucket-lower-bound quantile; q in [0, 1].
+  std::uint64_t Quantile(double q) const;
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+// A registry's merged, sorted state: the unit of aggregation for sim
+// sweeps (per-link snapshots merge into the experiment result) and the
+// export surface (sorted keys make the JSON byte-stable).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Counters and histograms sum; gauges take the max.
+  void Merge(const Snapshot& other);
+  // One-line JSON with sorted keys at every level.
+  std::string ToJson() const;
+  bool Empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  bool operator==(const Snapshot&) const = default;
+};
+
+// Registry of labeled metrics, sharded per accessing thread: Get*()
+// returns this thread's cell for the key, so writers never contend and
+// TakeSnapshot() merges shards without stopping them. Cell pointers
+// stay valid for the registry's lifetime (and remain single-thread
+// write-owned; don't share one across threads).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, const LabelSet& labels = {});
+  Gauge* GetGauge(std::string_view name, const LabelSet& labels = {});
+  Histogram* GetHistogram(std::string_view name, const LabelSet& labels = {});
+
+  // Merged across shards, sorted by key; empty under PPR_OBS_OFF.
+  Snapshot TakeSnapshot() const;
+
+ private:
+#if !defined(PPR_OBS_OFF)
+  struct Shard {
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& ShardForThisThread();
+
+  mutable std::mutex mu_;
+  std::map<std::thread::id, std::unique_ptr<Shard>> shards_;
+#endif
+};
+
+}  // namespace ppr::obs

@@ -1,0 +1,14 @@
+#include "obs/obs.h"
+
+namespace ppr::obs {
+
+#if !defined(PPR_OBS_OFF)
+
+ObsContext& MutableContext() {
+  static thread_local ObsContext ctx;
+  return ctx;
+}
+
+#endif
+
+}  // namespace ppr::obs

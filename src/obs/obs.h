@@ -1,0 +1,195 @@
+// Observability context: which MetricRegistry and Tracer the
+// instrumentation hooks in arq/, fec/, ppr/, and sim/ write to.
+//
+// The context is thread-local and scoped (ScopedObsContext), so a
+// caller wires a whole call tree without threading pointers through
+// every layer: sim::RunLinkRecoveryExperiment scopes one registry per
+// link around the link's sessions, media, and decoders; the traced
+// example scopes one registry + tracer around a whole recovery. With
+// no context installed (the default), every hook is a thread-local
+// load and a null check.
+//
+// `record_timings` exists because wall-clock latencies are not
+// deterministic: the sim sweep disables them so its merged per-link
+// snapshots stay byte-identical across thread counts, while
+// interactive traces keep them on.
+//
+// Under PPR_OBS_OFF every helper here is an empty inline — the
+// compile-out path that reduces each hook to nothing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppr::obs {
+
+struct ObsContext {
+  MetricRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  bool record_timings = true;
+};
+
+#if !defined(PPR_OBS_OFF)
+
+// The calling thread's live context (defined in obs.cc).
+ObsContext& MutableContext();
+
+inline MetricRegistry* CurrentMetrics() { return MutableContext().metrics; }
+inline Tracer* CurrentTracer() { return MutableContext().tracer; }
+inline bool TimingsEnabled() {
+  const ObsContext& ctx = MutableContext();
+  return ctx.metrics != nullptr && ctx.record_timings;
+}
+
+#else
+
+inline MetricRegistry* CurrentMetrics() { return nullptr; }
+inline Tracer* CurrentTracer() { return nullptr; }
+inline bool TimingsEnabled() { return false; }
+
+#endif
+
+// RAII install/restore of the calling thread's context.
+class ScopedObsContext {
+ public:
+#if !defined(PPR_OBS_OFF)
+  explicit ScopedObsContext(ObsContext ctx) : saved_(MutableContext()) {
+    MutableContext() = ctx;
+  }
+  ~ScopedObsContext() { MutableContext() = saved_; }
+#else
+  explicit ScopedObsContext(ObsContext) {}
+#endif
+  ScopedObsContext(MetricRegistry* metrics, Tracer* tracer = nullptr,
+                   bool record_timings = true)
+      : ScopedObsContext(ObsContext{metrics, tracer, record_timings}) {}
+  ScopedObsContext(const ScopedObsContext&) = delete;
+  ScopedObsContext& operator=(const ScopedObsContext&) = delete;
+
+ private:
+#if !defined(PPR_OBS_OFF)
+  ObsContext saved_;
+#endif
+};
+
+// ------------------------------------------------- null-safe hook API
+// The instrumentation call sites use these; each is a no-op when the
+// relevant context half is absent (and an empty inline under
+// PPR_OBS_OFF). Sites hot enough to care cache the Get* cell pointer
+// instead.
+
+inline void Count(std::string_view name, std::uint64_t n = 1) {
+#if !defined(PPR_OBS_OFF)
+  if (MetricRegistry* m = CurrentMetrics()) m->GetCounter(name)->Add(n);
+#else
+  (void)name;
+  (void)n;
+#endif
+}
+
+inline void CountLabeled(std::string_view name, const LabelSet& labels,
+                         std::uint64_t n = 1) {
+#if !defined(PPR_OBS_OFF)
+  if (MetricRegistry* m = CurrentMetrics()) m->GetCounter(name, labels)->Add(n);
+#else
+  (void)name;
+  (void)labels;
+  (void)n;
+#endif
+}
+
+inline void Observe(std::string_view name, std::uint64_t value) {
+#if !defined(PPR_OBS_OFF)
+  if (MetricRegistry* m = CurrentMetrics()) {
+    m->GetHistogram(name)->Record(value);
+  }
+#else
+  (void)name;
+  (void)value;
+#endif
+}
+
+// Latency histograms only land when the context records timings (see
+// the header comment on determinism).
+inline void ObserveDuration(std::string_view name, std::uint64_t ns) {
+#if !defined(PPR_OBS_OFF)
+  if (TimingsEnabled()) CurrentMetrics()->GetHistogram(name)->Record(ns);
+#else
+  (void)name;
+  (void)ns;
+#endif
+}
+
+inline void TraceInstant(std::string_view name, std::string_view category,
+                         TraceArgs args = {}) {
+#if !defined(PPR_OBS_OFF)
+  if (Tracer* t = CurrentTracer()) {
+    t->Instant(std::string(name), std::string(category), std::move(args));
+  }
+#else
+  (void)name;
+  (void)category;
+  (void)args;
+#endif
+}
+
+// Lazy-args form for hot paths: the callable producing the TraceArgs
+// only runs when a tracer is installed, so a quiescent hook never
+// allocates the args vector.
+template <typename ArgsFn>
+  requires std::is_invocable_r_v<TraceArgs, ArgsFn&>
+inline void TraceInstant(std::string_view name, std::string_view category,
+                         ArgsFn&& args_fn) {
+#if !defined(PPR_OBS_OFF)
+  if (Tracer* t = CurrentTracer()) {
+    t->Instant(std::string(name), std::string(category), args_fn());
+  }
+#else
+  (void)name;
+  (void)category;
+  (void)args_fn;
+#endif
+}
+
+inline void TraceComplete(std::string_view name, std::string_view category,
+                          std::uint64_t ts_ns, std::uint64_t dur_ns,
+                          TraceArgs args = {}) {
+#if !defined(PPR_OBS_OFF)
+  if (Tracer* t = CurrentTracer()) {
+    t->Complete(std::string(name), std::string(category), ts_ns, dur_ns,
+                std::move(args));
+  }
+#else
+  (void)name;
+  (void)category;
+  (void)ts_ns;
+  (void)dur_ns;
+  (void)args;
+#endif
+}
+
+template <typename ArgsFn>
+  requires std::is_invocable_r_v<TraceArgs, ArgsFn&>
+inline void TraceComplete(std::string_view name, std::string_view category,
+                          std::uint64_t ts_ns, std::uint64_t dur_ns,
+                          ArgsFn&& args_fn) {
+#if !defined(PPR_OBS_OFF)
+  if (Tracer* t = CurrentTracer()) {
+    t->Complete(std::string(name), std::string(category), ts_ns, dur_ns,
+                args_fn());
+  }
+#else
+  (void)name;
+  (void)category;
+  (void)ts_ns;
+  (void)dur_ns;
+  (void)args_fn;
+#endif
+}
+
+}  // namespace ppr::obs

@@ -1,0 +1,188 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ppr::obs {
+
+#if !defined(PPR_OBS_OFF)
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t ThreadTraceId() {
+  static std::atomic<std::uint32_t> next{0};
+  static thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::Emit(TraceEvent event) {
+  if (capacity_ == 0) return;
+  if (event.ts_ns == 0) event.ts_ns = NowNs();
+  if (event.tid == 0) event.tid = ThreadTraceId() + 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+#else  // PPR_OBS_OFF
+
+std::uint64_t NowNs() { return 0; }
+std::uint32_t ThreadTraceId() { return 0; }
+void Tracer::Emit(TraceEvent) {}
+std::size_t Tracer::size() const { return 0; }
+std::uint64_t Tracer::dropped() const { return 0; }
+std::vector<TraceEvent> Tracer::Events() const { return {}; }
+
+#endif  // PPR_OBS_OFF
+
+void Tracer::Instant(std::string name, std::string category, TraceArgs args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.args = std::move(args);
+  Emit(std::move(event));
+}
+
+void Tracer::Complete(std::string name, std::string category,
+                      std::uint64_t ts_ns, std::uint64_t dur_ns,
+                      TraceArgs args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.args = std::move(args);
+  Emit(std::move(event));
+}
+
+namespace {
+
+void WriteJsonString(std::FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fprintf(f, "\\%c", c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", static_cast<unsigned>(c));
+    } else {
+      std::fputc(c, f);
+    }
+  }
+  std::fputc('"', f);
+}
+
+// Args object with sorted keys.
+void WriteArgs(std::FILE* f, const TraceArgs& args) {
+  TraceArgs sorted = args;
+  std::sort(sorted.begin(), sorted.end());
+  std::fputc('{', f);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) std::fputc(',', f);
+    WriteJsonString(f, sorted[i].first);
+    std::fprintf(f, ":%" PRId64, sorted[i].second);
+  }
+  std::fputc('}', f);
+}
+
+// One event object; keys in sorted order (args, cat, dur, name, ph,
+// pid, tid, ts). `scale_to_us` switches timestamps to the microsecond
+// doubles the Chrome format expects; JSONL keeps integer nanoseconds.
+void WriteEvent(std::FILE* f, const TraceEvent& event, bool scale_to_us) {
+  std::fprintf(f, "{\"args\":");
+  WriteArgs(f, event.args);
+  std::fprintf(f, ",\"cat\":");
+  WriteJsonString(f, event.category);
+  if (event.phase == 'X') {
+    if (scale_to_us) {
+      std::fprintf(f, ",\"dur\":%.3f",
+                   static_cast<double>(event.dur_ns) / 1000.0);
+    } else {
+      std::fprintf(f, ",\"dur\":%" PRIu64, event.dur_ns);
+    }
+  }
+  std::fprintf(f, ",\"name\":");
+  WriteJsonString(f, event.name);
+  std::fprintf(f, ",\"ph\":\"%c\",\"pid\":1,\"tid\":%u,", event.phase,
+               event.tid);
+  if (scale_to_us) {
+    std::fprintf(f, "\"ts\":%.3f", static_cast<double>(event.ts_ns) / 1000.0);
+  } else {
+    std::fprintf(f, "\"ts\":%" PRIu64, event.ts_ns);
+  }
+  std::fputc('}', f);
+}
+
+}  // namespace
+
+bool Tracer::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "Tracer::WriteJsonl: cannot open %s\n", path.c_str());
+    return false;
+  }
+  for (const TraceEvent& event : Events()) {
+    WriteEvent(f, event, /*scale_to_us=*/false);
+    std::fputc('\n', f);
+  }
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "Tracer::WriteJsonl: write failed: %s\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "Tracer::WriteChromeTrace: cannot open %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  for (const TraceEvent& event : Events()) {
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fputc('\n', f);
+    WriteEvent(f, event, /*scale_to_us=*/true);
+  }
+  std::fprintf(f, "\n]}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "Tracer::WriteChromeTrace: write failed: %s\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace ppr::obs

@@ -1,0 +1,156 @@
+// Structured session tracing: a bounded ring of typed TraceEvents with
+// JSONL and Chrome-trace (chrome://tracing / Perfetto) exporters.
+//
+// Instrumented layers emit events through the thread-local context
+// (obs/obs.h): session round start/end, feedback decode, repair
+// bursts, equation consume/evict, medium transmissions and collisions.
+// The ring has fixed capacity — when it fills, the oldest events are
+// overwritten and dropped() counts what was lost, so a tracer can stay
+// attached to a long sweep without unbounded retention.
+//
+// Exports use sorted keys within every JSON object, making the files
+// byte-stable for a given event sequence and machine-checkable in CI
+// (bench/validate_trace.py).
+//
+// Under PPR_OBS_OFF, Emit() and the ScopedTimer are no-ops; the
+// exporters still write valid (empty) documents.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ppr::obs {
+
+// Monotonic nanoseconds (steady clock); 0 under PPR_OBS_OFF.
+std::uint64_t NowNs();
+
+// Small dense id for the calling thread (0, 1, 2, ... in first-use
+// order) — what the Chrome trace uses as its tid.
+std::uint32_t ThreadTraceId();
+
+using TraceArgs = std::vector<std::pair<std::string, std::int64_t>>;
+
+struct TraceEvent {
+  std::string name;       // e.g. "session.round"
+  std::string category;   // e.g. "arq", "fec", "medium"
+  char phase = 'i';       // 'X' complete (ts + dur), 'i' instant
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  // 'X' only
+  std::uint32_t tid = 0;
+  TraceArgs args;         // exported with sorted keys
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Appends an event, evicting the oldest when the ring is full.
+  // Thread-safe. ts/tid default to now / the calling thread when left
+  // zero.
+  void Emit(TraceEvent event);
+
+  void Instant(std::string name, std::string category, TraceArgs args = {});
+  void Complete(std::string name, std::string category, std::uint64_t ts_ns,
+                std::uint64_t dur_ns, TraceArgs args = {});
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  std::vector<TraceEvent> Events() const;  // oldest first
+
+  // One event per line: {"args":{...},"cat":...,"dur":...,"name":...,
+  // "ph":...,"tid":...,"ts":...} — keys sorted. Returns false (with a
+  // note on stderr) when the file cannot be written.
+  bool WriteJsonl(const std::string& path) const;
+
+  // The Chrome trace-event format: {"displayTimeUnit":"ms",
+  // "traceEvents":[...]} with microsecond timestamps, loadable in
+  // chrome://tracing and Perfetto.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+#if !defined(PPR_OBS_OFF)
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> ring_;
+  std::uint64_t dropped_ = 0;
+#endif
+};
+
+// RAII timer: on destruction records the elapsed nanoseconds into
+// `latency` (when non-null) and emits a Complete event to `tracer`
+// (when non-null). The histogram pointer comes from a MetricRegistry,
+// so the same scope feeds both the latency distribution and the trace
+// timeline. With both sinks null the timer never reads the clock, and
+// the lazy-args constructor never runs its callable — a quiescent
+// instrumented scope costs two null stores.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram* latency, Tracer* tracer = nullptr,
+              std::string name = {}, std::string category = {},
+              TraceArgs args = {})
+#if !defined(PPR_OBS_OFF)
+      : latency_(latency),
+        tracer_(tracer),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        args_(std::move(args)),
+        start_ns_(latency || tracer ? NowNs() : 0) {
+  }
+#else
+  {
+    (void)latency;
+    (void)tracer;
+    (void)name;
+    (void)category;
+    (void)args;
+  }
+#endif
+
+  // Hot-path form: the name/category strings and args vector are only
+  // materialized when a tracer will consume them.
+  template <typename ArgsFn>
+    requires std::is_invocable_r_v<TraceArgs, ArgsFn&>
+  ScopedTimer(Histogram* latency, Tracer* tracer, std::string_view name,
+              std::string_view category, ArgsFn&& args_fn)
+      : ScopedTimer(latency, tracer,
+                    tracer ? std::string(name) : std::string(),
+                    tracer ? std::string(category) : std::string(),
+                    tracer ? args_fn() : TraceArgs{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+#if !defined(PPR_OBS_OFF)
+    if (latency_ == nullptr && tracer_ == nullptr) return;
+    const std::uint64_t dur = NowNs() - start_ns_;
+    if (latency_) latency_->Record(dur);
+    if (tracer_) {
+      tracer_->Complete(std::move(name_), std::move(category_), start_ns_, dur,
+                        std::move(args_));
+    }
+#endif
+  }
+
+ private:
+#if !defined(PPR_OBS_OFF)
+  Histogram* latency_;
+  Tracer* tracer_;
+  std::string name_;
+  std::string category_;
+  TraceArgs args_;
+  std::uint64_t start_ns_;
+#endif
+};
+
+}  // namespace ppr::obs

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "phy/channel.h"
 #include "ppr/link.h"
 
@@ -185,6 +186,18 @@ std::vector<WaveformMedium::Reception> WaveformMedium::TransmitImpl(
   }
   if (tx_index_.size() <= sender) tx_index_.resize(sender + 1, 0);
   const std::uint64_t tx_index = ++tx_index_[sender];
+  obs::Count("medium.waveform.transmissions");
+  obs::Count("medium.waveform.transmitted_bits", bits.size());
+  obs::ScopedTimer tx_timer(
+      obs::TimingsEnabled()
+          ? obs::CurrentMetrics()->GetHistogram("medium.waveform.tx_ns")
+          : nullptr,
+      obs::CurrentTracer(), "medium.tx", "medium", [&] {
+        return obs::TraceArgs{
+            {"bits", static_cast<std::int64_t>(bits.size())},
+            {"sender", static_cast<std::int64_t>(sender)},
+            {"unicast", only.has_value() ? 1 : 0}};
+      });
 
   // Pad the body to whole octets for framing.
   BitVec padded = bits;

@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cmath>
@@ -12,6 +13,8 @@
 #include "arq/chip_medium.h"
 #include "arq/link_sim.h"
 #include "arq/recovery_session.h"
+#include "fec/gf256.h"
+#include "obs/obs.h"
 #include "phy/channel.h"
 
 namespace ppr::sim {
@@ -151,7 +154,22 @@ struct LinkJob {
 LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
                              const RecoveryExperimentConfig& recovery,
                              const arq::RecoveryStrategy& fallback,
-                             const phy::ChipCodebook& codebook, LinkJob job) {
+                             const phy::ChipCodebook& codebook, LinkJob job,
+                             obs::Snapshot* metrics) {
+  // Everything this link runs — sessions, chip medium, coded repair —
+  // records into a registry private to the link; wall-clock timings are
+  // excluded so the snapshot depends only on the link's (deterministic)
+  // work, not on scheduling. GF(256) kernel work is attributed via
+  // before/after thread-local deltas: only this link runs on this
+  // thread in between.
+  obs::MetricRegistry registry;
+  obs::ScopedObsContext obs_scope(&registry, /*tracer=*/nullptr,
+                                  /*record_timings=*/false);
+  std::array<fec::GfOpStats, 4> gf_before;
+  const auto gf_impls = fec::GfAvailableImpls();
+  for (const fec::GfImpl impl : gf_impls) {
+    gf_before[static_cast<std::size_t>(impl)] = fec::GfThreadStatsFor(impl);
+  }
   LinkRecoveryStats link;
   link.sender = job.sender;
   link.receiver = job.receiver;
@@ -240,6 +258,16 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
     link.direct_loss_frames = ms.reference_corrupted_frames;
     link.joint_loss_frames = ms.joint_corrupted_frames;
   }
+  for (const fec::GfImpl impl : gf_impls) {
+    const fec::GfOpStats delta =
+        fec::GfThreadStatsFor(impl) - gf_before[static_cast<std::size_t>(impl)];
+    if (delta.calls == 0) continue;
+    const obs::LabelSet labels = {
+        {"impl", std::string(fec::GfImplName(impl))}};
+    registry.GetCounter("fec.gf256.calls", labels)->Add(delta.calls);
+    registry.GetCounter("fec.gf256.bytes", labels)->Add(delta.bytes);
+  }
+  if (metrics) *metrics = registry.TakeSnapshot();
   return link;
 }
 
@@ -297,6 +325,7 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
   // Parallel pass: links are independent; workers pull job indices and
   // write disjoint result slots.
   std::vector<LinkRecoveryStats> links(jobs.size());
+  std::vector<obs::Snapshot> link_metrics(jobs.size());
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t num_threads = std::max<std::size_t>(
       1, std::min(jobs.size(),
@@ -306,7 +335,8 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
   const auto worker = [&] {
     for (std::size_t j = next.fetch_add(1); j < jobs.size();
          j = next.fetch_add(1)) {
-      links[j] = RunOneLink(config, recovery, *fallback, codebook, jobs[j]);
+      links[j] = RunOneLink(config, recovery, *fallback, codebook, jobs[j],
+                            &link_metrics[j]);
     }
   };
   if (num_threads == 1) {
@@ -320,6 +350,9 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
 
   RecoveryExperimentResult result;
   result.links = std::move(links);
+  // Merge per-link snapshots in link (job) order — independent of which
+  // worker ran which link, so the merged snapshot is thread-invariant.
+  for (const auto& snap : link_metrics) result.metrics.Merge(snap);
   for (const auto& link : result.links) {
     result.packets += link.packets;
     result.completed += link.completed;

@@ -10,6 +10,7 @@
 
 #include "arq/link_sim.h"
 #include "arq/pp_arq.h"
+#include "obs/metrics.h"
 #include "sim/delivery.h"
 #include "sim/medium.h"
 #include "sim/receiver_model.h"
@@ -193,6 +194,11 @@ struct RecoveryExperimentResult {
   std::size_t total_joint_collision_frames = 0;
   std::size_t total_direct_loss_frames = 0;
   std::size_t total_joint_loss_frames = 0;
+  // Per-link obs::MetricRegistry snapshots (sessions, coded repair,
+  // medium, GF(256) backend bytes), merged in link order. Per-link
+  // work is deterministic and wall-clock timings are excluded, so this
+  // is byte-identical at every num_threads. Empty under PPR_OBS_OFF.
+  obs::Snapshot metrics;
 };
 
 RecoveryExperimentResult RunLinkRecoveryExperiment(

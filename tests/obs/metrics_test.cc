@@ -1,0 +1,166 @@
+// Metrics core: canonical keys, log2 bucketing, registry sharding,
+// deterministic merge semantics, and byte-stable JSON. The suite also
+// builds (with inverted expectations where noted) under PPR_OBS_OFF,
+// proving the compile-out path keeps the API shape.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ppr::obs {
+namespace {
+
+TEST(CanonicalMetricKeyTest, SortsLabelsAndFormatsBraces) {
+  EXPECT_EQ(CanonicalMetricKey("plain", {}), "plain");
+  EXPECT_EQ(CanonicalMetricKey("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+  // Construction order cannot change the key.
+  EXPECT_EQ(CanonicalMetricKey("m", {{"a", "1"}, {"b", "2"}}),
+            CanonicalMetricKey("m", {{"b", "2"}, {"a", "1"}}));
+}
+
+TEST(HistogramTest, BucketIndexEdges) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // The top bucket absorbs the tail.
+  EXPECT_EQ(Histogram::BucketIndex(~std::uint64_t{0}), 63u);
+  // Every bucket's lower bound lands back in that bucket.
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i) << i;
+  }
+}
+
+TEST(MetricRegistryTest, CountersGaugesHistograms) {
+  MetricRegistry registry;
+  registry.GetCounter("c")->Add(3);
+  registry.GetCounter("c")->Add();
+  registry.GetCounter("c", {{"k", "v"}})->Add(10);
+  registry.GetGauge("g")->Set(2.5);
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(0);
+  h->Record(5);
+  h->Record(9);
+  const Snapshot snap = registry.TakeSnapshot();
+#if !defined(PPR_OBS_OFF)
+  EXPECT_EQ(snap.counters.at("c"), 4u);
+  EXPECT_EQ(snap.counters.at("c{k=v}"), 10u);
+  EXPECT_EQ(snap.gauges.at("g"), 2.5);
+  const HistogramSnapshot& hs = snap.histograms.at("h");
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_EQ(hs.sum, 14u);
+  EXPECT_EQ(hs.min, 0u);
+  EXPECT_EQ(hs.max, 9u);
+  // 0 -> bucket 0; 5 -> bucket 3 [4,8); 9 -> bucket 4 [8,16); trailing
+  // zeros trimmed.
+  const std::vector<std::uint64_t> want = {1, 0, 0, 1, 1};
+  EXPECT_EQ(hs.buckets, want);
+  EXPECT_FALSE(snap.Empty());
+#else
+  // Compile-out: mutators are no-ops and registries hold nothing.
+  EXPECT_TRUE(snap.Empty());
+  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
+#endif
+}
+
+#if !defined(PPR_OBS_OFF)
+
+TEST(MetricRegistryTest, ShardsMergeAcrossThreads) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry] {
+      // Each thread resolves its own cell for the same key.
+      Counter* c = registry.GetCounter("shared");
+      Histogram* h = registry.GetHistogram("lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add();
+        h->Record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("shared"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.histograms.at("lat").count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.histograms.at("lat").min, 0u);
+  EXPECT_EQ(snap.histograms.at("lat").max,
+            static_cast<std::uint64_t>(kPerThread - 1));
+}
+
+TEST(SnapshotTest, MergeIsCommutative) {
+  MetricRegistry ra;
+  ra.GetCounter("c")->Add(1);
+  ra.GetCounter("only_a")->Add(7);
+  ra.GetGauge("g")->Set(1.0);
+  ra.GetHistogram("h")->Record(3);
+  MetricRegistry rb;
+  rb.GetCounter("c")->Add(2);
+  rb.GetGauge("g")->Set(4.0);
+  rb.GetHistogram("h")->Record(100);
+  rb.GetHistogram("only_b")->Record(1);
+
+  Snapshot ab = ra.TakeSnapshot();
+  ab.Merge(rb.TakeSnapshot());
+  Snapshot ba = rb.TakeSnapshot();
+  ba.Merge(ra.TakeSnapshot());
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.ToJson(), ba.ToJson());
+  EXPECT_EQ(ab.counters.at("c"), 3u);
+  EXPECT_EQ(ab.counters.at("only_a"), 7u);
+  EXPECT_EQ(ab.gauges.at("g"), 4.0);  // gauges merge by max
+  EXPECT_EQ(ab.histograms.at("h").count, 2u);
+  EXPECT_EQ(ab.histograms.at("h").min, 3u);
+  EXPECT_EQ(ab.histograms.at("h").max, 100u);
+  EXPECT_EQ(ab.histograms.at("h").sum, 103u);
+}
+
+TEST(SnapshotTest, QuantileUsesBucketLowerBounds) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  // 50 samples in [16,32) and 50 in [1024,2048).
+  for (int i = 0; i < 50; ++i) h->Record(20);
+  for (int i = 0; i < 50; ++i) h->Record(1500);
+  const HistogramSnapshot hs = registry.TakeSnapshot().histograms.at("h");
+  EXPECT_EQ(hs.Quantile(0.25), 16u);
+  EXPECT_EQ(hs.Quantile(0.99), 1024u);
+  EXPECT_EQ(hs.Quantile(0.0), 16u);
+}
+
+TEST(SnapshotTest, ToJsonIsSortedAndByteStable) {
+  MetricRegistry registry;
+  // Register in anti-sorted order; the export must not care.
+  registry.GetCounter("z")->Add(26);
+  registry.GetCounter("a", {{"x", "1"}})->Add(1);
+  registry.GetGauge("mid")->Set(0.5);
+  registry.GetHistogram("h")->Record(2);
+  const std::string json = registry.TakeSnapshot().ToJson();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a{x=1}\":1,\"z\":26},"
+            "\"gauges\":{\"mid\":0.5},"
+            "\"histograms\":{\"h\":{\"buckets\":[0,0,1],\"count\":1,"
+            "\"max\":2,\"min\":2,\"sum\":2}},"
+            "\"schema\":1}");
+  // Byte-stable across re-snapshots.
+  EXPECT_EQ(json, registry.TakeSnapshot().ToJson());
+}
+
+TEST(SnapshotTest, EmptySnapshotStillValidJson) {
+  EXPECT_EQ(Snapshot{}.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"schema\":1}");
+}
+
+#endif  // !PPR_OBS_OFF
+
+}  // namespace
+}  // namespace ppr::obs

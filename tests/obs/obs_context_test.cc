@@ -1,0 +1,86 @@
+// The thread-local ObsContext: null-safe helpers, RAII scoping and
+// restoration, and the record_timings gate the sim relies on for
+// deterministic snapshots.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ppr::obs {
+namespace {
+
+TEST(ObsContextTest, HelpersAreNoOpsWithoutContext) {
+  // Must not crash or leak state anywhere.
+  Count("orphan", 5);
+  CountLabeled("orphan", {{"k", "v"}}, 2);
+  Observe("orphan_h", 1);
+  ObserveDuration("orphan_ns", 1);
+  TraceInstant("orphan", "test");
+  TraceComplete("orphan", "test", 1, 1);
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  EXPECT_EQ(CurrentTracer(), nullptr);
+}
+
+TEST(ObsContextTest, ScopedContextRoutesAndRestores) {
+  MetricRegistry outer_registry;
+  MetricRegistry inner_registry;
+  Tracer tracer;
+  {
+    ScopedObsContext outer(&outer_registry, &tracer);
+    Count("c");
+    {
+      ScopedObsContext inner(&inner_registry);
+      Count("c", 10);
+      TraceInstant("inner", "test");  // inner scope has no tracer
+    }
+    Count("c");  // outer again
+    TraceInstant("outer", "test");
+  }
+  Count("c", 100);  // no context: dropped
+#if !defined(PPR_OBS_OFF)
+  EXPECT_EQ(outer_registry.TakeSnapshot().counters.at("c"), 2u);
+  EXPECT_EQ(inner_registry.TakeSnapshot().counters.at("c"), 10u);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "outer");
+#else
+  EXPECT_TRUE(outer_registry.TakeSnapshot().Empty());
+  EXPECT_TRUE(inner_registry.TakeSnapshot().Empty());
+#endif
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+}
+
+TEST(ObsContextTest, RecordTimingsGateSuppressesDurations) {
+  MetricRegistry registry;
+  {
+    ScopedObsContext scope(&registry, nullptr, /*record_timings=*/false);
+    ObserveDuration("op_ns", 123);
+    Observe("value", 7);  // plain histograms are not gated
+  }
+  const Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.histograms.count("op_ns"), 0u);
+#if !defined(PPR_OBS_OFF)
+  EXPECT_EQ(snap.histograms.at("value").count, 1u);
+#endif
+}
+
+TEST(ObsContextTest, ContextIsPerThread) {
+  MetricRegistry registry;
+  ScopedObsContext scope(&registry);
+  std::thread other([] {
+    // A fresh thread starts with no context, whatever this one set.
+    EXPECT_EQ(CurrentMetrics(), nullptr);
+    Count("other_thread");  // dropped
+  });
+  other.join();
+  Count("main_thread");
+#if !defined(PPR_OBS_OFF)
+  const Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.count("other_thread"), 0u);
+  EXPECT_EQ(snap.counters.at("main_thread"), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace ppr::obs

@@ -3,6 +3,9 @@
 // (deterministic at any thread count), and the three-strategy sweep.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "fec/gf256.h"
 #include "sim/experiment.h"
 
 namespace ppr::sim {
@@ -77,6 +80,10 @@ void ExpectSameResults(const RecoveryExperimentResult& a,
   EXPECT_EQ(a.total_feedback_bits, b.total_feedback_bits);
   EXPECT_EQ(a.total_joint_collision_frames, b.total_joint_collision_frames);
   EXPECT_EQ(a.total_joint_loss_frames, b.total_joint_loss_frames);
+  // The merged metric snapshot is part of the deterministic contract:
+  // identical maps AND identical serialized bytes.
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.metrics.ToJson(), b.metrics.ToJson());
 }
 
 // The satellite property: sharding the sweep across a thread pool must
@@ -275,6 +282,85 @@ TEST(LinkRecoveryExperimentTest, SharedModeIdenticalAtAnyThreadCount) {
     ExpectSameResults(serial, sharded);
   }
 }
+
+// Merged per-link registry snapshots at 1, 2, and 8 threads are
+// byte-identical: per-link registries record only deterministic
+// quantities (timings are off in the sim scope) and merge in link
+// order. Exercised in both correlation modes so the chip-medium
+// counters are covered too.
+TEST(LinkRecoveryExperimentTest, MetricSnapshotsInvariantAcrossThreadCounts) {
+  const auto config = SmallConfig();
+  for (const auto correlation : {arq::CollisionCorrelation::kIndependent,
+                                 arq::CollisionCorrelation::kSharedInterferer}) {
+    auto recovery = SmallRecovery();
+    recovery.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+    recovery.max_relays = 2;
+    recovery.correlation = correlation;
+    recovery.num_threads = 1;
+    const auto serial = RunLinkRecoveryExperiment(config, recovery);
+#if !defined(PPR_OBS_OFF)
+    ASSERT_FALSE(serial.metrics.Empty());
+#else
+    ASSERT_TRUE(serial.metrics.Empty());
+#endif
+    for (const std::size_t threads : {2u, 8u}) {
+      recovery.num_threads = threads;
+      const auto sharded = RunLinkRecoveryExperiment(config, recovery);
+      EXPECT_EQ(serial.metrics, sharded.metrics);
+      EXPECT_EQ(serial.metrics.ToJson(), sharded.metrics.ToJson());
+    }
+  }
+}
+
+#if !defined(PPR_OBS_OFF)
+// The registry snapshot is not a parallel bookkeeping system that can
+// drift: its counters are incremented at the same sites that feed the
+// legacy stats structs, so the two must agree exactly.
+TEST(LinkRecoveryExperimentTest, MetricSnapshotAgreesWithLegacyStats) {
+  const auto config = SmallConfig();
+  auto recovery = SmallRecovery();
+  recovery.arq.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  recovery.max_relays = 2;
+  recovery.correlation = arq::CollisionCorrelation::kSharedInterferer;
+  const auto result = RunLinkRecoveryExperiment(config, recovery);
+  const auto& c = result.metrics.counters;
+  const auto counter = [&](const std::string& key) {
+    const auto it = c.find(key);
+    return it == c.end() ? std::uint64_t{0} : it->second;
+  };
+  EXPECT_EQ(counter("arq.session.feedback_bits"), result.total_feedback_bits);
+  EXPECT_EQ(counter("arq.session.repair_bits.source") +
+                counter("arq.session.repair_bits.relay"),
+            result.total_repair_bits);
+  EXPECT_EQ(counter("arq.session.repair_bits.source"),
+            result.total_source_repair_bits);
+  EXPECT_EQ(counter("arq.session.repair_bits.relay"),
+            result.total_relay_repair_bits);
+  EXPECT_EQ(counter("arq.session.completed") + counter("arq.session.failed"),
+            result.packets);
+  EXPECT_EQ(counter("arq.session.completed"), result.completed);
+  EXPECT_EQ(counter("medium.ref_collisions"),
+            result.total_direct_collision_frames);
+  EXPECT_EQ(counter("medium.joint_collisions"),
+            result.total_joint_collision_frames);
+  EXPECT_EQ(counter("medium.ref_losses"), result.total_direct_loss_frames);
+  EXPECT_EQ(counter("medium.joint_losses"), result.total_joint_loss_frames);
+  std::size_t feedback_rounds = 0;
+  for (const auto& link : result.links) feedback_rounds += link.feedback_rounds;
+  EXPECT_EQ(counter("arq.session.rounds"), feedback_rounds);
+  // Coded repair ran, so GF(256) work was attributed to the active
+  // backend — and to no unavailable one.
+  const std::string gf_key = "fec.gf256.bytes{impl=" +
+                             std::string(fec::GfImplName(fec::GfActiveImpl())) +
+                             "}";
+  EXPECT_GT(counter(gf_key), 0u);
+  for (const auto& [key, value] : c) {
+    if (key.rfind("fec.gf256.", 0) == 0) {
+      EXPECT_GT(value, 0u) << key;
+    }
+  }
+}
+#endif  // !PPR_OBS_OFF
 
 // The ISSUE's reporting criterion: one call evaluates all three
 // strategies over the identical link set.
