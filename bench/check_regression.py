@@ -5,9 +5,14 @@ Usage:
     check_regression.py CURRENT BASELINE [--symbol-bytes N]
                         [--max-regression F] [--min-speedup F]
                         [--require-simd] [--strict]
+                        [--extra-current PATH ...]
 
 CURRENT and BASELINE are bench_fec.json files produced by
-`micro_fec_bench --json <path>`. The gated metric is the dispatched-
+`micro_fec_bench --json <path>`. Each --extra-current (repeatable)
+names another report whose records are merged into CURRENT before the
+--strict presence check — the way stream_latency_bench --json results
+join the micro-kernel report so the one committed baseline can cover
+every bench binary. The gated metric is the dispatched-
 over-scalar GfAxpy throughput RATIO at --symbol-bytes (default 1024):
 ratios, not absolute MB/s, so the gate is robust to runner hardware
 generation differences. The build fails (exit 1) when:
@@ -117,9 +122,15 @@ def main():
         "--strict", action="store_true",
         help="fail (instead of warn) when a baseline record is missing "
              "from the current report")
+    parser.add_argument(
+        "--extra-current", action="append", default=[], metavar="PATH",
+        help="additional report whose records are merged into CURRENT "
+             "before the --strict presence check (repeatable)")
     args = parser.parse_args()
 
     cur_doc, base_doc = load(args.current), load(args.baseline)
+    for extra_path in args.extra_current:
+        cur_doc["results"].extend(load(extra_path)["results"])
     failures = []
     for key in missing_from_current(cur_doc, base_doc):
         msg = f"baseline record missing from current report: {describe_key(key)}"
@@ -162,9 +173,11 @@ def main():
                     f"{args.max_regression:.0%} vs baseline {base:.2f}x "
                     f"(floor {floor:.2f}x)")
         if cur < args.min_speedup:
+            baseline_note = (f" (baseline was {base:.2f}x)"
+                             if base is not None else "")
             failures.append(
                 f"dispatch speedup {cur:.2f}x is below the "
-                f"{args.min_speedup:.1f}x floor")
+                f"{args.min_speedup:.1f}x floor{baseline_note}")
 
     for msg in failures:
         print(f"FAIL: {msg}", file=sys.stderr)

@@ -1,0 +1,56 @@
+// Streaming sliding-window recovery: a continuous packet flow over a
+// bursty erasure link, recovered in-order by windowed RLNC repair
+// under each of the three redundancy controllers (src/stream/).
+//
+// One shared channel realization (common random numbers) makes the
+// controller comparison paired: every policy faces the exact same
+// frame losses, so the latency and overhead differences printed at the
+// end are the controllers' doing, not channel luck.
+//
+//   $ ./examples/example_streaming_recovery
+#include <cstdio>
+#include <string>
+
+#include "sim/stream_experiment.h"
+#include "stream/redundancy.h"
+
+int main() {
+  using namespace ppr;
+
+  sim::StreamSweepConfig config;
+  // One lossy, bursty cell: 15% stationary frame loss in bursts of ~3,
+  // a 16-symbol window, and sparse feedback — the regime where WHEN a
+  // controller spends a repair matters as much as how many it spends.
+  config.loss_rates = {0.15};
+  config.window_sizes = {16};
+  config.session.total_packets = 2'000;
+  config.session.feedback_interval_us = 16'000;
+
+  std::printf("streaming %zu packets over a %.0f%% bursty erasure link "
+              "(window %zu, feedback every %llu ms)\n\n",
+              config.session.total_packets, 100.0 * config.loss_rates[0],
+              config.window_sizes[0],
+              static_cast<unsigned long long>(
+                  config.session.feedback_interval_us / 1000));
+
+  const auto result = sim::RunStreamRecoveryExperiment(config);
+
+  std::printf("%-12s %10s %10s %10s %10s %9s\n", "controller", "p50_ms",
+              "p95_ms", "p99_ms", "goodput", "overhead");
+  for (const auto& point : result.points) {
+    std::printf("%-12s %10.1f %10.1f %10.1f %8.0f/s %9.3f\n",
+                std::string(stream::ControllerKindName(point.controller))
+                    .c_str(),
+                point.p50_latency_us / 1000.0, point.p95_latency_us / 1000.0,
+                point.p99_latency_us / 1000.0, point.goodput_pps,
+                point.repair_overhead);
+  }
+
+  std::printf(
+      "\nfixed-rate pays repair whether or not anything was lost;\n"
+      "ack-deficit spends the minimum but waits a feedback round to\n"
+      "learn of each loss; deadline fires protect repairs early for\n"
+      "stuck window tails — the next deficit report shrinks one-for-\n"
+      "one, so it buys its latency tail without extra repair bits.\n");
+  return 0;
+}

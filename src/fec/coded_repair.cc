@@ -186,7 +186,7 @@ std::size_t CodedRepairSession::num_trusted() const {
 
 void CodedRepairSession::Rebuild() {
   obs::Count("fec.coded.rebuilds");
-  decoder_ = RlncDecoder(num_source(), symbol_bytes());
+  decoder_.Reset();
   for (std::size_t i = 0; i < num_source(); ++i) {
     if (trusted_[i]) decoder_.AddSource(i, received_[i]);
   }

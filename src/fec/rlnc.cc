@@ -161,6 +161,11 @@ bool RlncDecoder::AddEquation(std::vector<std::uint8_t> coefs,
   return true;
 }
 
+void RlncDecoder::Reset() {
+  for (auto& p : pivot_) p.reset();
+  rank_ = 0;
+}
+
 const std::vector<std::uint8_t>& RlncDecoder::Symbol(std::size_t i) const {
   assert(Complete());
   assert(i < n_source_ && pivot_[i].has_value());

@@ -104,6 +104,11 @@ class RlncDecoder {
   bool AddEquation(std::vector<std::uint8_t> coefs,
                    std::vector<std::uint8_t> data);
 
+  // Back to rank 0 with the same shape, keeping the pivot table's
+  // allocation — cheaper than reconstructing the decoder when a session
+  // rebuilds its elimination state (CodedRepairSession::Rebuild).
+  void Reset();
+
   // Decoded source symbol `i`; requires Complete().
   const std::vector<std::uint8_t>& Symbol(std::size_t i) const;
 

@@ -22,6 +22,16 @@ std::string CanonicalMetricKey(std::string_view name, const LabelSet& labels) {
   return key;
 }
 
+void HistogramSnapshot::Record(std::uint64_t v) {
+  const std::size_t i = Histogram::BucketIndex(v);
+  if (buckets.size() <= i) buckets.resize(i + 1, 0);
+  ++buckets[i];
+  min = count == 0 ? v : std::min(min, v);
+  max = count == 0 ? v : std::max(max, v);
+  ++count;
+  sum += v;
+}
+
 void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   if (other.count == 0) return;
   if (buckets.size() < other.buckets.size()) {
@@ -50,6 +60,31 @@ std::uint64_t HistogramSnapshot::Quantile(double q) const {
     if (seen >= rank) return Histogram::BucketLowerBound(i);
   }
   return max;
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t below = seen;
+    seen += buckets[i];
+    if (static_cast<double>(seen) < rank) continue;
+    // The target rank lands in bucket i, which covers
+    // [BucketLowerBound(i), BucketLowerBound(i + 1)). Interpolate the
+    // rank's position within the bucket's mass across that range.
+    const double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+    const double hi =
+        i == 0 ? 1.0 : static_cast<double>(Histogram::BucketLowerBound(i + 1));
+    const double frac = (rank - static_cast<double>(below)) /
+                        static_cast<double>(buckets[i]);
+    const double estimate = lo + frac * (hi - lo);
+    return std::clamp(estimate, static_cast<double>(min),
+                      static_cast<double>(max));
+  }
+  return static_cast<double>(max);
 }
 
 void Snapshot::Merge(const Snapshot& other) {

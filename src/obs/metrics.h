@@ -173,9 +173,19 @@ struct HistogramSnapshot {
   std::uint64_t min = 0;
   std::uint64_t max = 0;
 
+  // Direct single-threaded record (no atomics): for result structs that
+  // accumulate a histogram outside any registry — e.g. the stream sim's
+  // latency distributions, which must exist even under PPR_OBS_OFF.
+  void Record(std::uint64_t v);
   void Merge(const HistogramSnapshot& other);
   // Nearest-bucket-lower-bound quantile; q in [0, 1].
   std::uint64_t Quantile(double q) const;
+  // Interpolated quantile: like Quantile(), but spreads the winning
+  // bucket's mass uniformly over its value range instead of snapping to
+  // the lower bound, and clamps the estimate to the observed [min, max].
+  // Halves the worst-case log2-bucket error; the percentile estimator
+  // latency reports should use.
+  double ValueAtQuantile(double q) const;
   bool operator==(const HistogramSnapshot&) const = default;
 };
 

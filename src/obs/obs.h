@@ -114,6 +114,19 @@ inline void Observe(std::string_view name, std::uint64_t value) {
 #endif
 }
 
+inline void ObserveLabeled(std::string_view name, const LabelSet& labels,
+                           std::uint64_t value) {
+#if !defined(PPR_OBS_OFF)
+  if (MetricRegistry* m = CurrentMetrics()) {
+    m->GetHistogram(name, labels)->Record(value);
+  }
+#else
+  (void)name;
+  (void)labels;
+  (void)value;
+#endif
+}
+
 // Latency histograms only land when the context records timings (see
 // the header comment on determinism).
 inline void ObserveDuration(std::string_view name, std::uint64_t ns) {

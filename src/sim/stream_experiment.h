@@ -1,0 +1,75 @@
+// Streaming recovery sweep: loss rate x window size x redundancy
+// controller, each point one deterministic StreamSession on a bursty
+// frame-erasure link, reporting recovery-latency percentiles (p50 /
+// p95 / p99 via obs::HistogramSnapshot::ValueAtQuantile) and goodput
+// next to repair-bit overhead.
+//
+// Determinism at any thread count follows the RunLinkRecoveryExperiment
+// pattern: a serial pass enumerates points and pre-generates each
+// (loss, window) cell's frame-fate sequence from a fork of the sweep
+// seed — shared by all controllers in the cell, so controller
+// comparisons are paired on one channel realization (common random
+// numbers) — then workers pull point indices from an atomic counter
+// and write disjoint result slots, and per-point metric registries
+// (timings off) merge in point order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stream/redundancy.h"
+#include "stream/session.h"
+
+namespace ppr::sim {
+
+struct StreamSweepConfig {
+  std::vector<double> loss_rates = {0.05, 0.15, 0.25};
+  std::vector<std::size_t> window_sizes = {16, 32};
+  std::vector<stream::ControllerKind> controllers = {
+      stream::ControllerKind::kFixedRate,
+      stream::ControllerKind::kAckDeficit,
+      stream::ControllerKind::kDeadline,
+  };
+
+  // Mean erased-frame burst length of the Gilbert-Elliott erasure
+  // process (1.0 = memoryless).
+  double mean_burst_frames = 3.0;
+
+  // Per-point session shape; window_capacity is overridden by the
+  // sweep's window axis.
+  stream::StreamSessionConfig session;
+
+  std::uint64_t seed = 20070827;  // SIGCOMM '07, why not
+  std::size_t num_threads = 0;    // 0 = hardware concurrency
+};
+
+struct StreamPointResult {
+  double loss_rate = 0.0;
+  std::size_t window_size = 0;
+  stream::ControllerKind controller = stream::ControllerKind::kFixedRate;
+
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double goodput_pps = 0.0;      // delivered packets per second
+  double repair_overhead = 0.0;  // repair bits / source bits
+
+  stream::StreamSessionStats stats;
+};
+
+struct StreamExperimentResult {
+  std::vector<StreamPointResult> points;
+  // Per-point registries merged in point order (thread-invariant).
+  obs::Snapshot metrics;
+
+  // The point for (loss, window, controller), or nullptr.
+  const StreamPointResult* Find(double loss_rate, std::size_t window_size,
+                                stream::ControllerKind controller) const;
+};
+
+StreamExperimentResult RunStreamRecoveryExperiment(
+    const StreamSweepConfig& config);
+
+}  // namespace ppr::sim

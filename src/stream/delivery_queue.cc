@@ -1,0 +1,42 @@
+#include "stream/delivery_queue.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace ppr::stream {
+
+void DeliveryQueue::OnSourceSent(SymbolId id, std::uint64_t now_us) {
+  sent_at_.emplace(id, now_us);
+}
+
+std::size_t DeliveryQueue::Release(std::vector<DeliverableSymbol> symbols,
+                                   std::uint64_t now_us) {
+  const std::size_t n = symbols.size();
+  for (auto& s : symbols) {
+    DeliveredPacket p;
+    p.id = s.id;
+    p.data = std::move(s.data);
+    p.recovered = s.recovered;
+    p.delivered_at_us = now_us;
+    if (auto it = sent_at_.find(s.id); it != sent_at_.end()) {
+      p.sent_at_us = it->second;
+      sent_at_.erase(it);
+    } else {
+      p.sent_at_us = now_us;  // unknown origin: zero latency, not negative
+    }
+    obs::Observe("stream.delivery.latency_us", p.LatencyUs());
+    if (p.recovered) {
+      obs::Observe("stream.delivery.recovered_latency_us", p.LatencyUs());
+    }
+    delivered_.push_back(std::move(p));
+  }
+  total_released_ += n;
+  return n;
+}
+
+std::vector<DeliveredPacket> DeliveryQueue::TakeDelivered() {
+  return std::exchange(delivered_, {});
+}
+
+}  // namespace ppr::stream

@@ -1,0 +1,63 @@
+// In-order delivery with per-packet recovery-latency timestamps.
+//
+// The queue sits between WindowDecoder::PopDeliverable and the
+// application: it pairs each released symbol with the (virtual-clock)
+// time its source packet first went on the air, so every delivered
+// packet carries its end-to-end delivery latency — the time a live
+// flow's jitter buffer actually experiences, including the repair
+// round-trips a recovered packet waited through.
+//
+// Send timestamps are recorded by the sending side of the harness (the
+// sim's source and destination share the virtual clock); they are
+// bookkeeping, not wire fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/window.h"
+
+namespace ppr::stream {
+
+struct DeliveredPacket {
+  SymbolId id = 0;
+  std::vector<std::uint8_t> data;
+  bool recovered = false;  // decoded from repair rather than received verbatim
+  std::uint64_t sent_at_us = 0;
+  std::uint64_t delivered_at_us = 0;
+
+  std::uint64_t LatencyUs() const { return delivered_at_us - sent_at_us; }
+};
+
+class DeliveryQueue {
+ public:
+  // Called when source symbol `id` first goes on the air.
+  void OnSourceSent(SymbolId id, std::uint64_t now_us);
+
+  // Timestamps and appends the symbols the decoder just released (in
+  // id order). Returns how many were released. Released packets
+  // accumulate in delivered() for the session to drain or inspect.
+  std::size_t Release(std::vector<DeliverableSymbol> symbols,
+                      std::uint64_t now_us);
+
+  // When symbol `id` went on the air, if it is still undelivered — the
+  // deadline controller's oldest-unacked age comes from here.
+  std::optional<std::uint64_t> SentAt(SymbolId id) const {
+    const auto it = sent_at_.find(id);
+    if (it == sent_at_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::vector<DeliveredPacket>& delivered() const { return delivered_; }
+  std::vector<DeliveredPacket> TakeDelivered();
+  std::size_t total_released() const { return total_released_; }
+
+ private:
+  std::unordered_map<SymbolId, std::uint64_t> sent_at_;
+  std::vector<DeliveredPacket> delivered_;
+  std::size_t total_released_ = 0;
+};
+
+}  // namespace ppr::stream

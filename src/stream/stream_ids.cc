@@ -1,0 +1,29 @@
+#include "stream/stream_ids.h"
+
+namespace ppr::stream {
+
+std::optional<SymbolId> ExpandSymbolId(std::uint16_t wire_id,
+                                       SymbolId reference) {
+  // Candidates share the reference's era or sit one era to either side;
+  // one of the three is always the globally closest match.
+  const SymbolId era = reference & ~(kWireIdSpan - 1);
+  std::optional<SymbolId> best;
+  std::uint64_t best_distance = 0;
+  for (int delta = -1; delta <= 1; ++delta) {
+    if (delta < 0 && era < kWireIdSpan) continue;
+    const SymbolId candidate =
+        era + static_cast<SymbolId>(delta) * kWireIdSpan + wire_id;
+    const std::uint64_t distance =
+        candidate >= reference ? candidate - reference : reference - candidate;
+    if (!best.has_value() || distance < best_distance) {
+      best = candidate;
+      best_distance = distance;
+    }
+  }
+  if (!best.has_value() || best_distance > kMaxAmbiguousIdGap) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+}  // namespace ppr::stream

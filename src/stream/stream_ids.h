@@ -1,0 +1,41 @@
+// Stream symbol identifiers and their wire truncation.
+//
+// A live flow numbers its source symbols with a monotonically
+// increasing 64-bit SymbolId, but the wire carries only the low
+// kWireIdBits bits (a 1500-byte frame cannot afford 8-byte ids per
+// descriptor field). The receiver re-expands a truncated id against a
+// reference it tracks (its in-order frontier): the candidate full id
+// closest to the reference wins, and candidates farther than
+// kMaxAmbiguousIdGap are rejected outright — the ambiguous-ID-gap
+// guard of flec's window framework. The guard is what makes truncation
+// safe: as long as the window (plus reordering slack) stays within the
+// gap, exactly one candidate survives; a frame delayed beyond it is
+// dropped rather than mis-filed into the wrong id era.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace ppr::stream {
+
+using SymbolId = std::uint64_t;
+
+inline constexpr unsigned kWireIdBits = 16;
+inline constexpr std::uint64_t kWireIdSpan = std::uint64_t{1} << kWireIdBits;
+
+// Widest |full - reference| distance a truncated id may resolve to.
+// Must be < kWireIdSpan / 2 so the nearest candidate is unique; kept at
+// a quarter span for slack against pathological reordering.
+inline constexpr std::uint64_t kMaxAmbiguousIdGap = kWireIdSpan / 4;
+
+inline std::uint16_t TruncateSymbolId(SymbolId id) {
+  return static_cast<std::uint16_t>(id & (kWireIdSpan - 1));
+}
+
+// The full id with low bits `wire_id` closest to `reference`, or
+// nullopt when even the closest candidate is farther than
+// kMaxAmbiguousIdGap (or would be negative).
+std::optional<SymbolId> ExpandSymbolId(std::uint16_t wire_id,
+                                       SymbolId reference);
+
+}  // namespace ppr::stream

@@ -163,5 +163,28 @@ TEST(RlncTest, EncodeAndDecodeAreBackendInvariant) {
   }
 }
 
+TEST(RlncTest, ResetReturnsToRankZeroAndDecodesAgain) {
+  Rng rng(99);
+  const auto block = RandomBlock(rng, 8, 16);
+  RlncEncoder encoder(block);
+  RlncDecoder decoder(8, 16);
+  for (std::uint32_t s = 0; decoder.rank() < 8; ++s) {
+    decoder.AddRepair(encoder.MakeRepair(s));
+  }
+  ASSERT_TRUE(decoder.Complete());
+
+  // Reset keeps the shape but drops the basis; the decoder then
+  // decodes a different ingest order to the same symbols.
+  decoder.Reset();
+  EXPECT_EQ(decoder.rank(), 0u);
+  EXPECT_FALSE(decoder.Complete());
+  for (std::size_t i = 0; i < 4; ++i) decoder.AddSource(i, block[i]);
+  for (std::uint32_t s = 100; decoder.rank() < 8; ++s) {
+    decoder.AddRepair(encoder.MakeRepair(s));
+  }
+  ASSERT_TRUE(decoder.Complete());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(decoder.Symbol(i), block[i]);
+}
+
 }  // namespace
 }  // namespace ppr::fec

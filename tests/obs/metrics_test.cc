@@ -162,5 +162,59 @@ TEST(SnapshotTest, EmptySnapshotStillValidJson) {
 
 #endif  // !PPR_OBS_OFF
 
+// HistogramSnapshot::Record and ValueAtQuantile operate on the plain
+// snapshot struct — available (and exercised) even under PPR_OBS_OFF,
+// which is what lets the stream sim report percentiles in every build.
+
+TEST(SnapshotTest, DirectRecordMatchesHistogramSemantics) {
+  HistogramSnapshot hs;
+  hs.Record(0);
+  hs.Record(20);
+  hs.Record(1500);
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_EQ(hs.sum, 1520u);
+  EXPECT_EQ(hs.min, 0u);
+  EXPECT_EQ(hs.max, 1500u);
+  ASSERT_EQ(hs.buckets.size(), Histogram::BucketIndex(1500) + 1);
+  EXPECT_EQ(hs.buckets[0], 1u);                            // v == 0
+  EXPECT_EQ(hs.buckets[Histogram::BucketIndex(20)], 1u);   // [16, 32)
+  EXPECT_EQ(hs.buckets[Histogram::BucketIndex(1500)], 1u); // [1024, 2048)
+}
+
+TEST(SnapshotTest, ValueAtQuantileInterpolatesWithinBuckets) {
+  HistogramSnapshot hs;
+  // 100 samples spread through [1024, 2048): one bucket.
+  for (int i = 0; i < 100; ++i) hs.Record(1024 + i * 10);
+  // The nearest-rank Quantile snaps every answer to 1024; the
+  // interpolated estimator spreads across the bucket instead.
+  EXPECT_EQ(hs.Quantile(0.5), 1024u);
+  const double p10 = hs.ValueAtQuantile(0.10);
+  const double p50 = hs.ValueAtQuantile(0.50);
+  const double p95 = hs.ValueAtQuantile(0.95);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p95);
+  EXPECT_NEAR(p50, 1536.0, 16.0);  // bucket midpoint
+  EXPECT_GE(p10, 1024.0);
+  EXPECT_LE(p95, 2048.0);
+}
+
+TEST(SnapshotTest, ValueAtQuantileClampsToObservedRange) {
+  HistogramSnapshot hs;
+  hs.Record(1000);  // bucket [512, 1024), observed min == max == 1000
+  EXPECT_EQ(hs.ValueAtQuantile(0.0), 1000.0);
+  EXPECT_EQ(hs.ValueAtQuantile(0.5), 1000.0);
+  EXPECT_EQ(hs.ValueAtQuantile(1.0), 1000.0);
+  // Empty histogram: defined, zero.
+  EXPECT_EQ(HistogramSnapshot{}.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(SnapshotTest, ValueAtQuantileCrossesBuckets) {
+  HistogramSnapshot hs;
+  for (int i = 0; i < 90; ++i) hs.Record(10);    // [8, 16)
+  for (int i = 0; i < 10; ++i) hs.Record(4000);  // [2048, 4096)
+  EXPECT_LT(hs.ValueAtQuantile(0.5), 16.0);
+  EXPECT_GE(hs.ValueAtQuantile(0.95), 2048.0);
+}
+
 }  // namespace
 }  // namespace ppr::obs

@@ -15,6 +15,7 @@ TEST(ObsContextTest, HelpersAreNoOpsWithoutContext) {
   Count("orphan", 5);
   CountLabeled("orphan", {{"k", "v"}}, 2);
   Observe("orphan_h", 1);
+  ObserveLabeled("orphan_h", {{"k", "v"}}, 1);
   ObserveDuration("orphan_ns", 1);
   TraceInstant("orphan", "test");
   TraceComplete("orphan", "test", 1, 1);
@@ -49,6 +50,23 @@ TEST(ObsContextTest, ScopedContextRoutesAndRestores) {
   EXPECT_TRUE(inner_registry.TakeSnapshot().Empty());
 #endif
   EXPECT_EQ(CurrentMetrics(), nullptr);
+}
+
+TEST(ObsContextTest, ObserveLabeledRoutesToLabeledHistogram) {
+  MetricRegistry registry;
+  {
+    ScopedObsContext scope(&registry);
+    ObserveLabeled("stream_latency", {{"controller", "deadline"}}, 100);
+    ObserveLabeled("stream_latency", {{"controller", "deadline"}}, 200);
+    ObserveLabeled("stream_latency", {{"controller", "fixed-rate"}}, 300);
+  }
+#if !defined(PPR_OBS_OFF)
+  const Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.histograms.at("stream_latency{controller=deadline}").count,
+            2u);
+  EXPECT_EQ(snap.histograms.at("stream_latency{controller=fixed-rate}").count,
+            1u);
+#endif
 }
 
 TEST(ObsContextTest, RecordTimingsGateSuppressesDurations) {

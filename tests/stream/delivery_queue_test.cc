@@ -1,0 +1,52 @@
+#include "stream/delivery_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr::stream {
+namespace {
+
+DeliverableSymbol Sym(SymbolId id, bool recovered) {
+  DeliverableSymbol s;
+  s.id = id;
+  s.data = {static_cast<std::uint8_t>(id)};
+  s.recovered = recovered;
+  return s;
+}
+
+TEST(DeliveryQueueTest, StampsRecoveryLatencyPerPacket) {
+  DeliveryQueue queue;
+  queue.OnSourceSent(0, 1'000);
+  queue.OnSourceSent(1, 2'000);
+  ASSERT_TRUE(queue.SentAt(1).has_value());
+  EXPECT_EQ(*queue.SentAt(1), 2'000u);
+
+  EXPECT_EQ(queue.Release({Sym(0, false)}, 1'500), 1u);
+  EXPECT_EQ(queue.Release({Sym(1, true)}, 9'000), 1u);
+  ASSERT_EQ(queue.delivered().size(), 2u);
+  EXPECT_EQ(queue.delivered()[0].LatencyUs(), 500u);
+  EXPECT_FALSE(queue.delivered()[0].recovered);
+  EXPECT_EQ(queue.delivered()[1].LatencyUs(), 7'000u);
+  EXPECT_TRUE(queue.delivered()[1].recovered);
+  EXPECT_EQ(queue.total_released(), 2u);
+  // The send record is consumed on release.
+  EXPECT_FALSE(queue.SentAt(1).has_value());
+}
+
+TEST(DeliveryQueueTest, UnknownOriginGetsZeroLatencyNotUnderflow) {
+  DeliveryQueue queue;
+  EXPECT_EQ(queue.Release({Sym(7, true)}, 500), 1u);
+  EXPECT_EQ(queue.delivered()[0].LatencyUs(), 0u);
+}
+
+TEST(DeliveryQueueTest, TakeDeliveredDrains) {
+  DeliveryQueue queue;
+  queue.OnSourceSent(0, 0);
+  queue.Release({Sym(0, false)}, 10);
+  const auto taken = queue.TakeDelivered();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(queue.delivered().empty());
+  EXPECT_EQ(queue.total_released(), 1u);  // the running count survives
+}
+
+}  // namespace
+}  // namespace ppr::stream

@@ -1,0 +1,68 @@
+#include "stream/stream_ids.h"
+
+#include <gtest/gtest.h>
+
+namespace ppr::stream {
+namespace {
+
+TEST(StreamIdsTest, TruncateKeepsLowBits) {
+  EXPECT_EQ(TruncateSymbolId(0), 0u);
+  EXPECT_EQ(TruncateSymbolId(0xABCD), 0xABCDu);
+  EXPECT_EQ(TruncateSymbolId(kWireIdSpan + 7), 7u);
+  EXPECT_EQ(TruncateSymbolId(0x123456789ABCull), 0x6789ABCull & 0xFFFF);
+}
+
+TEST(StreamIdsTest, ExpandRoundTripsNearReference) {
+  for (const SymbolId id : {SymbolId{0}, SymbolId{1}, SymbolId{1000},
+                            kWireIdSpan - 1, kWireIdSpan, kWireIdSpan + 123,
+                            SymbolId{1} << 40}) {
+    const auto expanded = ExpandSymbolId(TruncateSymbolId(id), id);
+    ASSERT_TRUE(expanded.has_value());
+    EXPECT_EQ(*expanded, id);
+  }
+}
+
+TEST(StreamIdsTest, ExpandResolvesAcrossEraBoundary) {
+  // Reference just below an era boundary, id just above it (and vice
+  // versa): the closest candidate lives in the adjacent era.
+  const SymbolId boundary = kWireIdSpan * 5;
+  const auto ahead = ExpandSymbolId(TruncateSymbolId(boundary + 3),
+                                    boundary - 10);
+  ASSERT_TRUE(ahead.has_value());
+  EXPECT_EQ(*ahead, boundary + 3);
+
+  const auto behind = ExpandSymbolId(TruncateSymbolId(boundary - 4),
+                                     boundary + 10);
+  ASSERT_TRUE(behind.has_value());
+  EXPECT_EQ(*behind, boundary - 4);
+}
+
+TEST(StreamIdsTest, WraparoundAtTheAmbiguousGapBoundary) {
+  // Exactly at the gap: still accepted. One past: rejected, because a
+  // frame that stale could as well belong to the other side of the
+  // wire-id circle.
+  const SymbolId reference = kWireIdSpan * 3;
+  const SymbolId at_gap = reference + kMaxAmbiguousIdGap;
+  const auto ok = ExpandSymbolId(TruncateSymbolId(at_gap), reference);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, at_gap);
+
+  const SymbolId past_gap = reference + kMaxAmbiguousIdGap + 1;
+  EXPECT_FALSE(ExpandSymbolId(TruncateSymbolId(past_gap), reference)
+                   .has_value());
+
+  const SymbolId behind_gap = reference - kMaxAmbiguousIdGap - 1;
+  EXPECT_FALSE(ExpandSymbolId(TruncateSymbolId(behind_gap), reference)
+                   .has_value());
+}
+
+TEST(StreamIdsTest, NeverResolvesToNegativeId) {
+  // A wire id just "behind" reference 0 must not wrap to a huge value;
+  // the only candidates are in era 0 or +1, and the gap guard rejects
+  // the far ones.
+  const auto expanded = ExpandSymbolId(0xFFFF, 0);
+  EXPECT_FALSE(expanded.has_value());
+}
+
+}  // namespace
+}  // namespace ppr::stream
