@@ -1,0 +1,292 @@
+// Flow-table engine benchmark: many concurrent small-deficit recovery
+// flows through engine::FlowEngine versus the legacy per-object loop
+// (one arq coded-repair exchange at a time, RunPpArqExchange).
+//
+// Two headline numbers, both gated (nonzero exit on failure):
+//
+//   * sessions/second — the engine leg must complete flows at >= 3x
+//     the per-object loop's rate. The engine wins by construction:
+//     arena-resident flow state (no per-flow heap churn), one
+//     scheduler tick per round instead of one blocking loop per
+//     session, and fused cross-flow GF(256) encodes.
+//
+//   * mean GF(256) span per fused encode — the batch planner gathers
+//     every flow due this tick symbol-major and issues ONE GfAxpyN per
+//     repair slot spanning the whole group, so the mean span must be
+//     >= 4x the unbatched per-flow mean (the legacy leg's mean bytes
+//     per GfAxpy/GfAxpyN entry-point call). Under PPR_OBS_OFF the
+//     legacy per-call counters are compiled out; the span gate is
+//     skipped with a note (the engine's own batch accounting still
+//     prints — it lives in EngineStats, not obs).
+//
+// Usage:
+//   flow_engine_bench                  full run, human summary
+//   flow_engine_bench --smoke          reduced flow counts (CI smoke)
+//   flow_engine_bench --json <path>    also write a flat JSON report
+//                                      (kernel=FlowEngine records,
+//                                      merged into the regression gate
+//                                      via --extra-current)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arq/link_sim.h"
+#include "arq/pp_arq.h"
+#include "bench_util.h"
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "engine/flow_engine.h"
+#include "fec/gf256.h"
+#include "phy/chip_sequences.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kMinSpeedup = 3.0;    // engine vs legacy sessions/s
+constexpr double kMinSpanRatio = 4.0;  // batched vs unbatched mean span
+
+struct BenchShape {
+  std::size_t engine_flows = 10'000;
+  std::size_t legacy_flows = 160;
+  std::size_t payload_octets = 200;
+  std::uint64_t seed = 1;
+};
+
+struct LegResult {
+  std::size_t flows = 0;
+  std::size_t completed = 0;
+  double seconds = 0.0;
+  double sessions_per_s = 0.0;
+  // Mean bytes per GF(256) entry-point call over the leg. Engine leg:
+  // EngineStats batch accounting (exact, obs-independent). Legacy leg:
+  // GfThreadStatsFor delta (zero under PPR_OBS_OFF).
+  std::uint64_t gf_calls = 0;
+  std::uint64_t gf_bytes = 0;
+  double mean_span_bytes = 0.0;
+};
+
+struct BenchResult {
+  LegResult legacy;
+  LegResult engine;
+  ppr::engine::EngineStats engine_stats;
+};
+
+ppr::engine::EngineConfig EngineShape(const BenchShape& shape) {
+  ppr::engine::EngineConfig config;
+  config.n_source = 16;
+  config.symbol_bytes = 64;
+  config.max_deficit = 3;
+  config.record_loss = 0.2;
+  config.seed = shape.seed;
+  return config;
+}
+
+// The status quo this PR replaces: one heap-allocated exchange at a
+// time, each running its private blocking loop to completion over a
+// bursty chip-level channel (the regime of tests/arq).
+LegResult RunLegacyLeg(const BenchShape& shape) {
+  ppr::arq::PpArqConfig config;
+  config.recovery = ppr::arq::RecoveryMode::kCodedRepair;
+  ppr::arq::GilbertElliottParams params;
+  params.p_good_to_bad = 0.02;
+  params.p_bad_to_good = 0.15;
+  params.chip_error_good = 0.002;
+  params.chip_error_bad = 0.25;
+  const ppr::phy::ChipCodebook codebook;
+
+  ppr::Rng payload_rng(shape.seed ^ 0xBADC0DEDull);
+  std::vector<ppr::BitVec> payloads;
+  payloads.reserve(shape.legacy_flows);
+  for (std::size_t f = 0; f < shape.legacy_flows; ++f) {
+    ppr::BitVec bits;
+    for (std::size_t i = 0; i < shape.payload_octets * 8; ++i) {
+      bits.PushBack(payload_rng.Bernoulli(0.5));
+    }
+    payloads.push_back(std::move(bits));
+  }
+
+  LegResult leg;
+  leg.flows = shape.legacy_flows;
+  const ppr::fec::GfImpl impl = ppr::fec::GfActiveImpl();
+  const ppr::fec::GfOpStats before = ppr::fec::GfThreadStatsFor(impl);
+  const auto begin = Clock::now();
+  for (std::size_t f = 0; f < shape.legacy_flows; ++f) {
+    ppr::Rng channel_rng(shape.seed ^ (0x9E3779B97F4A7C15ull * (f + 1)));
+    const auto channel =
+        ppr::arq::MakeGilbertElliottChannel(codebook, params, channel_rng);
+    const auto stats =
+        ppr::arq::RunPpArqExchange(payloads[f], config, channel);
+    if (stats.success) ++leg.completed;
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - begin;
+  const ppr::fec::GfOpStats delta = ppr::fec::GfThreadStatsFor(impl) - before;
+  leg.seconds = elapsed.count();
+  leg.sessions_per_s = leg.seconds > 0.0 ? leg.completed / leg.seconds : 0.0;
+  leg.gf_calls = delta.calls;
+  leg.gf_bytes = delta.bytes;
+  leg.mean_span_bytes =
+      delta.calls ? static_cast<double>(delta.bytes) / delta.calls : 0.0;
+  return leg;
+}
+
+LegResult RunEngineLeg(const BenchShape& shape,
+                       ppr::engine::EngineStats& stats_out) {
+  ppr::engine::FlowEngine engine(EngineShape(shape));
+  LegResult leg;
+  leg.flows = shape.engine_flows;
+  const auto begin = Clock::now();
+  for (std::size_t f = 0; f < shape.engine_flows; ++f) {
+    engine.SpawnFlow(static_cast<ppr::engine::FlowId>(f));
+  }
+  engine.RunAll();
+  const std::chrono::duration<double> elapsed = Clock::now() - begin;
+  const ppr::engine::EngineStats& stats = engine.stats();
+  stats_out = stats;
+  leg.completed = stats.flows_completed;
+  leg.seconds = elapsed.count();
+  leg.sessions_per_s = leg.seconds > 0.0 ? leg.completed / leg.seconds : 0.0;
+  leg.gf_calls = stats.batch_calls;
+  leg.gf_bytes = stats.batch_bytes;
+  leg.mean_span_bytes = stats.batch_calls
+                            ? static_cast<double>(stats.batch_bytes) /
+                                  stats.batch_calls
+                            : 0.0;
+  return leg;
+}
+
+void PrintSummary(const BenchResult& result) {
+  std::fprintf(stderr, "%-8s %9s %9s %11s %12s %14s\n", "leg", "flows",
+               "done", "seconds", "sessions/s", "mean_span_B");
+  std::fprintf(stderr, "%-8s %9zu %9zu %11.3f %12.0f %14.1f\n", "legacy",
+               result.legacy.flows, result.legacy.completed,
+               result.legacy.seconds, result.legacy.sessions_per_s,
+               result.legacy.mean_span_bytes);
+  std::fprintf(stderr, "%-8s %9zu %9zu %11.3f %12.0f %14.1f\n", "engine",
+               result.engine.flows, result.engine.completed,
+               result.engine.seconds, result.engine.sessions_per_s,
+               result.engine.mean_span_bytes);
+  std::fprintf(stderr,
+               "engine: %llu rounds, %llu repairs sent, %llu delivered, "
+               "%llu fused encodes over %llu bytes\n",
+               static_cast<unsigned long long>(result.engine_stats.rounds),
+               static_cast<unsigned long long>(
+                   result.engine_stats.repairs_sent),
+               static_cast<unsigned long long>(
+                   result.engine_stats.repairs_delivered),
+               static_cast<unsigned long long>(
+                   result.engine_stats.batch_calls),
+               static_cast<unsigned long long>(
+                   result.engine_stats.batch_bytes));
+}
+
+int CheckAcceptanceGate(const BenchResult& result) {
+  int failures = 0;
+  const double speedup =
+      result.legacy.sessions_per_s > 0.0
+          ? result.engine.sessions_per_s / result.legacy.sessions_per_s
+          : 0.0;
+  std::fprintf(stderr,
+               "gate: engine %.0f sessions/s vs legacy %.0f (%.1fx, floor "
+               "%.1fx)\n",
+               result.engine.sessions_per_s, result.legacy.sessions_per_s,
+               speedup, kMinSpeedup);
+  if (result.engine.completed == 0 || result.legacy.completed == 0) {
+    std::fprintf(stderr, "gate FAILED: a leg completed zero sessions\n");
+    ++failures;
+  } else if (speedup < kMinSpeedup) {
+    std::fprintf(stderr, "gate FAILED: engine below %.1fx legacy rate\n",
+                 kMinSpeedup);
+    ++failures;
+  }
+  if (result.legacy.gf_calls == 0) {
+    std::fprintf(stderr,
+                 "gate: legacy GF per-call counters unavailable "
+                 "(PPR_OBS_OFF build) — span gate skipped; engine mean "
+                 "fused span %.1f B\n",
+                 result.engine.mean_span_bytes);
+  } else {
+    const double ratio = result.legacy.mean_span_bytes > 0.0
+                             ? result.engine.mean_span_bytes /
+                                   result.legacy.mean_span_bytes
+                             : 0.0;
+    std::fprintf(stderr,
+                 "gate: mean span %.1f B batched vs %.1f B unbatched "
+                 "(%.1fx, floor %.1fx)\n",
+                 result.engine.mean_span_bytes,
+                 result.legacy.mean_span_bytes, ratio, kMinSpanRatio);
+    if (ratio < kMinSpanRatio) {
+      std::fprintf(stderr,
+                   "gate FAILED: batched span below %.1fx unbatched mean\n",
+                   kMinSpanRatio);
+      ++failures;
+    }
+  }
+  if (failures == 0) std::fprintf(stderr, "gate passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+int WriteReport(const BenchResult& result, const BenchShape& shape,
+                const std::string& path) {
+  const ppr::engine::EngineConfig engine_config = EngineShape(shape);
+  const auto leg_record = [&](const char* impl, const LegResult& leg) {
+    return ppr::bench::JsonRecord{
+        {"kernel", std::string("FlowEngine")},
+        {"impl", std::string(impl)},
+        {"symbol_bytes",
+         static_cast<std::int64_t>(engine_config.symbol_bytes)},
+        {"terms", static_cast<std::int64_t>(engine_config.n_source)},
+        {"flows", static_cast<std::int64_t>(leg.flows)},
+        {"completed", static_cast<std::int64_t>(leg.completed)},
+        {"sessions_per_s", leg.sessions_per_s},
+        {"mean_span_bytes", leg.mean_span_bytes}};
+  };
+  const std::vector<ppr::bench::JsonRecord> records = {
+      leg_record("legacy", result.legacy),
+      leg_record("engine", result.engine)};
+  const ppr::bench::JsonRecord header = {
+      {"bench", std::string("flow_engine_bench")}};
+  if (!ppr::bench::WriteJsonReport(path, header, "results", records)) {
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  BenchShape shape;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      shape.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>] [--seed <n>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    shape.engine_flows = 1'000;
+    shape.legacy_flows = 24;
+  }
+
+  BenchResult result;
+  result.legacy = RunLegacyLeg(shape);
+  result.engine = RunEngineLeg(shape, result.engine_stats);
+  PrintSummary(result);
+  if (!json_path.empty() && WriteReport(result, shape, json_path) != 0) {
+    return 1;
+  }
+  return CheckAcceptanceGate(result);
+}

@@ -105,6 +105,48 @@ std::unique_ptr<RecoveryParticipant> RecoveryStrategy::MakeRelayParticipant(
   return nullptr;  // this strategy has no relay role
 }
 
+RecoverySession::RecoverySession(SessionConfig config) {
+  for (auto& edge : config.edges) {
+    if (edge.from == edge.to) {
+      throw std::invalid_argument("RecoverySession: bad edge");
+    }
+    edges_[{edge.from, edge.to}] = std::move(edge.channel);
+  }
+  if (config.initial_broadcast.has_value()) {
+    auto& bcast = *config.initial_broadcast;
+    if (!bcast.channel) {
+      throw std::invalid_argument("RecoverySession: null broadcast channel");
+    }
+    for (const PartyId id : bcast.listeners) {
+      if (id == bcast.from) {
+        throw std::invalid_argument("RecoverySession: bad broadcast listener");
+      }
+    }
+    broadcast_from_ = bcast.from;
+    broadcast_listeners_ = std::move(bcast.listeners);
+    broadcast_channel_ = std::move(bcast.channel);
+  }
+  relay_airtime_budget_ = config.relay_airtime_budget_bits == 0
+                              ? kNoAirtimeBudget
+                              : config.relay_airtime_budget_bits;
+}
+
+// Config-time edges name parties that did not exist yet; check them
+// against the final roster once, when traffic first moves.
+void RecoverySession::ValidateTopology() const {
+  for (const auto& [edge, channel] : edges_) {
+    if (edge.first >= parties_.size() || edge.second >= parties_.size()) {
+      throw std::invalid_argument("RecoverySession: edge names unknown party");
+    }
+  }
+  for (const PartyId id : broadcast_listeners_) {
+    if (id >= parties_.size()) {
+      throw std::invalid_argument(
+          "RecoverySession: broadcast listener unknown");
+    }
+  }
+}
+
 PartyId RecoverySession::AddParty(
     std::unique_ptr<RecoveryParticipant> participant) {
   if (!participant) {
@@ -157,6 +199,10 @@ DestinationParticipant* RecoverySession::Destination() const {
 }
 
 void RecoverySession::TransmitInitial(PartyId source, const BitVec& body) {
+  if (!topology_validated_) {
+    ValidateTopology();
+    topology_validated_ = true;
+  }
   stats_.totals.forward_bits += body.size();
   ++stats_.totals.data_transmissions;
   if (broadcast_channel_ && broadcast_from_ == source) {
@@ -310,46 +356,63 @@ void RecoverySession::Deliver(const SessionMessage& msg) {
   }
 }
 
-SessionRunStats RecoverySession::Run(std::size_t max_rounds) {
+bool RecoverySession::RunRound() {
   DestinationParticipant* destination = Destination();
   if (!destination) {
     throw std::logic_error("RecoverySession: no destination party");
+  }
+  if (!topology_validated_) {
+    ValidateTopology();
+    topology_validated_ = true;
   }
   PartyId destination_id = 0;
   for (PartyId id = 0; id < parties_.size(); ++id) {
     if (parties_[id].get() == destination) destination_id = id;
   }
-  for (std::size_t round = 0; round < max_rounds; ++round) {
-    auto opening = destination->StartRound();
-    if (opening.empty()) {
-      stats_.totals.success = true;
-      obs::Count("arq.session.completed");
-      return stats_;
-    }
-    ++stats_.rounds;
-    round_budget_left_ = relay_airtime_budget_;
-    round_relay_bits_ = 0;
-    obs::Count("arq.session.rounds");
-    const std::uint64_t round_start_ns = obs::NowNs();
-    for (auto& msg : opening) {
-      msg.from = destination_id;
-      Deliver(msg);
-    }
-    const std::uint64_t round_ns = obs::NowNs() - round_start_ns;
-    obs::ObserveDuration("arq.session.round_ns", round_ns);
-    obs::Observe("arq.session.round_relay_bits", round_relay_bits_);
-    obs::TraceComplete("session.round", "arq", round_start_ns, round_ns, [&] {
-      return obs::TraceArgs{
-          {"relay_bits", static_cast<std::int64_t>(round_relay_bits_)},
-          {"round", static_cast<std::int64_t>(round + 1)}};
-    });
-    stats_.max_round_relay_bits =
-        std::max(stats_.max_round_relay_bits, round_relay_bits_);
+  auto opening = destination->StartRound();
+  if (opening.empty()) {
+    stats_.totals.success = true;
+    obs::Count("arq.session.completed");
+    return false;
+  }
+  ++stats_.rounds;
+  round_budget_left_ = relay_airtime_budget_;
+  round_relay_bits_ = 0;
+  obs::Count("arq.session.rounds");
+  const std::uint64_t round_start_ns = obs::NowNs();
+  for (auto& msg : opening) {
+    msg.from = destination_id;
+    Deliver(msg);
+  }
+  const std::uint64_t round_ns = obs::NowNs() - round_start_ns;
+  obs::ObserveDuration("arq.session.round_ns", round_ns);
+  obs::Observe("arq.session.round_relay_bits", round_relay_bits_);
+  obs::TraceComplete("session.round", "arq", round_start_ns, round_ns, [&] {
+    return obs::TraceArgs{
+        {"relay_bits", static_cast<std::int64_t>(round_relay_bits_)},
+        {"round", static_cast<std::int64_t>(stats_.rounds)}};
+  });
+  stats_.max_round_relay_bits =
+      std::max(stats_.max_round_relay_bits, round_relay_bits_);
+  return true;
+}
+
+SessionRunStats RecoverySession::Conclude() {
+  DestinationParticipant* destination = Destination();
+  if (!destination) {
+    throw std::logic_error("RecoverySession: no destination party");
   }
   stats_.totals.success = destination->Complete();
   obs::Count(stats_.totals.success ? "arq.session.completed"
                                    : "arq.session.failed");
   return stats_;
+}
+
+SessionRunStats RecoverySession::Run(std::size_t max_rounds) {
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    if (!RunRound()) return stats_;
+  }
+  return Conclude();
 }
 
 SessionRunStats RunRecoveryExchangeSession(const BitVec& payload_bits,
@@ -362,12 +425,14 @@ SessionRunStats RunRecoveryExchangeSession(const BitVec& payload_bits,
     throw std::invalid_argument(
         "RunRecoveryExchange: body bits must be a whole number of codewords");
   }
-  RecoverySession session;
+  SessionConfig topology;
+  topology.edges.push_back(
+      {kSessionSourceId, kSessionDestinationId, channel});
+  RecoverySession session(std::move(topology));
   const PartyId source =
       session.AddParty(strategy.MakeSourceParticipant(body, /*seq=*/1));
-  const PartyId destination = session.AddParty(strategy.MakeDestinationParticipant(
+  session.AddParty(strategy.MakeDestinationParticipant(
       /*seq=*/1, body.size() / config.bits_per_codeword));
-  session.SetEdgeChannel(source, destination, channel);
   session.TransmitInitial(source, body);
   return session.Run(max_rounds);
 }
@@ -394,14 +459,38 @@ SessionRunStats RunMultiRelayRecoveryExchange(
         "RunMultiRelayRecoveryExchange: body bits must be whole codewords");
   }
   const std::size_t total_codewords = body.size() / config.bits_per_codeword;
-  RecoverySession session;
-  const PartyId source =
-      session.AddParty(strategy.MakeSourceParticipant(body, /*seq=*/1));
-  const PartyId destination = session.AddParty(
-      strategy.MakeDestinationParticipant(/*seq=*/1, total_codewords));
   static_assert(kSessionSourceId == 0 && kSessionDestinationId == 1 &&
                 kSessionRelayId == 2);
-  session.SetEdgeChannel(source, destination, channels.source_to_destination);
+  // Party ids follow AddParty call order deterministically, so the
+  // whole topology is expressible up front.
+  SessionConfig topology;
+  topology.edges.push_back({kSessionSourceId, kSessionDestinationId,
+                            channels.source_to_destination});
+  for (std::size_t i = 0; i < num_relays; ++i) {
+    const PartyId relay_party = kSessionRelayId + i;
+    if (i < channels.source_to_relay.size() && channels.source_to_relay[i]) {
+      topology.edges.push_back(
+          {kSessionSourceId, relay_party, channels.source_to_relay[i]});
+    }
+    topology.edges.push_back({relay_party, kSessionDestinationId,
+                              channels.relay_to_destination[i]});
+  }
+  if (channels.initial_broadcast) {
+    SessionBroadcast bcast;
+    bcast.from = kSessionSourceId;
+    bcast.listeners.push_back(kSessionDestinationId);
+    for (std::size_t i = 0; i < num_relays; ++i) {
+      bcast.listeners.push_back(kSessionRelayId + i);
+    }
+    bcast.channel = channels.initial_broadcast;
+    topology.initial_broadcast = std::move(bcast);
+  }
+  topology.relay_airtime_budget_bits = config.relay_airtime_budget_bits;
+  RecoverySession session(std::move(topology));
+  const PartyId source =
+      session.AddParty(strategy.MakeSourceParticipant(body, /*seq=*/1));
+  session.AddParty(
+      strategy.MakeDestinationParticipant(/*seq=*/1, total_codewords));
   for (std::size_t i = 0; i < num_relays; ++i) {
     auto relay = strategy.MakeRelayParticipant(
         static_cast<std::uint8_t>(i + 1), /*seq=*/1, total_codewords);
@@ -409,23 +498,8 @@ SessionRunStats RunMultiRelayRecoveryExchange(
       throw std::invalid_argument(
           "RunMultiRelayRecoveryExchange: strategy has no relay role");
     }
-    const PartyId relay_party = session.AddParty(std::move(relay));
-    if (i < channels.source_to_relay.size() && channels.source_to_relay[i]) {
-      session.SetEdgeChannel(source, relay_party, channels.source_to_relay[i]);
-    }
-    session.SetEdgeChannel(relay_party, destination,
-                           channels.relay_to_destination[i]);
+    session.AddParty(std::move(relay));
   }
-  if (channels.initial_broadcast) {
-    std::vector<PartyId> listeners;
-    listeners.push_back(destination);
-    for (std::size_t i = 0; i < num_relays; ++i) {
-      listeners.push_back(kSessionRelayId + i);
-    }
-    session.SetInitialBroadcast(source, std::move(listeners),
-                                channels.initial_broadcast);
-  }
-  session.SetRelayAirtimeBudget(config.relay_airtime_budget_bits);
   session.TransmitInitial(source, body);
   return session.Run(max_rounds);
 }

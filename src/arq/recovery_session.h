@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arq/link_sim.h"
@@ -154,31 +155,63 @@ struct SessionRunStats {
   std::size_t relay_deferrals = 0;
 };
 
+// One directed data edge: the loss process for repair bits on the
+// from -> to hop. Feedback does not consult channels (reliable); a
+// kRepair message is simply not heard on edges without a channel.
+struct SessionEdge {
+  PartyId from = kBroadcastId;
+  PartyId to = kBroadcastId;
+  BodyChannel channel;
+};
+
+// Correlated initial delivery: TransmitInitial(from, body) makes ONE
+// transmission on `channel` and hands reception i to listeners[i],
+// instead of pushing the body through each per-edge channel privately.
+// Edges from `from` then carry only post-initial (repair) traffic.
+// Backed by a shared medium (arq/chip_medium.h or ppr/medium.h) this
+// is what makes collisions hit the destination and the overhearing
+// relays together.
+struct SessionBroadcast {
+  PartyId from = kBroadcastId;
+  std::vector<PartyId> listeners;
+  BroadcastBodyChannel channel;
+};
+
+// The whole topology a session needs, consumed at construction. Party
+// ids are assigned later by AddParty in call order, so edges name
+// parties that do not exist yet; the session validates the topology
+// against the roster when traffic first moves (TransmitInitial / Run).
+struct SessionConfig {
+  std::vector<SessionEdge> edges;
+  std::optional<SessionBroadcast> initial_broadcast;
+  // Per-round cap on total relay repair airtime (bits, descriptors
+  // included); 0 means unlimited. See the ExOR scheduling note atop
+  // this header.
+  std::size_t relay_airtime_budget_bits = 0;
+};
+
 class RecoverySession {
  public:
+  // A session with no edges; the deprecated setters below can still
+  // patch the topology in afterwards.
+  RecoverySession() = default;
+
+  // The immutable-topology form: every edge, the optional initial
+  // broadcast, and the relay budget arrive together and never change.
+  explicit RecoverySession(SessionConfig config);
+
   // Registers a participant; ids are assigned in call order and double
   // as the routing order for broadcast delivery. Exactly one
   // destination is required by Run().
   PartyId AddParty(std::unique_ptr<RecoveryParticipant> participant);
 
-  // Loss process for data-direction bits on the from -> to edge.
-  // Feedback does not consult channels (reliable); a kRepair message is
-  // simply not heard on edges without a channel.
+  // DEPRECATED forwarding shims, kept one release so callers migrate
+  // to SessionConfig incrementally. These validate eagerly against the
+  // current roster (the historical behavior); the config path defers
+  // validation to first traffic.
   void SetEdgeChannel(PartyId from, PartyId to, BodyChannel channel);
-
-  // Correlated initial delivery: when set, TransmitInitial(from, body)
-  // makes ONE transmission on `channel` and hands reception i to
-  // listeners[i], instead of pushing the body through each per-edge
-  // channel privately. Edges from `from` then carry only post-initial
-  // (repair) traffic. Backed by a shared medium (arq/chip_medium.h or
-  // ppr/medium.h) this is what makes collisions hit the destination
-  // and the overhearing relays together.
   void SetInitialBroadcast(PartyId from, std::vector<PartyId> listeners,
                            BroadcastBodyChannel channel);
-
-  // Per-round cap on total relay repair airtime (bits, descriptors
-  // included); 0 means unlimited. See the ExOR scheduling note atop
-  // this header.
   void SetRelayAirtimeBudget(std::size_t bits_per_round);
 
   // The initial packet transmission: one broadcast from `source`; every
@@ -190,11 +223,27 @@ class RecoverySession {
   // or max_rounds is reached.
   SessionRunStats Run(std::size_t max_rounds);
 
+  // One feedback round, scheduler-steppable (the flow engine drives
+  // many sessions by interleaving RunRound calls): the destination
+  // opens, every reply routes until the round drains. Returns false —
+  // without counting a round — when the destination emitted no
+  // feedback: the exchange is complete and stats().totals.success is
+  // already set.
+  bool RunRound();
+
+  // Final accounting for a driver that stopped stepping RunRound
+  // before it returned false (a round cap): success = destination
+  // completeness, exactly as Run()'s max_rounds exit.
+  SessionRunStats Conclude();
+
+  const SessionRunStats& stats() const { return stats_; }
+
   RecoveryParticipant& party(PartyId id) { return *parties_.at(id); }
   std::size_t num_parties() const { return parties_.size(); }
 
  private:
   DestinationParticipant* Destination() const;
+  void ValidateTopology() const;
   void Deliver(const SessionMessage& msg);
   void Account(const SessionMessage& msg);
   std::vector<PartyId> RecipientOrder(const SessionMessage& msg);
@@ -208,6 +257,7 @@ class RecoverySession {
   std::size_t relay_airtime_budget_ = kNoAirtimeBudget;  // per round
   std::size_t round_budget_left_ = kNoAirtimeBudget;
   std::size_t round_relay_bits_ = 0;
+  bool topology_validated_ = false;
 };
 
 // Channels of the canonical three-party (Crelay) topology.

@@ -1,0 +1,66 @@
+#include "engine/arena.h"
+
+#include <stdexcept>
+
+namespace ppr::engine {
+
+FlowArena::FlowArena(std::size_t slot_bytes, std::size_t slots_per_slab)
+    : slot_bytes_(slot_bytes), slots_per_slab_(slots_per_slab) {
+  if (slot_bytes == 0 || slots_per_slab == 0) {
+    throw std::invalid_argument("FlowArena: empty slot shape");
+  }
+}
+
+std::byte* FlowArena::SlotAddress(std::uint32_t index) const {
+  return slabs_[index / slots_per_slab_].get() +
+         static_cast<std::size_t>(index % slots_per_slab_) * slot_bytes_;
+}
+
+FlowHandle FlowArena::Allocate() {
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(generation_.size());
+    if (index / slots_per_slab_ >= slabs_.size()) {
+      slabs_.push_back(
+          std::make_unique<std::byte[]>(slots_per_slab_ * slot_bytes_));
+    }
+    generation_.push_back(0);
+  }
+  ++generation_[index];  // even -> odd: live
+  ++active_;
+  return FlowHandle{index, generation_[index]};
+}
+
+bool FlowArena::Alive(FlowHandle handle) const {
+  return handle.index < generation_.size() &&
+         (handle.generation & 1u) == 1u &&
+         generation_[handle.index] == handle.generation;
+}
+
+void FlowArena::CheckLive(FlowHandle handle) const {
+  if (!Alive(handle)) {
+    throw std::logic_error("FlowArena: stale handle (use after retire?)");
+  }
+}
+
+void FlowArena::Retire(FlowHandle handle) {
+  CheckLive(handle);
+  ++generation_[handle.index];  // odd -> even: free
+  free_.push_back(handle.index);
+  --active_;
+}
+
+std::byte* FlowArena::Get(FlowHandle handle) {
+  CheckLive(handle);
+  return SlotAddress(handle.index);
+}
+
+const std::byte* FlowArena::Get(FlowHandle handle) const {
+  CheckLive(handle);
+  return SlotAddress(handle.index);
+}
+
+}  // namespace ppr::engine

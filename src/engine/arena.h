@@ -1,0 +1,82 @@
+// FlowArena: contiguous slab storage for per-flow session state.
+//
+// A base station serving millions of concurrent recovery sessions
+// cannot afford one heap object (or several) per flow: allocation
+// churn, pointer chasing, and fragmentation dominate long before the
+// GF(256) arithmetic does. The arena hands out fixed-size slots carved
+// from large slabs; a flow's whole state — header, source block,
+// decoder rows — lives in one contiguous run of bytes, so the batch
+// planner can gather thousands of flows with straight memcpys and the
+// allocator never touches the heap after the slabs exist.
+//
+// Handles are generation-checked: retiring a slot bumps its
+// generation, so a stale FlowHandle held past Retire() is detected
+// (Get throws, Alive returns false) instead of silently reading a
+// reused slot. The free list is LIFO, which makes slot reuse
+// deterministic — the next Allocate after a Retire returns the same
+// index with a new generation — and keeps the hot set compact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ppr::engine {
+
+// A generation-checked reference to one arena slot. Value-type, 8
+// bytes, safe to park in scheduler events: staleness is detected at
+// dereference time, not trusted at hand-off time.
+struct FlowHandle {
+  std::uint32_t index = 0;
+  std::uint32_t generation = 0;
+
+  bool operator==(const FlowHandle&) const = default;
+};
+
+class FlowArena {
+ public:
+  // `slot_bytes` is the uniform per-flow state size; slabs hold
+  // `slots_per_slab` slots each and are allocated as the flow count
+  // grows (existing slabs never move, so spans into live slots stay
+  // valid across growth).
+  explicit FlowArena(std::size_t slot_bytes, std::size_t slots_per_slab = 1024);
+
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  std::size_t active() const { return active_; }
+  // Slots ever created (live + free-listed).
+  std::size_t capacity() const { return generation_.size(); }
+
+  // Claims a slot (reusing the most recently retired one first) and
+  // returns its handle. The slot's bytes are NOT cleared: the caller
+  // initializes its own layout.
+  FlowHandle Allocate();
+
+  // Releases the slot and invalidates every outstanding handle to it.
+  // Throws std::logic_error on a stale or never-allocated handle.
+  void Retire(FlowHandle handle);
+
+  // True when `handle` names the current occupancy of its slot.
+  bool Alive(FlowHandle handle) const;
+
+  // The slot's storage; throws std::logic_error when the handle is
+  // stale (use-after-retire) or out of range.
+  std::byte* Get(FlowHandle handle);
+  const std::byte* Get(FlowHandle handle) const;
+
+ private:
+  std::byte* SlotAddress(std::uint32_t index) const;
+  void CheckLive(FlowHandle handle) const;
+
+  std::size_t slot_bytes_;
+  std::size_t slots_per_slab_;
+  std::size_t active_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  // generation_[i] is the slot's current generation; even = free, odd =
+  // live (Allocate and Retire each bump it once), so liveness needs no
+  // separate flag and every retire invalidates outstanding handles.
+  std::vector<std::uint32_t> generation_;
+  std::vector<std::uint32_t> free_;  // LIFO
+};
+
+}  // namespace ppr::engine

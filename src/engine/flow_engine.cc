@@ -1,0 +1,447 @@
+#include "engine/flow_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "fec/gf256.h"
+#include "fec/rlnc.h"
+#include "obs/obs.h"
+
+namespace ppr::engine {
+namespace {
+
+// Widest per-flow deficit the slot layout reserves solver rows for.
+constexpr std::size_t kDeficitCap = 64;
+
+// Scheduler keys: bit 63 selects compat sessions; native keys pack the
+// arena handle (generation in the high half so a stale handle can be
+// detected on pop without a table lookup).
+constexpr std::uint64_t kCompatBit = std::uint64_t{1} << 63;
+
+std::uint64_t PackHandle(FlowHandle handle) {
+  return (static_cast<std::uint64_t>(handle.generation) << 32) | handle.index;
+}
+
+FlowHandle UnpackHandle(std::uint64_t key) {
+  return FlowHandle{static_cast<std::uint32_t>(key & 0xFFFFFFFFu),
+                    static_cast<std::uint32_t>(key >> 32)};
+}
+
+constexpr std::size_t AlignUp(std::size_t x, std::size_t a) {
+  return (x + a - 1) / a * a;
+}
+
+// The POD-ish per-flow state at the start of every arena slot. The
+// source block and the solver rows follow at engine-computed offsets.
+struct NativeHeader {
+  FlowId id;
+  Rng rng;  // per-flow stream: content, deficit, channel draws
+  std::uint16_t missing_count;
+  std::uint16_t rank;
+  std::uint16_t rounds_done;
+  std::uint8_t missing[kDeficitCap];     // ascending missing column ids
+  std::uint8_t pivot_live[kDeficitCap];  // solver row i holds pivot i
+};
+
+const EngineConfig& Validated(const EngineConfig& config) {
+  if (config.n_source == 0 || config.symbol_bytes == 0) {
+    throw std::invalid_argument("FlowEngine: empty flow shape");
+  }
+  if (config.max_deficit == 0 || config.max_deficit > kDeficitCap ||
+      config.max_deficit > config.n_source) {
+    throw std::invalid_argument("FlowEngine: bad max_deficit");
+  }
+  if (config.round_interval == 0) {
+    throw std::invalid_argument("FlowEngine: zero round_interval");
+  }
+  return config;
+}
+
+std::size_t SlotBytes(const EngineConfig& config) {
+  const std::size_t source = config.n_source * config.symbol_bytes;
+  const std::size_t solver =
+      config.max_deficit * (config.max_deficit + config.symbol_bytes);
+  return AlignUp(AlignUp(sizeof(NativeHeader), 64) + source + solver, 64);
+}
+
+}  // namespace
+
+// Arena-backed dxd Gauss-Jordan solver over a flow's missing columns,
+// speaking the same fec::EquationSink surface as the full decoders.
+// Column i is the flow's i-th missing symbol; rows live in the flow's
+// slot, the work row in engine-lifetime scratch, so ingest allocates
+// nothing.
+class FlowEngine::NativeSolver : public fec::EquationSink {
+ public:
+  NativeSolver(NativeHeader& header, std::byte* slot, FlowEngine& engine)
+      : header_(header),
+        coefs_(reinterpret_cast<std::uint8_t*>(slot + engine.off_coefs_)),
+        data_(reinterpret_cast<std::uint8_t*>(slot + engine.off_data_)),
+        d_max_(engine.config_.max_deficit),
+        symbol_bytes_(engine.config_.symbol_bytes),
+        work_coefs_(engine.solver_coefs_),
+        work_data_(engine.solver_data_) {}
+
+  std::size_t equation_width() const override { return header_.missing_count; }
+  std::size_t equation_bytes() const override { return symbol_bytes_; }
+
+  bool ConsumeEquationSpan(std::span<const std::uint8_t> coefs,
+                           std::span<const std::uint8_t> data) override {
+    const std::size_t d = header_.missing_count;
+    if (coefs.size() != d || data.size() != symbol_bytes_) {
+      throw std::invalid_argument("NativeSolver: equation shape mismatch");
+    }
+    work_coefs_.assign(coefs.begin(), coefs.end());
+    work_data_.assign(data.begin(), data.end());
+
+    // Forward-eliminate against the live pivot rows. Rows are
+    // Gauss-Jordan reduced, so factors read upfront stay valid.
+    for (std::size_t j = 0; j < d; ++j) {
+      const std::uint8_t factor = work_coefs_[j];
+      if (factor == 0 || !header_.pivot_live[j]) continue;
+      fec::GfAxpy(std::span(work_coefs_.data(), d), factor, CoefRow(j));
+      fec::GfAxpy(work_data_, factor, DataRow(j));
+    }
+    std::size_t lead = d;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (work_coefs_[j] != 0) {
+        lead = j;
+        break;
+      }
+    }
+    if (lead == d) return false;  // linearly dependent
+
+    const std::uint8_t inv = fec::GfInv(work_coefs_[lead]);
+    fec::GfScale(work_coefs_, inv);
+    fec::GfScale(work_data_, inv);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (!header_.pivot_live[j]) continue;
+      const std::uint8_t factor = CoefRow(j)[lead];
+      if (factor == 0) continue;
+      fec::GfAxpy(MutableCoefRow(j), factor,
+                  std::span<const std::uint8_t>(work_coefs_.data(), d));
+      fec::GfAxpy(MutableDataRow(j), factor, work_data_);
+    }
+    std::memcpy(coefs_ + lead * d_max_, work_coefs_.data(), d);
+    std::memcpy(data_ + lead * symbol_bytes_, work_data_.data(),
+                symbol_bytes_);
+    header_.pivot_live[lead] = 1;
+    ++header_.rank;
+    return true;
+  }
+
+  // Recovered missing symbol i; requires full rank (every row is then
+  // the unit vector e_i, so its data IS the missing symbol).
+  std::span<const std::uint8_t> Recovered(std::size_t i) const {
+    assert(header_.rank == header_.missing_count && header_.pivot_live[i]);
+    return DataRow(i);
+  }
+
+ private:
+  std::span<const std::uint8_t> CoefRow(std::size_t j) const {
+    return {coefs_ + j * d_max_, header_.missing_count};
+  }
+  std::span<std::uint8_t> MutableCoefRow(std::size_t j) {
+    return {coefs_ + j * d_max_, header_.missing_count};
+  }
+  std::span<const std::uint8_t> DataRow(std::size_t j) const {
+    return {data_ + j * symbol_bytes_, symbol_bytes_};
+  }
+  std::span<std::uint8_t> MutableDataRow(std::size_t j) {
+    return {data_ + j * symbol_bytes_, symbol_bytes_};
+  }
+
+  NativeHeader& header_;
+  std::uint8_t* coefs_;
+  std::uint8_t* data_;
+  std::size_t d_max_;
+  std::size_t symbol_bytes_;
+  std::vector<std::uint8_t>& work_coefs_;
+  std::vector<std::uint8_t>& work_data_;
+};
+
+FlowEngine::FlowEngine(EngineConfig config)
+    : config_(Validated(config)),
+      arena_(SlotBytes(config_), config_.slots_per_slab) {
+  off_source_ = AlignUp(sizeof(NativeHeader), 64);
+  off_coefs_ = off_source_ + config_.n_source * config_.symbol_bytes;
+  off_data_ = off_coefs_ + config_.max_deficit * config_.max_deficit;
+  staging_.resize(config_.n_source);
+}
+
+FlowEngine::~FlowEngine() = default;
+
+FlowHandle FlowEngine::SpawnFlow(FlowId id) {
+  const FlowHandle handle = arena_.Allocate();
+  std::byte* slot = arena_.Get(handle);
+  auto* header = new (slot) NativeHeader{
+      id,
+      Rng(config_.seed ^ (id * 0x9E3779B97F4A7C15ull) ^ 0xD1B54A32D192ED03ull),
+      0,
+      0,
+      0,
+      {},
+      {}};
+
+  // Ground-truth source block, straight from the flow's stream.
+  auto* source = reinterpret_cast<std::uint8_t*>(slot + off_source_);
+  const std::size_t block_bytes = config_.n_source * config_.symbol_bytes;
+  std::size_t filled = 0;
+  while (filled < block_bytes) {
+    const std::uint64_t word = header->rng.Next();
+    const std::size_t n = std::min(sizeof(word), block_bytes - filled);
+    std::memcpy(source + filled, &word, n);
+    filled += n;
+  }
+
+  // The deficit: which columns the destination is missing.
+  const std::size_t deficit =
+      1 + static_cast<std::size_t>(header->rng.UniformInt(config_.max_deficit));
+  header->missing_count = static_cast<std::uint16_t>(deficit);
+  for (std::size_t i = 0; i < deficit; ++i) {
+    while (true) {
+      const auto candidate = static_cast<std::uint8_t>(
+          header->rng.UniformInt(config_.n_source));
+      bool taken = false;
+      for (std::size_t k = 0; k < i; ++k) {
+        if (header->missing[k] == candidate) taken = true;
+      }
+      if (!taken) {
+        header->missing[i] = candidate;
+        break;
+      }
+    }
+  }
+  std::sort(header->missing, header->missing + deficit);
+
+  ++stats_.flows_spawned;
+  queue_.Push(now_ + config_.round_interval, PackHandle(handle));
+  return handle;
+}
+
+std::size_t FlowEngine::AddCompatSession(
+    std::unique_ptr<arq::RecoverySession> session, std::size_t max_rounds) {
+  if (!session) {
+    throw std::invalid_argument("FlowEngine: null compat session");
+  }
+  CompatFlow flow;
+  flow.session = std::move(session);
+  flow.max_rounds = max_rounds;
+  compat_.push_back(std::move(flow));
+  const std::size_t index = compat_.size() - 1;
+  queue_.Push(now_ + config_.round_interval, kCompatBit | index);
+  return index;
+}
+
+bool FlowEngine::CompatDone(std::size_t index) const {
+  return compat_.at(index).done;
+}
+
+const arq::SessionRunStats& FlowEngine::CompatResult(std::size_t index) const {
+  const CompatFlow& flow = compat_.at(index);
+  if (!flow.done) {
+    throw std::logic_error("FlowEngine: compat session still running");
+  }
+  return flow.result;
+}
+
+void FlowEngine::RunCompatRound(std::size_t index) {
+  CompatFlow& flow = compat_.at(index);
+  if (flow.done) return;
+  if (!flow.session->RunRound()) {
+    flow.result = flow.session->stats();
+    flow.done = true;
+    ++stats_.compat_completed;
+    return;
+  }
+  ++flow.rounds_done;
+  if (flow.rounds_done >= flow.max_rounds) {
+    flow.result = flow.session->Conclude();
+    flow.done = true;
+    ++stats_.compat_completed;
+    return;
+  }
+  queue_.Push(now_ + config_.round_interval, kCompatBit | index);
+}
+
+std::size_t FlowEngine::ProcessTick(std::uint64_t tick_time) {
+  now_ = std::max(now_, tick_time);
+  due_events_.clear();
+  queue_.PopDue(tick_time, due_events_);
+  batch_items_.clear();
+  for (const FlowEvent& event : due_events_) {
+    obs::Observe("engine.sched.lag", now_ - event.time);
+    if (event.key & kCompatBit) {
+      RunCompatRound(static_cast<std::size_t>(event.key & ~kCompatBit));
+      continue;
+    }
+    const FlowHandle handle = UnpackHandle(event.key);
+    if (!arena_.Alive(handle)) continue;  // retired while queued
+    auto* header = reinterpret_cast<NativeHeader*>(arena_.Get(handle));
+    batch_items_.push_back(
+        {handle, static_cast<std::uint32_t>(header->missing_count -
+                                            header->rank)});
+  }
+  if (!batch_items_.empty()) ProcessNativeBatch();
+  obs::SetGauge("engine.flows.active",
+                static_cast<double>(arena_.active()));
+  return due_events_.size();
+}
+
+// One engine tick: every due native flow's repair round, with the
+// GF(256) encode fused across flows.
+//
+// Flows are ordered by remaining request, descending, so "the flows
+// still needing a repair at slot s" is always a PREFIX of the order.
+// The source blocks are gathered once, symbol-major, into staging
+// rows (staging_[j] = flow0's symbol j ++ flow1's symbol j ++ ...);
+// repair slot s then shares ONE coefficient seed across its whole
+// group — sound because each flow's equation spans only its own block,
+// and a flow's distinct slots use distinct seeds — which turns the
+// slot's encode into a single GfAxpyN whose term j spans
+// group_size * symbol_bytes contiguous bytes. That is the long-run
+// shape the SIMD kernels want, reached even at 2-3 symbol deficits.
+void FlowEngine::ProcessNativeBatch() {
+  const std::size_t n = config_.n_source;
+  const std::size_t sb = config_.symbol_bytes;
+  std::stable_sort(batch_items_.begin(), batch_items_.end(),
+                   [](const BatchItem& a, const BatchItem& b) {
+                     return a.request > b.request;
+                   });
+  const std::size_t flows = batch_items_.size();
+  const std::size_t max_request = batch_items_.front().request;
+
+  // Gather: amortized over every repair slot of the tick.
+  for (std::size_t j = 0; j < n; ++j) staging_[j].resize(flows * sb);
+  for (std::size_t p = 0; p < flows; ++p) {
+    const std::byte* slot = arena_.Get(batch_items_[p].handle);
+    const auto* source =
+        reinterpret_cast<const std::uint8_t*>(slot + off_source_);
+    for (std::size_t j = 0; j < n; ++j) {
+      std::memcpy(staging_[j].data() + p * sb, source + j * sb, sb);
+    }
+  }
+
+  coef_scratch_.resize(n);
+  std::vector<fec::GfTerm> terms;
+  terms.reserve(n);
+  std::size_t group = flows;
+  for (std::size_t s = 0; s < max_request; ++s) {
+    // Shrink the group to flows still requesting more than s repairs.
+    while (group > 0 && batch_items_[group - 1].request <= s) --group;
+    if (group == 0) break;
+    const std::size_t span_bytes = group * sb;
+
+    const std::uint32_t seed = fec::PartySeed(0, ++seed_counter_);
+    fec::RepairCoefficientsInto(seed, coef_scratch_);
+    repair_dst_.assign(span_bytes, 0);
+    terms.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (coef_scratch_[j] == 0) continue;
+      terms.push_back(
+          {coef_scratch_[j], std::span(staging_[j].data(), span_bytes)});
+    }
+    fec::GfAxpyN(repair_dst_, terms);
+    ++stats_.batch_calls;
+    stats_.batch_bytes += span_bytes;
+    stats_.repairs_sent += group;
+    obs::Observe("engine.batch.span_bytes", span_bytes);
+
+    // Delivery and ingest, per flow. The repair crosses the erasure
+    // channel whole; a delivered record's known columns are
+    // substituted out against the destination's copies — equal to the
+    // source's ground truth under the erasure model — so the banked
+    // equation is exactly the repair projected onto the flow's missing
+    // columns: rho = sum over missing m of coef[m] * source[m], the
+    // d-term algebraic identity of "received data minus knowns".
+    for (std::size_t p = 0; p < group; ++p) {
+      std::byte* slot = arena_.Get(batch_items_[p].handle);
+      auto* header = reinterpret_cast<NativeHeader*>(slot);
+      const std::size_t d = header->missing_count;
+      if (header->rank == d) continue;  // completed earlier this tick
+      if (header->rng.Bernoulli(config_.record_loss)) continue;  // erased
+      ++stats_.repairs_delivered;
+
+      const auto* source =
+          reinterpret_cast<const std::uint8_t*>(slot + off_source_);
+      proj_coefs_.resize(d);
+      proj_data_.assign(sb, 0);
+      terms.clear();
+      for (std::size_t i = 0; i < d; ++i) {
+        const std::uint8_t m = header->missing[i];
+        proj_coefs_[i] = coef_scratch_[m];
+        if (proj_coefs_[i] == 0) continue;
+        terms.push_back({proj_coefs_[i],
+                         std::span(source + m * sb, sb)});
+      }
+      fec::GfAxpyN(proj_data_, terms);
+      NativeSolver solver(*header, slot, *this);
+      fec::EquationSink& sink = solver;  // the unified ingest surface
+      sink.ConsumeEquationSpan(proj_coefs_, proj_data_);
+    }
+  }
+
+  // Round bookkeeping: completion, failure, or the next wake-up.
+  for (const BatchItem& item : batch_items_) {
+    std::byte* slot = arena_.Get(item.handle);
+    auto* header = reinterpret_cast<NativeHeader*>(slot);
+    ++header->rounds_done;
+    ++stats_.rounds;
+    if (header->rank == header->missing_count) {
+      FinishFlow(item.handle, /*decoded=*/true);
+    } else if (header->rounds_done >= config_.max_rounds) {
+      FinishFlow(item.handle, /*decoded=*/false);
+    } else {
+      queue_.Push(now_ + config_.round_interval, PackHandle(item.handle));
+    }
+  }
+}
+
+void FlowEngine::FinishFlow(FlowHandle handle, bool decoded) {
+  std::byte* slot = arena_.Get(handle);
+  auto* header = reinterpret_cast<NativeHeader*>(slot);
+  if (decoded) {
+    // The recovered columns must reproduce the ground truth exactly;
+    // anything else is an engine bug, not a channel outcome.
+    const auto* source =
+        reinterpret_cast<const std::uint8_t*>(slot + off_source_);
+    NativeSolver solver(*header, slot, *this);
+    for (std::size_t i = 0; i < header->missing_count; ++i) {
+      const auto recovered = solver.Recovered(i);
+      if (std::memcmp(recovered.data(),
+                      source + header->missing[i] * config_.symbol_bytes,
+                      config_.symbol_bytes) != 0) {
+        throw std::logic_error("FlowEngine: recovered symbol mismatch");
+      }
+    }
+    ++stats_.flows_completed;
+    obs::Count("engine.flows.completed");
+  } else {
+    ++stats_.flows_failed;
+    obs::Count("engine.flows.failed");
+  }
+  arena_.Retire(handle);
+}
+
+std::size_t FlowEngine::RunUntil(std::uint64_t until) {
+  std::size_t processed = 0;
+  while (!queue_.Empty() && queue_.PeekTime() <= until) {
+    processed += ProcessTick(queue_.PeekTime());
+  }
+  now_ = std::max(now_, until);
+  return processed;
+}
+
+std::size_t FlowEngine::RunAll() {
+  std::size_t processed = 0;
+  while (!queue_.Empty()) {
+    processed += ProcessTick(queue_.PeekTime());
+  }
+  return processed;
+}
+
+}  // namespace ppr::engine

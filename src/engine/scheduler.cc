@@ -1,0 +1,54 @@
+#include "engine/scheduler.h"
+
+#include <utility>
+
+namespace ppr::engine {
+
+void EventQueue::Push(std::uint64_t time, std::uint64_t key) {
+  heap_.push_back(FlowEvent{time, next_seq_++, key});
+  SiftUp(heap_.size() - 1);
+}
+
+std::optional<FlowEvent> EventQueue::Pop() {
+  if (heap_.empty()) return std::nullopt;
+  FlowEvent out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return out;
+}
+
+std::size_t EventQueue::PopDue(std::uint64_t until,
+                               std::vector<FlowEvent>& out) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.front().time <= until) {
+    out.push_back(*Pop());
+    ++n;
+  }
+  return n;
+}
+
+void EventQueue::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    std::size_t best = i;
+    if (left < n && Later(heap_[best], heap_[left])) best = left;
+    if (right < n && Later(heap_[best], heap_[right])) best = right;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace ppr::engine

@@ -1,0 +1,60 @@
+// Event-driven virtual-time scheduler for the flow engine.
+//
+// The legacy drivers (RunRecoveryExchange and friends) block inside a
+// per-session while loop: one flow's rounds run to completion before
+// the next flow starts. At engine scale the loop inverts — every flow
+// that has a round due NOW must surface together, so the batch planner
+// can fuse their GF(256) work into long runs. The queue is a binary
+// min-heap of (virtual_time, seq, key) events; `seq` is a global
+// monotone tie-break, so same-time events pop in push order and the
+// whole schedule is deterministic at any flow count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ppr::engine {
+
+// One scheduled wake-up. `key` is an opaque flow designator owned by
+// the caller (the engine packs native FlowHandles and compat-session
+// indexes into it).
+struct FlowEvent {
+  std::uint64_t time = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t key = 0;
+};
+
+class EventQueue {
+ public:
+  bool Empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  // Earliest scheduled time; requires !Empty().
+  std::uint64_t PeekTime() const { return heap_.front().time; }
+
+  void Push(std::uint64_t time, std::uint64_t key);
+
+  // Pops the earliest event (ties broken by push order), or nullopt
+  // when the queue is empty.
+  std::optional<FlowEvent> Pop();
+
+  // Pops every event with time <= `until` into `out` (appended in
+  // (time, seq) order). Returns how many were popped. This is the
+  // batch planner's harvest: all flows runnable this tick, together.
+  std::size_t PopDue(std::uint64_t until, std::vector<FlowEvent>& out);
+
+ private:
+  static bool Later(const FlowEvent& a, const FlowEvent& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+
+  std::vector<FlowEvent> heap_;  // min-heap by (time, seq)
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ppr::engine

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -76,6 +77,15 @@ class CodedRepairSession {
                        std::vector<std::uint8_t> data, double suspicion,
                        bool evictable, std::uint8_t party = 0);
 
+  // Borrowed-span form of ConsumeEquation: the session banks its own
+  // copy (eviction replay needs it) but the caller's buffers are never
+  // consumed, so a driver can feed many sessions from one staging
+  // buffer.
+  bool ConsumeEquationSpan(std::span<const std::uint8_t> coefs,
+                           std::span<const std::uint8_t> data,
+                           double suspicion, bool evictable,
+                           std::uint8_t party = 0);
+
   // Decoded source symbols; requires CanDecode().
   std::vector<std::vector<std::uint8_t>> Decode() const;
 
@@ -111,6 +121,9 @@ class CodedRepairSession {
   std::vector<BankedEquation> equations_;
   RlncDecoder decoder_;
   std::size_t evict_batch_ = 1;
+  // Session-lifetime scratch for seed-expanded repair coefficients;
+  // ConsumeRepair reuses it instead of allocating a vector per symbol.
+  std::vector<std::uint8_t> coef_scratch_;
 };
 
 }  // namespace ppr::fec

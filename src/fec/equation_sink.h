@@ -1,0 +1,47 @@
+// EquationSink: the one span-based ingest surface every linear-equation
+// consumer in the tree implements.
+//
+// A recovery engine that banks equations — the block decoder
+// (fec::RlncDecoder), the sliding-window stream decoder
+// (stream::WindowDecoder), and whatever a future collision-recovery
+// listener resolves superposed frames into — ultimately does the same
+// thing: accept (coefficients, data) over some column space and fold it
+// into an elimination basis. Before this interface each consumer had
+// its own by-value entry point, so a driver that wanted to feed "either
+// decoder" (the flow engine, engine/flow_engine.h) had to know which
+// concrete type it held and pay a fresh vector allocation per call.
+//
+// ConsumeEquationSpan takes borrowed spans: the implementation copies
+// into its own reused scratch (or eliminates in place) and the caller's
+// buffers are untouched on return, so one staging buffer can feed a
+// million flows without per-equation heap churn.
+//
+// Column-space convention: `coefs` has exactly equation_width() entries
+// and the implementation defines what column i means — source-symbol i
+// for the block decoder, window column base+i for the stream decoder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ppr::fec {
+
+class EquationSink {
+ public:
+  virtual ~EquationSink() = default;
+
+  // Columns an equation spans (coefs.size() must equal this).
+  virtual std::size_t equation_width() const = 0;
+  // Bytes per equation payload (data.size() must equal this).
+  virtual std::size_t equation_bytes() const = 0;
+
+  // Banks coefs . columns = data. Returns true when the equation was
+  // new information (increased the basis rank); false when linearly
+  // dependent, stale, or otherwise dropped. The spans are borrowed:
+  // never retained past the call.
+  virtual bool ConsumeEquationSpan(std::span<const std::uint8_t> coefs,
+                                   std::span<const std::uint8_t> data) = 0;
+};
+
+}  // namespace ppr::fec

@@ -2,20 +2,26 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "common/rng.h"
 #include "fec/gf256.h"
 
 namespace ppr::fec {
 
-std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
-                                             std::size_t n_source) {
+void RepairCoefficientsInto(std::uint32_t seed,
+                            std::span<std::uint8_t> coefs) {
   // Mix the seed so consecutive seeds (the sender uses a counter) give
   // unrelated streams even through the first few draws.
   Rng rng(0x9E3779B97F4A7C15ull ^ (static_cast<std::uint64_t>(seed) << 17 |
                                    static_cast<std::uint64_t>(seed)));
-  std::vector<std::uint8_t> coefs(n_source);
   for (auto& c : coefs) c = static_cast<std::uint8_t>(rng.UniformInt(256));
+}
+
+std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
+                                             std::size_t n_source) {
+  std::vector<std::uint8_t> coefs(n_source);
+  RepairCoefficientsInto(seed, coefs);
   return coefs;
 }
 
@@ -102,49 +108,80 @@ RlncDecoder::RlncDecoder(std::size_t n_source, std::size_t symbol_bytes)
 }
 
 bool RlncDecoder::AddSource(std::size_t index, std::vector<std::uint8_t> data) {
+  return AddSourceSpan(index, data);
+}
+
+bool RlncDecoder::AddSourceSpan(std::size_t index,
+                                std::span<const std::uint8_t> data) {
   assert(index < n_source_);
-  std::vector<std::uint8_t> coefs(n_source_, 0);
-  coefs[index] = 1;
-  return AddEquation(std::move(coefs), std::move(data));
+  if (data.size() != symbol_bytes_) {
+    throw std::invalid_argument("RlncDecoder: equation shape mismatch");
+  }
+  work_coefs_.assign(n_source_, 0);
+  work_coefs_[index] = 1;
+  work_data_.assign(data.begin(), data.end());
+  return EliminateWork();
 }
 
 bool RlncDecoder::AddRepair(const RepairSymbol& repair) {
-  return AddEquation(RepairCoefficients(repair.seed, n_source_), repair.data);
+  return AddRepairBatch({&repair, 1}) != 0;
+}
+
+std::size_t RlncDecoder::AddRepairBatch(std::span<const RepairSymbol> repairs) {
+  std::size_t gained = 0;
+  coef_scratch_.resize(n_source_);
+  for (const auto& repair : repairs) {
+    if (Complete()) break;
+    RepairCoefficientsInto(repair.seed, coef_scratch_);
+    if (AddEquationSpan(coef_scratch_, repair.data)) ++gained;
+  }
+  return gained;
 }
 
 bool RlncDecoder::AddEquation(std::vector<std::uint8_t> coefs,
                               std::vector<std::uint8_t> data) {
+  return AddEquationSpan(coefs, data);
+}
+
+bool RlncDecoder::AddEquationSpan(std::span<const std::uint8_t> coefs,
+                                  std::span<const std::uint8_t> data) {
   if (coefs.size() != n_source_ || data.size() != symbol_bytes_) {
     throw std::invalid_argument("RlncDecoder: equation shape mismatch");
   }
+  work_coefs_.assign(coefs.begin(), coefs.end());
+  work_data_.assign(data.begin(), data.end());
+  return EliminateWork();
+}
 
+bool RlncDecoder::EliminateWork() {
   // Forward-eliminate against every existing pivot. Pivot rows are
   // Gauss-Jordan reduced — zero at every OTHER pivot column — so
   // eliminating against pivot j never changes the factor a later pivot
   // sees; all factors can be read upfront and the whole sweep batched
   // into one GfAxpyN per row.
-  std::vector<GfTerm> coef_terms, data_terms;
+  coef_terms_.clear();
+  data_terms_.clear();
   for (std::size_t j = 0; j < n_source_; ++j) {
-    if (coefs[j] == 0 || !pivot_[j].has_value()) continue;
-    coef_terms.push_back({coefs[j], pivot_[j]->coefs});
-    data_terms.push_back({coefs[j], pivot_[j]->data});
+    if (work_coefs_[j] == 0 || !pivot_[j].has_value()) continue;
+    coef_terms_.push_back({work_coefs_[j], pivot_[j]->coefs});
+    data_terms_.push_back({work_coefs_[j], pivot_[j]->data});
   }
-  GfAxpyN(coefs, coef_terms);
-  GfAxpyN(data, data_terms);
+  GfAxpyN(work_coefs_, coef_terms_);
+  GfAxpyN(work_data_, data_terms_);
 
   // Find the new pivot column, if any rank survives.
   std::size_t lead = n_source_;
   for (std::size_t j = 0; j < n_source_; ++j) {
-    if (coefs[j] != 0) {
+    if (work_coefs_[j] != 0) {
       lead = j;
       break;
     }
   }
   if (lead == n_source_) return false;  // linearly dependent
 
-  const std::uint8_t inv = GfInv(coefs[lead]);
-  GfScale(coefs, inv);
-  GfScale(data, inv);
+  const std::uint8_t inv = GfInv(work_coefs_[lead]);
+  GfScale(work_coefs_, inv);
+  GfScale(work_data_, inv);
 
   // Back-eliminate the new column from existing rows so the basis stays
   // Gauss-Jordan reduced.
@@ -152,17 +189,35 @@ bool RlncDecoder::AddEquation(std::vector<std::uint8_t> coefs,
     if (!pivot_[j].has_value()) continue;
     const std::uint8_t factor = pivot_[j]->coefs[lead];
     if (factor == 0) continue;
-    GfAxpy(pivot_[j]->coefs, factor, coefs);
-    GfAxpy(pivot_[j]->data, factor, data);
+    GfAxpy(pivot_[j]->coefs, factor, work_coefs_);
+    GfAxpy(pivot_[j]->data, factor, work_data_);
   }
 
-  pivot_[lead] = Row{std::move(coefs), std::move(data)};
+  // Swap the work row into a (possibly recycled) pivot row; the retired
+  // buffers become the next call's work scratch.
+  Row row = TakeSpareRow();
+  row.coefs.swap(work_coefs_);
+  row.data.swap(work_data_);
+  pivot_[lead] = std::move(row);
   ++rank_;
   return true;
 }
 
+RlncDecoder::Row RlncDecoder::TakeSpareRow() {
+  if (spare_.empty()) return Row{};
+  Row row = std::move(spare_.back());
+  spare_.pop_back();
+  return row;
+}
+
 void RlncDecoder::Reset() {
-  for (auto& p : pivot_) p.reset();
+  // Park retired pivot rows for reuse: a rebuild (the
+  // CodedRepairSession evict-and-replay loop) re-inserts the same
+  // number of rows it just dropped, so steady state allocates nothing.
+  for (auto& p : pivot_) {
+    if (p.has_value()) spare_.push_back(std::move(*p));
+    p.reset();
+  }
   rank_ = 0;
 }
 

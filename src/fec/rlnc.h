@@ -18,7 +18,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
+
+#include "fec/equation_sink.h"
+#include "fec/gf256.h"
 
 namespace ppr::fec {
 
@@ -34,6 +38,12 @@ struct RepairSymbol {
 // The n_source combination coefficients a repair seed denotes.
 std::vector<std::uint8_t> RepairCoefficients(std::uint32_t seed,
                                              std::size_t n_source);
+
+// Allocation-free form: fills `coefs` (its size is n_source) with the
+// same expansion. Hot paths (the flow engine's batch planner, decoder
+// ingest) call this into reused scratch instead of allocating a vector
+// per repair symbol.
+void RepairCoefficientsInto(std::uint32_t seed, std::span<std::uint8_t> coefs);
 
 // Partitions the 32-bit seed space by originating repair party so
 // concurrent streams (the source plus any overhearing relays) can never
@@ -84,7 +94,7 @@ class RlncEncoder {
   std::vector<std::vector<std::uint8_t>> source_;
 };
 
-class RlncDecoder {
+class RlncDecoder : public EquationSink {
  public:
   RlncDecoder(std::size_t n_source, std::size_t symbol_bytes);
 
@@ -97,16 +107,40 @@ class RlncDecoder {
   // it increased the rank.
   bool AddSource(std::size_t index, std::vector<std::uint8_t> data);
 
+  // Borrowed-span form of AddSource: `data` is copied into reused
+  // internal scratch, so a caller replaying a retained block
+  // (CodedRepairSession::Rebuild) allocates nothing per call.
+  bool AddSourceSpan(std::size_t index, std::span<const std::uint8_t> data);
+
   // A coded repair symbol; coefficients are regenerated from its seed.
   bool AddRepair(const RepairSymbol& repair);
+
+  // Batch ingest: every repair in order, coefficients expanded into one
+  // reused scratch buffer. Returns how many increased the rank.
+  std::size_t AddRepairBatch(std::span<const RepairSymbol> repairs);
 
   // A raw equation: coefs (n_source long) . source = data.
   bool AddEquation(std::vector<std::uint8_t> coefs,
                    std::vector<std::uint8_t> data);
 
-  // Back to rank 0 with the same shape, keeping the pivot table's
-  // allocation — cheaper than reconstructing the decoder when a session
-  // rebuilds its elimination state (CodedRepairSession::Rebuild).
+  // Borrowed-span form of AddEquation; the decoder copies into reused
+  // scratch and retired pivot rows are recycled, so steady-state ingest
+  // (dependent equations, post-Reset rebuilds) performs no allocation.
+  bool AddEquationSpan(std::span<const std::uint8_t> coefs,
+                       std::span<const std::uint8_t> data);
+
+  // EquationSink: column i is source symbol i.
+  std::size_t equation_width() const override { return n_source_; }
+  std::size_t equation_bytes() const override { return symbol_bytes_; }
+  bool ConsumeEquationSpan(std::span<const std::uint8_t> coefs,
+                           std::span<const std::uint8_t> data) override {
+    return AddEquationSpan(coefs, data);
+  }
+
+  // Back to rank 0 with the same shape. Pivot row buffers are parked in
+  // a spare pool and reused by later insertions — cheaper than
+  // reconstructing the decoder when a session rebuilds its elimination
+  // state (CodedRepairSession::Rebuild).
   void Reset();
 
   // Decoded source symbol `i`; requires Complete().
@@ -118,6 +152,12 @@ class RlncDecoder {
     std::vector<std::uint8_t> data;
   };
 
+  // Runs the elimination sweep over the work row (work_coefs_ /
+  // work_data_), inserting the surviving pivot. The shared core of
+  // every ingest entry point.
+  bool EliminateWork();
+  Row TakeSpareRow();
+
   std::size_t n_source_;
   std::size_t symbol_bytes_;
   std::size_t rank_ = 0;
@@ -126,6 +166,14 @@ class RlncDecoder {
   // reduced). At full rank each row is the unit vector e_i, so its data
   // IS source symbol i.
   std::vector<std::optional<Row>> pivot_;
+  // Reused scratch: the in-flight equation, the batched elimination
+  // term lists, seed-expanded coefficients, and retired row buffers.
+  std::vector<std::uint8_t> work_coefs_;
+  std::vector<std::uint8_t> work_data_;
+  std::vector<GfTerm> coef_terms_;
+  std::vector<GfTerm> data_terms_;
+  std::vector<std::uint8_t> coef_scratch_;
+  std::vector<Row> spare_;
 };
 
 }  // namespace ppr::fec

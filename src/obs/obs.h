@@ -103,6 +103,15 @@ inline void CountLabeled(std::string_view name, const LabelSet& labels,
 #endif
 }
 
+inline void SetGauge(std::string_view name, double value) {
+#if !defined(PPR_OBS_OFF)
+  if (MetricRegistry* m = CurrentMetrics()) m->GetGauge(name)->Set(value);
+#else
+  (void)name;
+  (void)value;
+#endif
+}
+
 inline void Observe(std::string_view name, std::uint64_t value) {
 #if !defined(PPR_OBS_OFF)
   if (MetricRegistry* m = CurrentMetrics()) {

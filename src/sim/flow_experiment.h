@@ -1,0 +1,41 @@
+// Many-flows driver for the flow-table engine (engine/flow_engine.h).
+//
+// Flows are sharded by flow id into a FIXED number of shards, each
+// shard owning its own FlowEngine and obs::MetricRegistry; worker
+// threads pull whole shards. Because the shard partition and every
+// per-shard RNG stream depend only on ids and seeds — never on which
+// thread ran the shard or how many threads exist — the per-shard
+// results and the shard-order merged snapshot are bit-identical at any
+// thread count (the same discipline sim/experiment.cc uses for links).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/flow_engine.h"
+#include "obs/metrics.h"
+
+namespace ppr::sim {
+
+struct FlowExperimentConfig {
+  // Per-shard engine shape; the per-shard seed is derived from
+  // `seed` + shard id on top of this.
+  engine::EngineConfig engine;
+  std::size_t flows = 1000;
+  // Fixed shard count — the determinism unit. Thread count may vary
+  // freely underneath it.
+  std::size_t num_shards = 8;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 1;
+};
+
+struct FlowExperimentResult {
+  engine::EngineStats totals;  // summed over shards in shard order
+  std::size_t shards = 0;
+  // Per-shard registries merged in shard order: thread-count-invariant.
+  obs::Snapshot metrics;
+};
+
+FlowExperimentResult RunFlowEngineExperiment(const FlowExperimentConfig& config);
+
+}  // namespace ppr::sim

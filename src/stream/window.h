@@ -29,8 +29,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "fec/equation_sink.h"
 #include "stream/stream_ids.h"
 
 namespace ppr::stream {
@@ -96,7 +98,7 @@ struct DeliverableSymbol {
 
 // Destination side: known-symbol ring plus an equation basis over the
 // window's unknown columns.
-class WindowDecoder {
+class WindowDecoder : public fec::EquationSink {
  public:
   WindowDecoder(std::size_t capacity, std::size_t symbol_bytes);
 
@@ -129,6 +131,18 @@ class WindowDecoder {
   // entirely known, or reaching back past the retired ring) and
   // repairs overrunning the window return false.
   bool AddRepair(const StreamRepairSymbol& repair);
+
+  // EquationSink: a dense equation anchored at the frontier — coefs[i]
+  // applies to symbol next_expected() + i. Known columns (delivered or
+  // recovered) are substituted out before the remainder joins the
+  // basis, exactly as AddRepair does for seed-expanded equations, so a
+  // driver holding "some EquationSink" (the flow engine, a
+  // collision-recovery listener) feeds the stream decoder the same way
+  // it feeds fec::RlncDecoder. Returns true if the rank increased.
+  std::size_t equation_width() const override { return capacity_; }
+  std::size_t equation_bytes() const override { return symbol_bytes_; }
+  bool ConsumeEquationSpan(std::span<const std::uint8_t> coefs,
+                           std::span<const std::uint8_t> data) override;
 
   // Pops the known prefix at the frontier, advancing the window. The
   // caller timestamps and releases them (stream/delivery_queue.h).

@@ -1,0 +1,252 @@
+#include "engine/flow_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "arq/link_sim.h"
+#include "arq/recovery_session.h"
+#include "arq/recovery_strategy.h"
+#include "common/crc.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::engine {
+namespace {
+
+EngineConfig SmallConfig(std::uint64_t seed = 1) {
+  EngineConfig config;
+  config.n_source = 16;
+  config.symbol_bytes = 64;
+  config.max_deficit = 3;
+  config.record_loss = 0.2;
+  config.seed = seed;
+  return config;
+}
+
+bool StatsEqual(const EngineStats& a, const EngineStats& b) {
+  return a.flows_spawned == b.flows_spawned &&
+         a.flows_completed == b.flows_completed &&
+         a.flows_failed == b.flows_failed &&
+         a.compat_completed == b.compat_completed && a.rounds == b.rounds &&
+         a.repairs_sent == b.repairs_sent &&
+         a.repairs_delivered == b.repairs_delivered &&
+         a.batch_calls == b.batch_calls && a.batch_bytes == b.batch_bytes;
+}
+
+// FinishFlow memcmps every recovered symbol against the flow's ground
+// truth and throws on divergence, so "RunAll returned and everything
+// completed" IS the decode-correctness assertion.
+TEST(FlowEngineTest, NativeFlowsDecodeAndRetire) {
+  FlowEngine engine(SmallConfig());
+  std::vector<FlowHandle> handles;
+  for (FlowId f = 0; f < 512; ++f) handles.push_back(engine.SpawnFlow(f));
+  EXPECT_EQ(engine.active_flows(), 512u);
+  engine.RunAll();
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.flows_spawned, 512u);
+  EXPECT_EQ(stats.flows_completed + stats.flows_failed, 512u);
+  // Small deficits against 20% record loss and a 64-round cap: a
+  // failed flow would mean the solver or planner lost an equation.
+  EXPECT_EQ(stats.flows_completed, 512u);
+  EXPECT_EQ(engine.active_flows(), 0u);
+  // Completion retires the slot: every handle is stale, detectably so.
+  for (const FlowHandle h : handles) EXPECT_FALSE(engine.FlowAlive(h));
+  EXPECT_GT(stats.repairs_sent, stats.repairs_delivered);  // lossy channel
+  EXPECT_GT(stats.rounds, 0u);
+}
+
+TEST(FlowEngineTest, TrajectoryIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    FlowEngine engine(SmallConfig(seed));
+    for (FlowId f = 0; f < 256; ++f) engine.SpawnFlow(f);
+    engine.RunAll();
+    return engine.stats();
+  };
+  const EngineStats a = run(7);
+  const EngineStats b = run(7);
+  EXPECT_TRUE(StatsEqual(a, b));
+  // A different seed draws different deficits/losses: some field moves.
+  const EngineStats c = run(8);
+  EXPECT_FALSE(StatsEqual(a, c));
+}
+
+// The batching claim, asserted structurally: with many flows due per
+// tick, the mean fused-encode span must be many flows wide — far above
+// the one-symbol span an unbatched per-flow encode would issue.
+TEST(FlowEngineTest, BatchPlannerFusesCrossFlowSpans) {
+  const EngineConfig config = SmallConfig();
+  FlowEngine engine(config);
+  for (FlowId f = 0; f < 256; ++f) engine.SpawnFlow(f);
+  engine.RunAll();
+  const EngineStats& stats = engine.stats();
+  ASSERT_GT(stats.batch_calls, 0u);
+  const double mean_span =
+      static_cast<double>(stats.batch_bytes) / stats.batch_calls;
+  EXPECT_GE(mean_span, 4.0 * config.symbol_bytes);
+  // One fused call per (tick, repair slot), not one per flow: far
+  // fewer calls than repairs put on the air.
+  EXPECT_LT(stats.batch_calls, stats.repairs_sent / 4);
+}
+
+TEST(FlowEngineTest, RunUntilAdvancesVirtualTimeIncrementally) {
+  FlowEngine engine(SmallConfig());
+  for (FlowId f = 0; f < 64; ++f) engine.SpawnFlow(f);
+  // First tick only: every flow gets exactly one round.
+  const std::size_t first = engine.RunUntil(engine.config().round_interval);
+  EXPECT_EQ(first, 64u);
+  EXPECT_EQ(engine.now(), engine.config().round_interval);
+  EXPECT_EQ(engine.stats().rounds, 64u);
+  EXPECT_GT(engine.active_flows(), 0u);  // nobody decodes in zero repairs...
+  engine.RunAll();
+  EXPECT_EQ(engine.active_flows(), 0u);
+  EXPECT_EQ(engine.stats().flows_completed + engine.stats().flows_failed, 64u);
+}
+
+#if !defined(PPR_OBS_OFF)
+TEST(FlowEngineTest, ExportsEngineMetrics) {
+  obs::MetricRegistry registry;
+  obs::ScopedObsContext scope(&registry);
+  FlowEngine engine(SmallConfig());
+  for (FlowId f = 0; f < 64; ++f) engine.SpawnFlow(f);
+  engine.RunAll();
+  const obs::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("engine.flows.completed"),
+            engine.stats().flows_completed);
+  EXPECT_EQ(snap.gauges.at("engine.flows.active"), 0.0);  // all retired
+  EXPECT_GT(snap.histograms.at("engine.batch.span_bytes").count, 0u);
+  EXPECT_GT(snap.histograms.at("engine.sched.lag").count, 0u);
+}
+#endif  // !PPR_OBS_OFF
+
+// ---------------------------------------------------- compat sessions
+
+arq::GilbertElliottParams DegradedParams() {
+  arq::GilbertElliottParams params;
+  params.p_good_to_bad = 0.03;
+  params.p_bad_to_good = 0.12;
+  params.chip_error_good = 0.004;
+  params.chip_error_bad = 0.25;
+  return params;
+}
+
+arq::GilbertElliottParams StrongParams() {
+  arq::GilbertElliottParams params;
+  params.p_good_to_bad = 0.001;
+  params.p_bad_to_good = 0.5;
+  params.chip_error_good = 0.0005;
+  params.chip_error_bad = 0.05;
+  return params;
+}
+
+// The EXACT golden two-relay exchange of
+// tests/arq/recovery_session_test.cc (seeds 691-696), rebuilt as a
+// live session object so the engine can adopt it. The channel lambdas
+// hold references to the Rngs, so the rig keeps them alive and at
+// stable addresses alongside the session.
+struct GoldenRig {
+  phy::ChipCodebook cb;
+  Rng direct{692};
+  Rng overhear_a{693};
+  Rng hop_a{694};
+  Rng overhear_b{695};
+  Rng hop_b{696};
+  std::unique_ptr<arq::RecoverySession> session;
+};
+
+std::unique_ptr<GoldenRig> MakeGoldenRig() {
+  auto rig = std::make_unique<GoldenRig>();
+  Rng prng(691);
+  BitVec payload;
+  for (std::size_t i = 0; i < 180 * 8; ++i) {
+    payload.PushBack(prng.Bernoulli(0.5));
+  }
+  arq::PpArqConfig config;
+  config.recovery = arq::RecoveryMode::kRelayCodedRepair;
+  config.relay_parties = 2;
+  const auto strategy = arq::MakeRecoveryStrategy(config);
+  const BitVec body = arq::PpArqSender::MakeBody(payload);
+  const std::size_t total_codewords = body.size() / config.bits_per_codeword;
+
+  arq::SessionConfig topology;
+  topology.edges.push_back(
+      {arq::kSessionSourceId, arq::kSessionDestinationId,
+       arq::MakeGilbertElliottChannel(rig->cb, DegradedParams(),
+                                      rig->direct)});
+  topology.edges.push_back(
+      {arq::kSessionSourceId, arq::kSessionRelayId,
+       arq::MakeGilbertElliottChannel(rig->cb, StrongParams(),
+                                      rig->overhear_a)});
+  topology.edges.push_back(
+      {arq::kSessionRelayId, arq::kSessionDestinationId,
+       arq::MakeGilbertElliottChannel(rig->cb, StrongParams(), rig->hop_a)});
+  topology.edges.push_back(
+      {arq::kSessionSourceId, arq::kSessionRelayId + 1,
+       arq::MakeGilbertElliottChannel(rig->cb, StrongParams(),
+                                      rig->overhear_b)});
+  topology.edges.push_back(
+      {arq::kSessionRelayId + 1, arq::kSessionDestinationId,
+       arq::MakeGilbertElliottChannel(rig->cb, StrongParams(), rig->hop_b)});
+
+  rig->session =
+      std::make_unique<arq::RecoverySession>(std::move(topology));
+  rig->session->AddParty(strategy->MakeSourceParticipant(body, 1));
+  rig->session->AddParty(
+      strategy->MakeDestinationParticipant(1, total_codewords));
+  rig->session->AddParty(strategy->MakeRelayParticipant(1, 1, total_codewords));
+  rig->session->AddParty(strategy->MakeRelayParticipant(2, 1, total_codewords));
+  rig->session->TransmitInitial(arq::kSessionSourceId, body);
+  return rig;
+}
+
+// The same transcript serialization the arq golden test pins.
+std::uint32_t TranscriptCrc(const arq::SessionRunStats& stats) {
+  BitVec transcript;
+  transcript.AppendUint(stats.rounds, 16);
+  transcript.AppendUint(stats.totals.data_transmissions, 16);
+  transcript.AppendUint(stats.totals.forward_bits, 32);
+  transcript.AppendUint(stats.totals.feedback_bits, 32);
+  for (const auto& party : stats.parties) {
+    transcript.AppendUint(party.repair_bits, 32);
+    transcript.AppendUint(party.repair_messages, 16);
+    transcript.AppendUint(party.feedback_bits, 32);
+  }
+  for (const auto bits : stats.totals.retransmission_bits) {
+    transcript.AppendUint(bits, 32);
+  }
+  return Crc32Bits(transcript);
+}
+
+// The compat pin: adopting the golden session into the engine —
+// where its rounds interleave with other flows' scheduler events —
+// must reproduce the direct session.Run(32) transcript bit for bit,
+// CRC-pinned to the same constant tests/arq pins.
+TEST(FlowEngineTest, CompatSessionPreservesGoldenTranscript) {
+  constexpr std::uint32_t kGoldenTranscriptCrc = 0x074B461A;
+
+  const auto direct_rig = MakeGoldenRig();
+  const arq::SessionRunStats direct = direct_rig->session->Run(32);
+  ASSERT_TRUE(direct.totals.success);
+  EXPECT_EQ(TranscriptCrc(direct), kGoldenTranscriptCrc);
+
+  auto engine_rig = MakeGoldenRig();
+  FlowEngine engine(SmallConfig());
+  // Native flows interleave with the compat session on the same queue.
+  for (FlowId f = 0; f < 32; ++f) engine.SpawnFlow(f);
+  const std::size_t index = engine.AddCompatSession(
+      std::move(engine_rig->session), /*max_rounds=*/32);
+  engine.RunAll();
+  ASSERT_TRUE(engine.CompatDone(index));
+  const arq::SessionRunStats& via_engine = engine.CompatResult(index);
+  EXPECT_TRUE(via_engine.totals.success);
+  EXPECT_EQ(TranscriptCrc(via_engine), kGoldenTranscriptCrc);
+  EXPECT_EQ(engine.stats().compat_completed, 1u);
+}
+
+}  // namespace
+}  // namespace ppr::engine

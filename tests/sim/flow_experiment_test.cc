@@ -1,0 +1,69 @@
+#include "sim/flow_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ppr::sim {
+namespace {
+
+FlowExperimentConfig SmallConfig(std::size_t threads) {
+  FlowExperimentConfig config;
+  config.engine.n_source = 16;
+  config.engine.symbol_bytes = 32;
+  config.engine.max_deficit = 3;
+  config.engine.record_loss = 0.2;
+  config.flows = 400;
+  config.num_shards = 8;
+  config.num_threads = threads;
+  config.seed = 21;
+  return config;
+}
+
+bool TotalsEqual(const engine::EngineStats& a, const engine::EngineStats& b) {
+  return a.flows_spawned == b.flows_spawned &&
+         a.flows_completed == b.flows_completed &&
+         a.flows_failed == b.flows_failed && a.rounds == b.rounds &&
+         a.repairs_sent == b.repairs_sent &&
+         a.repairs_delivered == b.repairs_delivered &&
+         a.batch_calls == b.batch_calls && a.batch_bytes == b.batch_bytes;
+}
+
+TEST(FlowExperimentTest, RunsEveryFlowExactlyOnce) {
+  const FlowExperimentResult result = RunFlowEngineExperiment(SmallConfig(2));
+  EXPECT_EQ(result.shards, 8u);
+  EXPECT_EQ(result.totals.flows_spawned, 400u);
+  EXPECT_EQ(result.totals.flows_completed + result.totals.flows_failed, 400u);
+#if !defined(PPR_OBS_OFF)
+  EXPECT_FALSE(result.metrics.Empty());
+#endif
+}
+
+// The determinism contract: shards — not threads — are the unit of
+// execution, so the merged totals AND the merged metric snapshot are
+// bit-identical at any thread count.
+TEST(FlowExperimentTest, ResultsAreThreadCountInvariant) {
+  const FlowExperimentResult serial = RunFlowEngineExperiment(SmallConfig(1));
+  const FlowExperimentResult parallel =
+      RunFlowEngineExperiment(SmallConfig(4));
+  EXPECT_TRUE(TotalsEqual(serial.totals, parallel.totals));
+  EXPECT_EQ(serial.metrics.ToJson(), parallel.metrics.ToJson());
+}
+
+TEST(FlowExperimentTest, SeedChangesTheTrajectory) {
+  FlowExperimentConfig other = SmallConfig(2);
+  other.seed = 22;
+  const FlowExperimentResult a = RunFlowEngineExperiment(SmallConfig(2));
+  const FlowExperimentResult b = RunFlowEngineExperiment(other);
+  EXPECT_FALSE(TotalsEqual(a.totals, b.totals));
+}
+
+TEST(FlowExperimentTest, RejectsZeroShards) {
+  FlowExperimentConfig config = SmallConfig(1);
+  config.num_shards = 0;
+  EXPECT_THROW(RunFlowEngineExperiment(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppr::sim

@@ -1,0 +1,110 @@
+// WindowDecoder's EquationSink surface (satellite of the flow engine
+// PR): a dense frontier-anchored equation fed through
+// ConsumeEquationSpan must behave exactly like the equivalent
+// seed-expanded repair fed through AddRepair.
+#include "stream/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "fec/equation_sink.h"
+#include "fec/rlnc.h"
+
+namespace ppr::stream {
+namespace {
+
+std::vector<std::uint8_t> RandomSymbol(Rng& rng, std::size_t bytes) {
+  std::vector<std::uint8_t> data(bytes);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  return data;
+}
+
+// Expands a StreamRepairSymbol into the dense window-anchored row
+// ConsumeEquationSpan speaks: coefs[i] applies to next_expected() + i.
+std::vector<std::uint8_t> DenseCoefs(const StreamRepairSymbol& repair,
+                                     const WindowDecoder& dec) {
+  std::vector<std::uint8_t> dense(dec.capacity(), 0);
+  const auto expanded = fec::RepairCoefficients(repair.seed, repair.span);
+  for (std::uint16_t j = 0; j < repair.span; ++j) {
+    const SymbolId id = repair.first_id + j;
+    EXPECT_GE(id, dec.next_expected());
+    dense[static_cast<std::size_t>(id - dec.next_expected())] = expanded[j];
+  }
+  return dense;
+}
+
+TEST(WindowSinkTest, ConsumeEquationSpanMatchesAddRepair) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::size_t kBytes = 16;
+  Rng rng(941);
+  WindowEncoder enc(kCapacity, kBytes);
+  WindowDecoder via_repair(kCapacity, kBytes);
+  WindowDecoder via_sink(kCapacity, kBytes);
+
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (std::size_t i = 0; i < 6; ++i) {
+    sent.push_back(RandomSymbol(rng, kBytes));
+    ASSERT_TRUE(enc.Push(sent.back()).has_value());
+  }
+  // Ids 1 and 3 are lost; the rest arrive on both decoders.
+  for (const SymbolId id : {0u, 2u, 4u, 5u}) {
+    EXPECT_TRUE(via_repair.AddSource(id, sent[id]));
+    EXPECT_TRUE(via_sink.AddSource(id, sent[id]));
+  }
+  // Two repairs close the two-symbol deficit; each goes to one decoder
+  // as a seeded repair and to the other as the dense equivalent.
+  for (const std::uint32_t seed : {71u, 72u}) {
+    const StreamRepairSymbol repair = enc.MakeRepair(seed);
+    const auto dense = DenseCoefs(repair, via_sink);
+    const bool a = via_repair.AddRepair(repair);
+    const bool b = via_sink.ConsumeEquationSpan(dense, repair.data);
+    EXPECT_EQ(a, b) << "seed=" << seed;
+    EXPECT_EQ(via_repair.rank(), via_sink.rank());
+    EXPECT_EQ(via_repair.Deficit(), via_sink.Deficit());
+  }
+  const auto out_a = via_repair.PopDeliverable();
+  const auto out_b = via_sink.PopDeliverable();
+  ASSERT_EQ(out_a.size(), 6u);
+  ASSERT_EQ(out_b.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out_a[i].data, sent[i]);
+    EXPECT_EQ(out_b[i].data, sent[i]);
+    EXPECT_EQ(out_a[i].recovered, out_b[i].recovered);
+  }
+}
+
+TEST(WindowSinkTest, PolymorphicSinkRejectsUselessEquations) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kBytes = 8;
+  Rng rng(947);
+  WindowDecoder dec(kCapacity, kBytes);
+  fec::EquationSink& sink = dec;
+  EXPECT_EQ(sink.equation_width(), kCapacity);
+  EXPECT_EQ(sink.equation_bytes(), kBytes);
+  // An all-zero equation carries nothing.
+  const std::vector<std::uint8_t> zero_coefs(kCapacity, 0);
+  const std::vector<std::uint8_t> zero_data(kBytes, 0);
+  EXPECT_FALSE(sink.ConsumeEquationSpan(zero_coefs, zero_data));
+  // An equation over an already-known column adds no rank.
+  const auto symbol = RandomSymbol(rng, kBytes);
+  EXPECT_TRUE(dec.AddSource(0, symbol));
+  std::vector<std::uint8_t> unit(kCapacity, 0);
+  unit[0] = 1;
+  EXPECT_FALSE(sink.ConsumeEquationSpan(unit, symbol));
+  // A fresh unknown column through the sink DOES add rank.
+  std::vector<std::uint8_t> unit1(kCapacity, 0);
+  unit1[0] = 0;
+  unit1[1] = 1;
+  const auto other = RandomSymbol(rng, kBytes);
+  EXPECT_TRUE(sink.ConsumeEquationSpan(unit1, other));
+  const auto out = dec.PopDeliverable();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].data, symbol);
+  EXPECT_EQ(out[1].data, other);
+}
+
+}  // namespace
+}  // namespace ppr::stream
