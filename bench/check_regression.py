@@ -26,9 +26,17 @@ generation differences. The build fails (exit 1) when:
     runner is expected to dispatch a vector kernel; losing that is
     itself a regression), or
   * --strict is set and a baseline record has no matching
-    (kernel, impl, symbol_bytes[, terms]) record in CURRENT — a
-    silently dropped benchmark would otherwise shrink coverage without
-    tripping any ratio gate. Without --strict this only warns.
+    (bench, kernel, impl, symbol_bytes[, terms][, k]) record in
+    CURRENT — a silently dropped benchmark would otherwise shrink
+    coverage without tripping any ratio gate. Without --strict this
+    only warns. Records missing a per-record "bench" field inherit the
+    report's doc-level "bench" header, so one committed baseline can
+    hold records from several bench binaries without ambiguity.
+    Baseline records pinned to a GF(256) backend the current host
+    cannot dispatch (the current report's "impls" header names what the
+    host probed; e.g. gfni/avx512 records checked on a pre-GFNI
+    runner) are skipped with a note rather than failed: the baseline
+    is allowed to be measured on wider hardware than any one runner.
 
 Refreshing the baseline (after an intentional kernel change):
 
@@ -47,12 +55,30 @@ import json
 import sys
 
 
+# Every GF(256) backend the dispatcher can ever name; used to tell "a
+# backend this host lacks" apart from non-backend impl tags like
+# "ack-deficit" or "engine".
+GF_BACKENDS = {"scalar", "ssse3", "avx2", "neon", "gfni", "avx512"}
+
+
 def load(path):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != 1:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    # Records without their own "bench" tag belong to the binary that
+    # wrote the report: stamp the doc-level header down so merged
+    # reports (and the one committed baseline) key unambiguously.
+    bench = doc.get("bench")
+    for rec in doc.get("results", []):
+        rec.setdefault("bench", bench)
     return doc
+
+
+def host_impls(doc):
+    """GF backends the current host probed, from the report header."""
+    raw = doc.get("impls")
+    return set(raw.split(",")) if raw else None
 
 
 def axpy_mbps(doc, path, impl, symbol_bytes, required=True):
@@ -80,24 +106,42 @@ def has_impl(doc, impl, symbol_bytes):
 
 
 def record_key(rec):
-    return (rec.get("kernel"), rec.get("impl"), rec.get("symbol_bytes"),
-            rec.get("terms"))
+    return (rec.get("bench"), rec.get("kernel"), rec.get("impl"),
+            rec.get("symbol_bytes"), rec.get("terms"), rec.get("k"))
 
 
 def describe_key(key):
-    kernel, impl, symbol_bytes, terms = key
-    desc = f"kernel={kernel} impl={impl} symbol_bytes={symbol_bytes}"
+    bench, kernel, impl, symbol_bytes, terms, k = key
+    desc = f"bench={bench} kernel={kernel}"
+    if impl is not None:
+        desc += f" impl={impl}"
+    if symbol_bytes is not None:
+        desc += f" symbol_bytes={symbol_bytes}"
     if terms is not None:
         desc += f" terms={terms}"
+    if k is not None:
+        desc += f" k={k}"
     return desc
 
 
-def missing_from_current(cur_doc, base_doc):
-    """Baseline record keys with no matching record in the current report."""
+def missing_from_current(cur_doc, base_doc, impls):
+    """Baseline record keys with no matching record in the current report.
+
+    Baseline records pinned to a GF backend the host cannot dispatch
+    (per the current report's probed `impls`) are reported separately
+    as skips, never failures.
+    """
     have = {record_key(rec) for rec in cur_doc["results"]}
-    return [key for key in
-            dict.fromkeys(record_key(rec) for rec in base_doc["results"])
-            if key not in have]
+    missing, skipped = [], []
+    for key in dict.fromkeys(record_key(rec) for rec in base_doc["results"]):
+        if key in have:
+            continue
+        impl = key[2]
+        if (impls is not None and impl in GF_BACKENDS and impl not in impls):
+            skipped.append(key)
+        else:
+            missing.append(key)
+    return missing, skipped
 
 
 def speedup(doc, path, symbol_bytes, impl=None, required=True):
@@ -132,7 +176,12 @@ def main():
     for extra_path in args.extra_current:
         cur_doc["results"].extend(load(extra_path)["results"])
     failures = []
-    for key in missing_from_current(cur_doc, base_doc):
+    missing, skipped = missing_from_current(cur_doc, base_doc,
+                                            host_impls(cur_doc))
+    for key in skipped:
+        print(f"note: baseline record skipped (backend unavailable on this "
+              f"host): {describe_key(key)}", file=sys.stderr)
+    for key in missing:
         msg = f"baseline record missing from current report: {describe_key(key)}"
         if args.strict:
             failures.append(msg)

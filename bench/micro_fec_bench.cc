@@ -256,9 +256,20 @@ int RunJsonSweep(const std::string& path) {
                    name.c_str(), len, axpy_mbps, axpyn_mbps);
     }
   }
+  // `impls` names every backend this host can dispatch, so the
+  // regression checker can tell "benchmark dropped" (a coverage
+  // regression) from "backend unavailable on this runner" (a committed
+  // baseline measured on wider hardware, e.g. GFNI/AVX-512 records
+  // checked against a pre-GFNI CI machine).
+  std::string impls;
+  for (const fec::GfImpl impl : fec::GfAvailableImpls()) {
+    if (!impls.empty()) impls += ",";
+    impls += std::string(fec::GfImplName(impl));
+  }
   const bench::JsonRecord header = {
       {"bench", std::string("micro_fec_bench")},
-      {"active_impl", std::string(fec::GfImplName(fec::GfActiveImpl()))}};
+      {"active_impl", std::string(fec::GfImplName(fec::GfActiveImpl()))},
+      {"impls", impls}};
   if (!bench::WriteJsonReport(path, header, "results", records)) return 1;
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return 0;

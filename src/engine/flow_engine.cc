@@ -58,6 +58,13 @@ const EngineConfig& Validated(const EngineConfig& config) {
   if (config.round_interval == 0) {
     throw std::invalid_argument("FlowEngine: zero round_interval");
   }
+  if (config.codec == fec::CodecKind::kReedSolomon) {
+    if (config.symbol_bytes % 2 != 0) {
+      throw std::invalid_argument(
+          "FlowEngine: kReedSolomon needs even symbol_bytes");
+    }
+    fec::RsBlockSize(config.n_source, config.max_deficit);  // shape limits
+  }
   return config;
 }
 
@@ -171,6 +178,17 @@ FlowEngine::FlowEngine(EngineConfig config)
   off_coefs_ = off_source_ + config_.n_source * config_.symbol_bytes;
   off_data_ = off_coefs_ + config_.max_deficit * config_.max_deficit;
   staging_.resize(config_.n_source);
+  if (config_.codec == fec::CodecKind::kReedSolomon) {
+    // Uniform flow shape: one encoder/decoder pair serves every flow
+    // via Reset(). Parity rows reuse the solver region of the slot
+    // (off_coefs_): m * symbol_bytes + nothing <= the solver area, the
+    // delivered bitmap lives in header.pivot_live, the banked count in
+    // header.rank.
+    rs_encoder_ = std::make_unique<fec::ReedSolomonEncoder>(
+        config_.n_source, config_.max_deficit, config_.symbol_bytes);
+    rs_decoder_ = std::make_unique<fec::ReedSolomonDecoder>(
+        config_.n_source, config_.max_deficit, config_.symbol_bytes);
+  }
 }
 
 FlowEngine::~FlowEngine() = default;
@@ -217,6 +235,22 @@ FlowHandle FlowEngine::SpawnFlow(FlowId id) {
     }
   }
   std::sort(header->missing, header->missing + deficit);
+
+  if (config_.codec == fec::CodecKind::kReedSolomon) {
+    // Precompute every parity symbol now: rounds then move bytes only.
+    rs_encoder_->Reset();
+    for (std::size_t i = 0; i < config_.n_source; ++i) {
+      rs_encoder_->SetSource(
+          i, std::span(source + i * config_.symbol_bytes,
+                       config_.symbol_bytes));
+    }
+    rs_encoder_->Finish();
+    auto* parity = reinterpret_cast<std::uint8_t*>(slot + off_coefs_);
+    for (std::size_t j = 0; j < config_.max_deficit; ++j) {
+      const auto p = rs_encoder_->Parity(j);
+      std::memcpy(parity + j * config_.symbol_bytes, p.data(), p.size());
+    }
+  }
 
   ++stats_.flows_spawned;
   queue_.Push(now_ + config_.round_interval, PackHandle(handle));
@@ -286,7 +320,13 @@ std::size_t FlowEngine::ProcessTick(std::uint64_t tick_time) {
         {handle, static_cast<std::uint32_t>(header->missing_count -
                                             header->rank)});
   }
-  if (!batch_items_.empty()) ProcessNativeBatch();
+  if (!batch_items_.empty()) {
+    if (config_.codec == fec::CodecKind::kReedSolomon) {
+      ProcessRsBatch();
+    } else {
+      ProcessNativeBatch();
+    }
+  }
   obs::SetGauge("engine.flows.active",
                 static_cast<double>(arena_.active()));
   return due_events_.size();
@@ -401,6 +441,42 @@ void FlowEngine::ProcessNativeBatch() {
   }
 }
 
+// One engine tick under kReedSolomon. Parity was precomputed at spawn,
+// so a round is pure bookkeeping: each flow offers its lowest
+// undelivered parity indices (one per still-needed symbol), each
+// record crosses the erasure channel, and a delivered index is banked
+// by flipping its pivot_live bit — no GF arithmetic until the single
+// O(K log K) decode at completion. Any d distinct parities complete a
+// deficit-d flow (MDS), and resending a lost index is always
+// productive, so the needed set is just "the first d undelivered".
+void FlowEngine::ProcessRsBatch() {
+  const std::size_t m = config_.max_deficit;
+  for (const BatchItem& item : batch_items_) {
+    std::byte* slot = arena_.Get(item.handle);
+    auto* header = reinterpret_cast<NativeHeader*>(slot);
+    const std::size_t d = header->missing_count;
+    std::size_t needed = d - header->rank;
+    for (std::size_t j = 0; j < m && needed > 0; ++j) {
+      if (header->pivot_live[j]) continue;
+      --needed;
+      ++stats_.repairs_sent;
+      if (header->rng.Bernoulli(config_.record_loss)) continue;  // erased
+      ++stats_.repairs_delivered;
+      header->pivot_live[j] = 1;
+      ++header->rank;
+    }
+    ++header->rounds_done;
+    ++stats_.rounds;
+    if (header->rank == d) {
+      FinishFlow(item.handle, /*decoded=*/true);
+    } else if (header->rounds_done >= config_.max_rounds) {
+      FinishFlow(item.handle, /*decoded=*/false);
+    } else {
+      queue_.Push(now_ + config_.round_interval, PackHandle(item.handle));
+    }
+  }
+}
+
 void FlowEngine::FinishFlow(FlowHandle handle, bool decoded) {
   std::byte* slot = arena_.Get(handle);
   auto* header = reinterpret_cast<NativeHeader*>(slot);
@@ -409,13 +485,43 @@ void FlowEngine::FinishFlow(FlowHandle handle, bool decoded) {
     // anything else is an engine bug, not a channel outcome.
     const auto* source =
         reinterpret_cast<const std::uint8_t*>(slot + off_source_);
-    NativeSolver solver(*header, slot, *this);
-    for (std::size_t i = 0; i < header->missing_count; ++i) {
-      const auto recovered = solver.Recovered(i);
-      if (std::memcmp(recovered.data(),
-                      source + header->missing[i] * config_.symbol_bytes,
-                      config_.symbol_bytes) != 0) {
-        throw std::logic_error("FlowEngine: recovered symbol mismatch");
+    const std::size_t sb = config_.symbol_bytes;
+    if (config_.codec == fec::CodecKind::kReedSolomon) {
+      // The one GF(2^16) decode of the flow's lifetime: surviving
+      // columns plus the banked parity indices in, the erased columns
+      // out.
+      rs_decoder_->Reset();
+      const std::uint8_t* missing = header->missing;
+      const std::uint8_t* missing_end = missing + header->missing_count;
+      for (std::size_t i = 0; i < config_.n_source; ++i) {
+        if (missing != missing_end && *missing == i) {
+          ++missing;
+          continue;
+        }
+        rs_decoder_->AddSourceSpan(i, std::span(source + i * sb, sb));
+      }
+      const auto* parity =
+          reinterpret_cast<const std::uint8_t*>(slot + off_coefs_);
+      for (std::size_t j = 0; j < config_.max_deficit; ++j) {
+        if (!header->pivot_live[j]) continue;
+        rs_decoder_->AddParitySpan(j, std::span(parity + j * sb, sb));
+      }
+      rs_decoder_->Decode();
+      for (std::size_t i = 0; i < header->missing_count; ++i) {
+        const auto recovered = rs_decoder_->Symbol(header->missing[i]);
+        if (std::memcmp(recovered.data(), source + header->missing[i] * sb,
+                        sb) != 0) {
+          throw std::logic_error("FlowEngine: recovered symbol mismatch");
+        }
+      }
+    } else {
+      NativeSolver solver(*header, slot, *this);
+      for (std::size_t i = 0; i < header->missing_count; ++i) {
+        const auto recovered = solver.Recovered(i);
+        if (std::memcmp(recovered.data(), source + header->missing[i] * sb,
+                        sb) != 0) {
+          throw std::logic_error("FlowEngine: recovered symbol mismatch");
+        }
       }
     }
     ++stats_.flows_completed;

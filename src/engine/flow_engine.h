@@ -52,7 +52,9 @@
 #include "arq/recovery_session.h"
 #include "engine/arena.h"
 #include "engine/scheduler.h"
+#include "fec/codec.h"
 #include "fec/equation_sink.h"
+#include "fec/reed_solomon.h"
 
 namespace ppr::engine {
 
@@ -75,6 +77,13 @@ struct EngineConfig {
   std::size_t slots_per_slab = 1024;
   // Mixes per-flow RNG streams; same seed => same engine trajectory.
   std::uint64_t seed = 1;
+  // Native-flow repair codec. kRlnc (default): seeded random
+  // combinations, batched cross-flow GF(256) encode, dxd elimination.
+  // kReedSolomon: max_deficit parity symbols precomputed at spawn
+  // (GF(2^16) additive-FFT encode, fec/reed_solomon.h) and stored in
+  // the slot — rounds move precomputed bytes only, and decode is the
+  // O(K log K) erasure path. Requires even symbol_bytes.
+  fec::CodecKind codec = fec::CodecKind::kRlnc;
 };
 
 struct EngineStats {
@@ -139,7 +148,8 @@ class FlowEngine {
   class NativeSolver;  // arena-backed dxd EquationSink, defined in .cc
 
   std::size_t ProcessTick(std::uint64_t tick_time);
-  void ProcessNativeBatch();  // consumes batch_items_
+  void ProcessNativeBatch();  // consumes batch_items_ (kRlnc)
+  void ProcessRsBatch();      // consumes batch_items_ (kReedSolomon)
   void RunCompatRound(std::size_t index);
   void FinishFlow(FlowHandle handle, bool decoded);
 
@@ -170,6 +180,11 @@ class FlowEngine {
   std::vector<std::uint8_t> proj_data_;             // projected equation
   std::vector<std::uint8_t> solver_coefs_;          // solver work row
   std::vector<std::uint8_t> solver_data_;
+  // kReedSolomon: one engine-lifetime encoder/decoder pair (the flow
+  // shape is uniform), Reset() between flows — spawn and finish stay
+  // heap-free in steady state.
+  std::unique_ptr<fec::ReedSolomonEncoder> rs_encoder_;
+  std::unique_ptr<fec::ReedSolomonDecoder> rs_decoder_;
 };
 
 }  // namespace ppr::engine

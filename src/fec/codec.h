@@ -1,0 +1,36 @@
+// Per-flow codec selection: which erasure code a session runs.
+//
+// kRlnc is the default — rateless, dense random combinations, the
+// right shape for small blocks, SoftPHY-labeled partial packets, and
+// relay-masked equations (anything that needs DENSE rows banked and
+// re-eliminated). kReedSolomon is the large-block specialist: a fixed
+// parity budget, systematic framing, and an O(k log k) FFT erasure
+// decode over GF(2^16) (reed_solomon.h) that breaks RLNC's O(k^2)
+// Gaussian-elimination wall — but it only consumes erasures (unit
+// rows), so flows that need dense equations stay on RLNC.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace ppr::fec {
+
+enum class CodecKind : std::uint8_t { kRlnc = 0, kReedSolomon };
+
+constexpr std::string_view CodecKindName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kRlnc:
+      return "rlnc";
+    case CodecKind::kReedSolomon:
+      return "rs";
+  }
+  return "unknown";
+}
+
+constexpr std::optional<CodecKind> CodecKindFromName(std::string_view name) {
+  if (name == "rlnc") return CodecKind::kRlnc;
+  if (name == "rs") return CodecKind::kReedSolomon;
+  return std::nullopt;
+}
+
+}  // namespace ppr::fec

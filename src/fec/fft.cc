@@ -1,0 +1,112 @@
+#include "fec/fft.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ppr::fec {
+
+const AdditiveFft& AdditiveFft::Instance() {
+  static const AdditiveFft fft;
+  return fft;
+}
+
+AdditiveFft::AdditiveFft() {
+  // w[b] = W_i(beta_b), advanced level by level:
+  //   W_{i+1}(beta_b) = W_i(beta_b)^2 ^ W_i(beta_i) W_i(beta_b)
+  //                   = w[b] * (w[b] ^ w[i]).
+  // At each level, lin_[i][b] = w[b] / w[i] (zero for b < i, one for
+  // b == i, since W_i vanishes on V_i and the normalizer is w[i]).
+  Gf16 w[16];
+  for (unsigned b = 0; b < 16; ++b) w[b] = static_cast<Gf16>(1u << b);
+  // vprod = product of the nonzero elements of V_i; the x-coefficient
+  // of W_i(x) = x * prod_{v in V_i, v != 0} (x ^ v) evaluated at the
+  // XOR-expansion's constant term.
+  Gf16 vprod = 1;
+  for (unsigned i = 0; i < 16; ++i) {
+    for (unsigned b = 0; b < 16; ++b) {
+      lin_[i][b] = b < i ? 0 : Gf16Div(w[b], w[i]);
+    }
+    // W_i'(x) = prod of nonzero V_i elements, so WHat_i' = vprod / w[i].
+    deriv_[i] = Gf16Div(vprod, w[i]);
+    // Advance to level i+1 (also extends vprod over V_{i+1} \ V_i:
+    // every new element is old ^ beta_i, i.e. indices 2^i .. 2^{i+1}-1).
+    if (i + 1 < 16) {
+      for (unsigned v = 1u << i; v < (2u << i); ++v) {
+        vprod = Gf16Mul(vprod, static_cast<Gf16>(v));
+      }
+      const Gf16 wi = w[i];
+      for (unsigned b = 0; b < 16; ++b) {
+        w[b] = Gf16Mul(w[b], static_cast<Gf16>(w[b] ^ wi));
+      }
+    }
+  }
+}
+
+Gf16 AdditiveFft::SkewAt(unsigned i, unsigned u) const {
+  assert(i < 16);
+  Gf16 s = 0;
+  while (u != 0) {
+    const unsigned b = static_cast<unsigned>(__builtin_ctz(u));
+    s ^= lin_[i][b];
+    u &= u - 1;
+  }
+  return s;
+}
+
+void AdditiveFft::Fft(Gf16* data, std::size_t words, std::size_t n,
+                      std::size_t base) const {
+  assert((n & (n - 1)) == 0 && base % n == 0 && base + n <= 65536);
+  if (n < 2) return;
+  unsigned level = 0;
+  while ((std::size_t{1} << (level + 1)) < n) ++level;
+  // level = log2(n) - 1 down to 0: split on WHat_level, one skew per
+  // block (WHat_level is constant on the block's V_level coset).
+  for (unsigned i = level;; --i) {
+    const std::size_t half = std::size_t{1} << i;
+    for (std::size_t block = 0; block < n; block += 2 * half) {
+      const Gf16 skew = SkewAt(i, static_cast<unsigned>(base + block));
+      for (std::size_t u = 0; u < half; ++u) {
+        Gf16* x = data + (block + u) * words;
+        Gf16* y = data + (block + half + u) * words;
+        Gf16ButterflyFwd({x, words}, {y, words}, skew);
+      }
+    }
+    if (i == 0) break;
+  }
+}
+
+void AdditiveFft::Ifft(Gf16* data, std::size_t words, std::size_t n,
+                       std::size_t base) const {
+  assert((n & (n - 1)) == 0 && base % n == 0 && base + n <= 65536);
+  if (n < 2) return;
+  for (std::size_t half = 1; half < n; half *= 2) {
+    unsigned i = 0;
+    while ((std::size_t{1} << i) < half) ++i;
+    for (std::size_t block = 0; block < n; block += 2 * half) {
+      const Gf16 skew = SkewAt(i, static_cast<unsigned>(base + block));
+      for (std::size_t u = 0; u < half; ++u) {
+        Gf16* x = data + (block + u) * words;
+        Gf16* y = data + (block + half + u) * words;
+        Gf16ButterflyInv({x, words}, {y, words}, skew);
+      }
+    }
+  }
+}
+
+void AdditiveFft::Derivative(Gf16* data, std::size_t words, std::size_t n,
+                             Gf16* scratch) const {
+  assert((n & (n - 1)) == 0);
+  std::memset(scratch, 0, n * words * sizeof(Gf16));
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t bits = j;
+    while (bits != 0) {
+      const unsigned i = static_cast<unsigned>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      Gf16Axpy({scratch + (j ^ (std::size_t{1} << i)) * words, words},
+               deriv_[i], {data + j * words, words});
+    }
+  }
+  std::memcpy(data, scratch, n * words * sizeof(Gf16));
+}
+
+}  // namespace ppr::fec

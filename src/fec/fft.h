@@ -1,0 +1,69 @@
+// Additive FFT over GF(2^16) in the LCH novel polynomial basis
+// (Lin-Chung-Han, "Novel polynomial basis and its application to
+// Reed-Solomon erasure codes", FOCS'14) — the transform behind the
+// O(n log n) Reed-Solomon codec (reed_solomon.h), in the style of
+// flec's rs_gf65536 / leopard.
+//
+// Domain: the field itself under the standard basis beta_b = 2^b, so
+// evaluation point u IS the field element u. V_i = span(beta_0 ..
+// beta_{i-1}) = {0 .. 2^i - 1}. The subspace polynomials
+//   W_0(x) = x,  W_{i+1}(x) = W_i(x)^2 ^ W_i(beta_i) * W_i(x)
+// vanish exactly on V_i; their normalizations WHat_i = W_i / W_i(beta_i)
+// are GF(2)-linear maps, constant on cosets of V_i, with
+// WHat_i(beta_i) = 1. The novel basis polynomial for index j is
+//   X_j(x) = product over set bits i of j of WHat_i(x),   deg X_j = j,
+// so "degree < k" means "coefficients X_0 .. X_{k-1}" exactly as in
+// the monomial basis.
+//
+// All transforms are in place over `n` equal-length symbols stored
+// contiguously (symbol u at data + u*words), each symbol `words` Gf16
+// values: the butterflies run over whole symbols, which is what makes
+// the per-level work one fused Gf16Butterfly span pass per pair.
+#pragma once
+
+#include <cstddef>
+
+#include "fec/gf65536.h"
+
+namespace ppr::fec {
+
+class AdditiveFft {
+ public:
+  // The per-process instance (tables are immutable after construction).
+  static const AdditiveFft& Instance();
+
+  // Evaluates WHat_i at point `u` (any 16-bit index; linearity folds it
+  // from the basis images). i < 16.
+  Gf16 SkewAt(unsigned i, unsigned u) const;
+
+  // The formal-derivative constant of WHat_i: its coefficient on x
+  // (a linearized polynomial's derivative is that constant).
+  Gf16 DerivativeConst(unsigned i) const { return deriv_[i]; }
+
+  // Coefficients (novel basis, X_0..X_{n-1}) -> evaluations at points
+  // [base, base + n). n must be a power of two and base a multiple of
+  // n, with base + n <= 65536.
+  void Fft(Gf16* data, std::size_t words, std::size_t n,
+           std::size_t base) const;
+
+  // Evaluations at [base, base + n) -> novel-basis coefficients.
+  void Ifft(Gf16* data, std::size_t words, std::size_t n,
+            std::size_t base) const;
+
+  // Formal derivative of a novel-basis polynomial with n coefficients
+  // (n a power of two): since X_j' = sum over set bits i of j of
+  // DerivativeConst(i) * X_{j ^ (1<<i)}, the map is a sum of
+  // coefficient-index XOR-shifts. `scratch` must hold n*words values.
+  void Derivative(Gf16* data, std::size_t words, std::size_t n,
+                  Gf16* scratch) const;
+
+ private:
+  AdditiveFft();
+
+  // lin_[i][b] = WHat_i(beta_b); SkewAt XOR-folds these over the set
+  // bits of the point index.
+  Gf16 lin_[16][16];
+  Gf16 deriv_[16];
+};
+
+}  // namespace ppr::fec

@@ -242,6 +242,157 @@ __attribute__((target("avx2"))) void ScaleAvx2(std::uint8_t* data,
   ScaleLogDomain(data + i, coef, n - i);
 }
 
+// The GFNI constant-multiply matrix. GF2P8AFFINEQB computes, per
+// destination byte, bit i = parity(matrix.byte[7-i] & src.byte) — an
+// arbitrary GF(2)-linear map of the byte. Multiplication by a constant
+// c is such a map (over ANY degree-8 polynomial basis, not just the
+// instruction's own 0x11B reduction, which only its MULB sibling
+// hard-codes): column j of the bit-matrix is c * 2^j in this field's
+// 0x11D basis, so row i collects bit i of each column product.
+std::uint64_t GfniMatrix(std::uint8_t coef) {
+  std::uint8_t row[8] = {};
+  for (unsigned j = 0; j < 8; ++j) {
+    const std::uint8_t col = MulTab(coef, static_cast<std::uint8_t>(1u << j));
+    for (unsigned i = 0; i < 8; ++i) {
+      if (col & (1u << i)) row[i] |= static_cast<std::uint8_t>(1u << j);
+    }
+  }
+  std::uint64_t m = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    m |= static_cast<std::uint64_t>(row[i]) << (8 * (7 - i));
+  }
+  return m;
+}
+
+__attribute__((target("gfni,avx2"))) void AxpyGfni(std::uint8_t* dst,
+                                                   std::uint8_t coef,
+                                                   const std::uint8_t* src,
+                                                   std::size_t n) {
+  if (n < 32) {
+    AxpyLogDomain(dst, coef, src, n);
+    return;
+  }
+  const __m256i m = _mm256_set1_epi64x(
+      static_cast<long long>(GfniMatrix(coef)));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i p = _mm256_gf2p8affine_epi64_epi8(s, m, 0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  AxpyLogDomain(dst + i, coef, src + i, n - i);
+}
+
+__attribute__((target("gfni,avx2"))) void ScaleGfni(std::uint8_t* data,
+                                                    std::uint8_t coef,
+                                                    std::size_t n) {
+  if (n < 32) {
+    ScaleLogDomain(data, coef, n);
+    return;
+  }
+  const __m256i m = _mm256_set1_epi64x(
+      static_cast<long long>(GfniMatrix(coef)));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i),
+                        _mm256_gf2p8affine_epi64_epi8(s, m, 0));
+  }
+  ScaleLogDomain(data + i, coef, n - i);
+}
+
+// 512-bit GFNI variant, picked by CompiledBackend(kGfni) when the CPU
+// also has AVX-512: same matrix, 64 products per instruction.
+__attribute__((target("gfni,avx2,avx512f,avx512bw"))) void AxpyGfni512(
+    std::uint8_t* dst, std::uint8_t coef, const std::uint8_t* src,
+    std::size_t n) {
+  if (n < 64) {
+    AxpyGfni(dst, coef, src, n);
+    return;
+  }
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(GfniMatrix(coef)));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i s = _mm512_loadu_si512(src + i);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i p = _mm512_gf2p8affine_epi64_epi8(s, m, 0);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, p));
+  }
+  AxpyGfni(dst + i, coef, src + i, n - i);
+}
+
+__attribute__((target("gfni,avx2,avx512f,avx512bw"))) void ScaleGfni512(
+    std::uint8_t* data, std::uint8_t coef, std::size_t n) {
+  if (n < 64) {
+    ScaleGfni(data, coef, n);
+    return;
+  }
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(GfniMatrix(coef)));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i s = _mm512_loadu_si512(data + i);
+    _mm512_storeu_si512(data + i, _mm512_gf2p8affine_epi64_epi8(s, m, 0));
+  }
+  ScaleGfni(data + i, coef, n - i);
+}
+
+// AVX-512BW split-nibble: the same two-shuffle shape as AVX2, but
+// VPSHUFB over four 128-bit lanes at once.
+__attribute__((target("avx2,avx512f,avx512bw"))) void AxpyAvx512(
+    std::uint8_t* dst, std::uint8_t coef, const std::uint8_t* src,
+    std::size_t n) {
+  if (n < 64) {
+    AxpyAvx2(dst, coef, src, n);
+    return;
+  }
+  const NibbleTables t = BuildNibbleTables(coef);
+  const __m512i vlo = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m512i vhi = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m512i nib = _mm512_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i s = _mm512_loadu_si512(src + i);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i p = _mm512_xor_si512(
+        _mm512_shuffle_epi8(vlo, _mm512_and_si512(s, nib)),
+        _mm512_shuffle_epi8(vhi,
+                            _mm512_and_si512(_mm512_srli_epi64(s, 4), nib)));
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, p));
+  }
+  AxpyAvx2(dst + i, coef, src + i, n - i);
+}
+
+__attribute__((target("avx2,avx512f,avx512bw"))) void ScaleAvx512(
+    std::uint8_t* data, std::uint8_t coef, std::size_t n) {
+  if (n < 64) {
+    ScaleAvx2(data, coef, n);
+    return;
+  }
+  const NibbleTables t = BuildNibbleTables(coef);
+  const __m512i vlo = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m512i vhi = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m512i nib = _mm512_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i s = _mm512_loadu_si512(data + i);
+    const __m512i p = _mm512_xor_si512(
+        _mm512_shuffle_epi8(vlo, _mm512_and_si512(s, nib)),
+        _mm512_shuffle_epi8(vhi,
+                            _mm512_and_si512(_mm512_srli_epi64(s, 4), nib)));
+    _mm512_storeu_si512(data + i, p);
+  }
+  ScaleAvx2(data + i, coef, n - i);
+}
+
 #endif  // PPR_GF256_X86
 
 #if defined(PPR_GF256_ARM)
@@ -310,6 +461,17 @@ std::optional<Backend> CompiledBackend(GfImpl impl) {
       return Backend{AxpySsse3, ScaleSsse3};
     case GfImpl::kAvx2:
       return Backend{AxpyAvx2, ScaleAvx2};
+    case GfImpl::kGfni:
+      // One backend name, widest compiled body the CPU can run: the
+      // differential CI job pins "gfni" and gets 512-bit vectors where
+      // the runner has them, 256-bit otherwise.
+      if (__builtin_cpu_supports("avx512f") &&
+          __builtin_cpu_supports("avx512bw")) {
+        return Backend{AxpyGfni512, ScaleGfni512};
+      }
+      return Backend{AxpyGfni, ScaleGfni};
+    case GfImpl::kAvx512:
+      return Backend{AxpyAvx512, ScaleAvx512};
 #endif
 #if defined(PPR_GF256_ARM)
     case GfImpl::kNeon:
@@ -329,6 +491,11 @@ bool CpuSupports(GfImpl impl) {
       return __builtin_cpu_supports("ssse3");
     case GfImpl::kAvx2:
       return __builtin_cpu_supports("avx2");
+    case GfImpl::kGfni:
+      return __builtin_cpu_supports("gfni") && __builtin_cpu_supports("avx2");
+    case GfImpl::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw");
 #endif
 #if defined(PPR_GF256_ARM)
     case GfImpl::kNeon:
@@ -347,7 +514,8 @@ struct Active {
 Active& ActiveState() {
   static Active active = [] {
     GfImpl impl = GfImpl::kScalar;
-    for (const GfImpl cand : {GfImpl::kAvx2, GfImpl::kSsse3, GfImpl::kNeon}) {
+    for (const GfImpl cand : {GfImpl::kGfni, GfImpl::kAvx512, GfImpl::kAvx2,
+                              GfImpl::kSsse3, GfImpl::kNeon}) {
       if (GfImplAvailable(cand)) {
         impl = cand;
         break;
@@ -374,8 +542,8 @@ Active& ActiveState() {
 #if !defined(PPR_OBS_OFF)
 
 struct GfThreadCounters {
-  std::uint64_t calls[4] = {};
-  std::uint64_t bytes[4] = {};
+  std::uint64_t calls[kGfImplCount] = {};
+  std::uint64_t bytes[kGfImplCount] = {};
 };
 
 GfThreadCounters& ThreadCounters() {
@@ -442,13 +610,17 @@ std::string_view GfImplName(GfImpl impl) {
       return "avx2";
     case GfImpl::kNeon:
       return "neon";
+    case GfImpl::kGfni:
+      return "gfni";
+    case GfImpl::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
 std::optional<GfImpl> GfImplFromName(std::string_view name) {
   for (const GfImpl impl : {GfImpl::kScalar, GfImpl::kSsse3, GfImpl::kAvx2,
-                            GfImpl::kNeon}) {
+                            GfImpl::kNeon, GfImpl::kGfni, GfImpl::kAvx512}) {
     if (name == GfImplName(impl)) return impl;
   }
   return std::nullopt;
@@ -461,7 +633,7 @@ bool GfImplAvailable(GfImpl impl) {
 std::vector<GfImpl> GfAvailableImpls() {
   std::vector<GfImpl> impls;
   for (const GfImpl impl : {GfImpl::kScalar, GfImpl::kSsse3, GfImpl::kAvx2,
-                            GfImpl::kNeon}) {
+                            GfImpl::kNeon, GfImpl::kGfni, GfImpl::kAvx512}) {
     if (GfImplAvailable(impl)) impls.push_back(impl);
   }
   return impls;

@@ -1,5 +1,6 @@
 #include "fec/rlnc.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -117,9 +118,9 @@ bool RlncDecoder::AddSourceSpan(std::size_t index,
   if (data.size() != symbol_bytes_) {
     throw std::invalid_argument("RlncDecoder: equation shape mismatch");
   }
-  work_coefs_.assign(n_source_, 0);
-  work_coefs_[index] = 1;
-  work_data_.assign(data.begin(), data.end());
+  work_.assign(row_bytes(), 0);
+  work_[index] = 1;
+  std::copy(data.begin(), data.end(), work_.begin() + n_source_);
   return EliminateWork();
 }
 
@@ -148,8 +149,9 @@ bool RlncDecoder::AddEquationSpan(std::span<const std::uint8_t> coefs,
   if (coefs.size() != n_source_ || data.size() != symbol_bytes_) {
     throw std::invalid_argument("RlncDecoder: equation shape mismatch");
   }
-  work_coefs_.assign(coefs.begin(), coefs.end());
-  work_data_.assign(data.begin(), data.end());
+  work_.resize(row_bytes());
+  std::copy(coefs.begin(), coefs.end(), work_.begin());
+  std::copy(data.begin(), data.end(), work_.begin() + n_source_);
   return EliminateWork();
 }
 
@@ -158,46 +160,40 @@ bool RlncDecoder::EliminateWork() {
   // Gauss-Jordan reduced — zero at every OTHER pivot column — so
   // eliminating against pivot j never changes the factor a later pivot
   // sees; all factors can be read upfront and the whole sweep batched
-  // into one GfAxpyN per row.
-  coef_terms_.clear();
-  data_terms_.clear();
+  // into ONE GfAxpyN over the fused [coefs | data] rows: coefficient
+  // and payload bytes are eliminated in the same pass instead of two.
+  terms_.clear();
   for (std::size_t j = 0; j < n_source_; ++j) {
-    if (work_coefs_[j] == 0 || !pivot_[j].has_value()) continue;
-    coef_terms_.push_back({work_coefs_[j], pivot_[j]->coefs});
-    data_terms_.push_back({work_coefs_[j], pivot_[j]->data});
+    if (work_[j] == 0 || !pivot_[j].has_value()) continue;
+    terms_.push_back({work_[j], *pivot_[j]});
   }
-  GfAxpyN(work_coefs_, coef_terms_);
-  GfAxpyN(work_data_, data_terms_);
+  GfAxpyN(work_, terms_);
 
   // Find the new pivot column, if any rank survives.
   std::size_t lead = n_source_;
   for (std::size_t j = 0; j < n_source_; ++j) {
-    if (work_coefs_[j] != 0) {
+    if (work_[j] != 0) {
       lead = j;
       break;
     }
   }
   if (lead == n_source_) return false;  // linearly dependent
 
-  const std::uint8_t inv = GfInv(work_coefs_[lead]);
-  GfScale(work_coefs_, inv);
-  GfScale(work_data_, inv);
+  GfScale(work_, GfInv(work_[lead]));
 
   // Back-eliminate the new column from existing rows so the basis stays
-  // Gauss-Jordan reduced.
+  // Gauss-Jordan reduced — again one fused pass per affected row.
   for (std::size_t j = 0; j < n_source_; ++j) {
     if (!pivot_[j].has_value()) continue;
-    const std::uint8_t factor = pivot_[j]->coefs[lead];
+    const std::uint8_t factor = (*pivot_[j])[lead];
     if (factor == 0) continue;
-    GfAxpy(pivot_[j]->coefs, factor, work_coefs_);
-    GfAxpy(pivot_[j]->data, factor, work_data_);
+    GfAxpy(*pivot_[j], factor, work_);
   }
 
   // Swap the work row into a (possibly recycled) pivot row; the retired
-  // buffers become the next call's work scratch.
+  // buffer becomes the next call's work scratch.
   Row row = TakeSpareRow();
-  row.coefs.swap(work_coefs_);
-  row.data.swap(work_data_);
+  row.swap(work_);
   pivot_[lead] = std::move(row);
   ++rank_;
   return true;
@@ -221,10 +217,11 @@ void RlncDecoder::Reset() {
   rank_ = 0;
 }
 
-const std::vector<std::uint8_t>& RlncDecoder::Symbol(std::size_t i) const {
+std::span<const std::uint8_t> RlncDecoder::Symbol(std::size_t i) const {
   assert(Complete());
   assert(i < n_source_ && pivot_[i].has_value());
-  return pivot_[i]->data;
+  return std::span<const std::uint8_t>(*pivot_[i]).subspan(n_source_,
+                                                           symbol_bytes_);
 }
 
 }  // namespace ppr::fec

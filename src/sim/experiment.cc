@@ -165,7 +165,7 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
   obs::MetricRegistry registry;
   obs::ScopedObsContext obs_scope(&registry, /*tracer=*/nullptr,
                                   /*record_timings=*/false);
-  std::array<fec::GfOpStats, 4> gf_before;
+  std::array<fec::GfOpStats, fec::kGfImplCount> gf_before;
   const auto gf_impls = fec::GfAvailableImpls();
   for (const fec::GfImpl impl : gf_impls) {
     gf_before[static_cast<std::size_t>(impl)] = fec::GfThreadStatsFor(impl);

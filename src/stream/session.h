@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "arq/link_sim.h"
+#include "fec/codec.h"
 #include "obs/metrics.h"
 #include "stream/redundancy.h"
 #include "stream/stream_ids.h"
@@ -57,6 +58,21 @@ struct StreamSessionConfig {
   // Deterministic payload generator seed (payloads are a pure function
   // of (seed, symbol id); the destination verifies every delivery).
   std::uint64_t payload_seed = 0x5EED;
+
+  // Repair codec. kRlnc (default): every repair frame is a seeded
+  // random combination over the live window — rateless, any repair
+  // helps any loss it spans. kReedSolomon: ids are grouped into fixed
+  // generations of rs_generation consecutive symbols; once a
+  // generation is complete the source streams its precomputed GF(2^16)
+  // RS parity symbols (repair wire reused: first_id = generation base,
+  // span = rs_generation, seed = parity index), and the destination
+  // runs one O(K log K) erasure decoder per generation, feeding
+  // recovered symbols back into the window. Requires even symbol_bytes
+  // and rs_generation <= window_capacity. The final partial generation
+  // is zero-padded on both sides.
+  fec::CodecKind codec = fec::CodecKind::kRlnc;
+  std::size_t rs_generation = 16;
+  std::size_t rs_parity = 8;
 };
 
 struct StreamSessionStats {

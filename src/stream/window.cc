@@ -88,7 +88,8 @@ const std::vector<std::uint8_t>& WindowDecoder::KnownData(SymbolId id) const {
   return *known_[Slot(id)];
 }
 
-bool WindowDecoder::AddSource(SymbolId id, std::vector<std::uint8_t> data) {
+bool WindowDecoder::AddSource(SymbolId id, std::vector<std::uint8_t> data,
+                              bool recovered) {
   if (data.size() != symbol_bytes_) {
     throw std::invalid_argument("WindowDecoder::AddSource: size mismatch");
   }
@@ -113,12 +114,12 @@ bool WindowDecoder::AddSource(SymbolId id, std::vector<std::uint8_t> data) {
     --rank_;
     row.coefs[col] = 0;
     fec::GfAxpy(row.data, 1, data);
-    SetKnown(id, std::move(data), /*recovered=*/false);
+    SetKnown(id, std::move(data), recovered);
     AddRow(std::move(row.coefs), std::move(row.data));
     ExtractUnitRows(col);
     return true;
   }
-  SetKnown(id, std::move(data), /*recovered=*/false);
+  SetKnown(id, std::move(data), recovered);
   ExtractUnitRows(col);
   return true;
 }

@@ -122,8 +122,11 @@ class WindowDecoder : public fec::EquationSink {
 
   // A source symbol received verbatim (id already expanded). Returns
   // true if it was new information. Frames beyond the window capacity
-  // or older than the retired ring are dropped (false).
-  bool AddSource(SymbolId id, std::vector<std::uint8_t> data);
+  // or older than the retired ring are dropped (false). `recovered`
+  // marks a symbol decoded elsewhere (e.g. the Reed-Solomon generation
+  // path) rather than received, for delivery provenance.
+  bool AddSource(SymbolId id, std::vector<std::uint8_t> data,
+                 bool recovered = false);
 
   // A repair equation; known symbols (delivered ones included, via the
   // retired ring) are substituted out and the remainder joins the

@@ -240,6 +240,50 @@ TEST(RecoveryStrategyTest, UnparsableFeedbackThrows) {
   }
 }
 
+// Tentpole satellite: the coded-repair strategy under
+// CodecKind::kReedSolomon streams RS parity instead of RLNC equations
+// but delivers byte-identical packets on the same channel trace.
+TEST(RecoveryStrategyTest, ReedSolomonCodedRepairDeliversIdenticalPackets) {
+  for (const std::uint64_t seed : {611ull, 612ull, 613ull}) {
+    Rng prng(seed);
+    const BitVec payload = RandomPayload(prng, 200);
+
+    PpArqConfig rlnc_config;
+    rlnc_config.recovery = RecoveryMode::kCodedRepair;
+    const auto rlnc = RunExchange(*MakeRecoveryStrategy(rlnc_config),
+                                  rlnc_config, payload, seed ^ 0xBEEF);
+
+    PpArqConfig rs_config;
+    rs_config.recovery = RecoveryMode::kCodedRepair;
+    rs_config.fec_codec = fec::CodecKind::kReedSolomon;
+    const auto rs = RunExchange(*MakeRecoveryStrategy(rs_config), rs_config,
+                                payload, seed ^ 0xBEEF);
+
+    ASSERT_TRUE(rlnc.success) << "seed=" << seed;
+    ASSERT_TRUE(rs.success) << "seed=" << seed;
+    EXPECT_EQ(rs.payload, payload) << "seed=" << seed;
+    EXPECT_EQ(rs.payload, rlnc.payload) << "seed=" << seed;
+    // The channel actually erased something: the RS parity path ran.
+    EXPECT_FALSE(rs.stats.retransmission_bits.empty());
+  }
+}
+
+TEST(RecoveryStrategyTest, ReedSolomonNeedsEvenSymbolBytesAndNoRelay) {
+  // 6 codewords x 4 bits = 3 bytes per FEC symbol: whole octets (fine
+  // for RLNC) but odd (rejected for GF(2^16) RS).
+  PpArqConfig odd;
+  odd.recovery = RecoveryMode::kCodedRepair;
+  odd.codewords_per_fec_symbol = 6;
+  EXPECT_NO_THROW(MakeRecoveryStrategy(odd));
+  odd.fec_codec = fec::CodecKind::kReedSolomon;
+  EXPECT_THROW(MakeRecoveryStrategy(odd), std::invalid_argument);
+  // Relay repair needs dense masked equations — RLNC only.
+  PpArqConfig relay;
+  relay.recovery = RecoveryMode::kRelayCodedRepair;
+  relay.fec_codec = fec::CodecKind::kReedSolomon;
+  EXPECT_THROW(MakeRecoveryStrategy(relay), std::invalid_argument);
+}
+
 TEST(RecoveryStrategyTest, CodedFeedbackIsCompact) {
   // Coded feedback is a fixed 40-bit (seq, party_count = 1, deficit)
   // record, far below the chunk-mode feedback with its per-gap

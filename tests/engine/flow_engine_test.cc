@@ -61,6 +61,39 @@ TEST(FlowEngineTest, NativeFlowsDecodeAndRetire) {
   EXPECT_GT(stats.rounds, 0u);
 }
 
+// CodecKind::kReedSolomon flows precompute parity at spawn and run
+// pure-bookkeeping rounds; FinishFlow still memcmps every recovered
+// symbol, so completion is the decode-correctness assertion.
+TEST(FlowEngineTest, ReedSolomonFlowsDecodeAndRetire) {
+  EngineConfig config = SmallConfig(3);
+  config.codec = fec::CodecKind::kReedSolomon;
+  FlowEngine engine(config);
+  for (FlowId f = 0; f < 512; ++f) engine.SpawnFlow(f);
+  engine.RunAll();
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.flows_spawned, 512u);
+  EXPECT_EQ(stats.flows_completed, 512u);
+  EXPECT_EQ(engine.active_flows(), 0u);
+  EXPECT_GT(stats.repairs_sent, stats.repairs_delivered);  // lossy channel
+}
+
+TEST(FlowEngineTest, ReedSolomonIsDeterministicAndRejectsOddSymbols) {
+  const auto run = [](std::uint64_t seed) {
+    EngineConfig config = SmallConfig(seed);
+    config.codec = fec::CodecKind::kReedSolomon;
+    FlowEngine engine(config);
+    for (FlowId f = 0; f < 128; ++f) engine.SpawnFlow(f);
+    engine.RunAll();
+    return engine.stats();
+  };
+  EXPECT_TRUE(StatsEqual(run(9), run(9)));
+
+  EngineConfig odd = SmallConfig();
+  odd.codec = fec::CodecKind::kReedSolomon;
+  odd.symbol_bytes = 63;
+  EXPECT_THROW(FlowEngine{odd}, std::invalid_argument);
+}
+
 TEST(FlowEngineTest, TrajectoryIsDeterministicPerSeed) {
   const auto run = [](std::uint64_t seed) {
     FlowEngine engine(SmallConfig(seed));

@@ -1,0 +1,171 @@
+// Additive-FFT properties: the subspace-polynomial tables against a
+// symbolic expansion of W_i, forward/inverse round trips on every
+// size/coset, and the transform against naive novel-basis evaluation.
+#include "fec/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "fec/gf65536.h"
+
+namespace ppr::fec {
+namespace {
+
+// Symbolic polynomial over GF(2^16): coefficient vector, index = power.
+using Poly = std::vector<Gf16>;
+
+Poly PolyMul(const Poly& a, const Poly& b) {
+  Poly out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] ^= Gf16Mul(a[i], b[j]);
+    }
+  }
+  return out;
+}
+
+Gf16 PolyEval(const Poly& p, Gf16 x) {
+  Gf16 acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = static_cast<Gf16>(Gf16Mul(acc, x) ^ p[i]);
+  }
+  return acc;
+}
+
+// W_i(x) = prod over v in V_i = {0..2^i-1} of (x ^ v), expanded.
+Poly SubspacePoly(unsigned i) {
+  Poly w{0, 1};  // x ^ 0
+  for (unsigned v = 1; v < (1u << i); ++v) {
+    w = PolyMul(w, Poly{static_cast<Gf16>(v), 1});
+  }
+  return w;
+}
+
+// WHat_i evaluated at `u` via the expansion (the table-free reference
+// for SkewAt and DerivativeConst).
+TEST(AdditiveFftTest, TablesMatchSymbolicSubspacePolynomials) {
+  const AdditiveFft& fft = AdditiveFft::Instance();
+  for (unsigned i = 0; i <= 6; ++i) {
+    const Poly w = SubspacePoly(i);
+    const Gf16 norm = PolyEval(w, static_cast<Gf16>(1u << i));  // W_i(beta_i)
+    ASSERT_NE(norm, 0u);
+    // DerivativeConst: a linearized polynomial's derivative is its
+    // x-coefficient; WHat normalizes by W_i(beta_i).
+    EXPECT_EQ(fft.DerivativeConst(i), Gf16Div(w[1], norm)) << "i=" << i;
+    // SkewAt against direct evaluation, including V_i roots (skew 0).
+    Rng rng(100 + i);
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto u = static_cast<unsigned>(rng.UniformInt(65536));
+      EXPECT_EQ(fft.SkewAt(i, u),
+                Gf16Div(PolyEval(w, static_cast<Gf16>(u)), norm))
+          << "i=" << i << " u=" << u;
+    }
+    for (unsigned u = 0; u < (1u << i); ++u) {
+      EXPECT_EQ(fft.SkewAt(i, u), 0u) << "V_" << i << " root " << u;
+    }
+    EXPECT_EQ(fft.SkewAt(i, 1u << i), 1u);  // the normalization anchor
+  }
+}
+
+TEST(AdditiveFftTest, ForwardInverseRoundTrip) {
+  const AdditiveFft& fft = AdditiveFft::Instance();
+  Rng rng(42);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                              std::size_t{64}, std::size_t{256}}) {
+    for (const std::size_t base : {std::size_t{0}, n, 4 * n}) {
+      const std::size_t words = 3;
+      std::vector<Gf16> data(n * words);
+      for (auto& v : data) v = static_cast<Gf16>(rng.UniformInt(65536));
+      auto copy = data;
+      fft.Fft(copy.data(), words, n, base);
+      fft.Ifft(copy.data(), words, n, base);
+      ASSERT_EQ(copy, data) << "fft+ifft n=" << n << " base=" << base;
+      fft.Ifft(copy.data(), words, n, base);
+      fft.Fft(copy.data(), words, n, base);
+      ASSERT_EQ(copy, data) << "ifft+fft n=" << n << " base=" << base;
+    }
+  }
+}
+
+// The transform against naive evaluation: FFT of novel-basis
+// coefficients must equal XOR_j coef_j * X_j(u) at every point of the
+// coset, with X_j(u) = prod over set bits i of j of WHat_i(u).
+TEST(AdditiveFftTest, FftMatchesNaiveNovelBasisEvaluation) {
+  const AdditiveFft& fft = AdditiveFft::Instance();
+  Rng rng(43);
+  const std::size_t n = 16;
+  for (const std::size_t base : {std::size_t{0}, std::size_t{16},
+                                 std::size_t{96}}) {
+    std::vector<Gf16> coefs(n);
+    for (auto& v : coefs) v = static_cast<Gf16>(rng.UniformInt(65536));
+    auto evals = coefs;
+    fft.Fft(evals.data(), /*words=*/1, n, base);
+    for (std::size_t u = 0; u < n; ++u) {
+      Gf16 want = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        Gf16 basis = 1;
+        for (unsigned i = 0; i < 16; ++i) {
+          if (j & (std::size_t{1} << i)) {
+            basis = Gf16Mul(basis,
+                            fft.SkewAt(i, static_cast<unsigned>(base + u)));
+          }
+        }
+        want ^= Gf16Mul(coefs[j], basis);
+      }
+      ASSERT_EQ(evals[u], want) << "base=" << base << " u=" << u;
+    }
+  }
+}
+
+// Derivative against the product rule applied symbolically: expand
+// f = sum f_j X_j into monomials, differentiate (char 2: even powers
+// vanish), and re-expand the transform's claimed coefficients.
+TEST(AdditiveFftTest, DerivativeMatchesMonomialDifferentiation) {
+  const AdditiveFft& fft = AdditiveFft::Instance();
+  Rng rng(44);
+  const std::size_t n = 16;
+  // Novel-basis polynomials X_j as monomial expansions.
+  std::vector<Poly> basis(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Poly x{1};
+    for (unsigned i = 0; i < 4; ++i) {
+      if (j & (std::size_t{1} << i)) {
+        Poly w = SubspacePoly(i);
+        const Gf16 norm = PolyEval(w, static_cast<Gf16>(1u << i));
+        for (auto& c : w) c = Gf16Div(c, norm);
+        x = PolyMul(x, w);
+      }
+    }
+    basis[j] = x;
+  }
+  std::vector<Gf16> coefs(n);
+  for (auto& v : coefs) v = static_cast<Gf16>(rng.UniformInt(65536));
+
+  // Monomial image of f and its formal derivative.
+  Poly mono(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < basis[j].size(); ++p) {
+      mono[p] ^= Gf16Mul(coefs[j], basis[j][p]);
+    }
+  }
+  Poly dmono(n, 0);
+  for (std::size_t p = 1; p < n; p += 2) dmono[p - 1] = mono[p];
+
+  // The transform's derivative, re-expanded to monomials.
+  auto dcoefs = coefs;
+  std::vector<Gf16> scratch(n);
+  fft.Derivative(dcoefs.data(), /*words=*/1, n, scratch.data());
+  Poly got(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < basis[j].size(); ++p) {
+      got[p] ^= Gf16Mul(dcoefs[j], basis[j][p]);
+    }
+  }
+  EXPECT_EQ(got, dmono);
+}
+
+}  // namespace
+}  // namespace ppr::fec

@@ -126,7 +126,7 @@ TEST(Gf256DispatchTest, ScalarAlwaysAvailableAndActiveIsAvailable) {
 
 TEST(Gf256DispatchTest, ImplNamesRoundtrip) {
   for (const GfImpl impl : {GfImpl::kScalar, GfImpl::kSsse3, GfImpl::kAvx2,
-                            GfImpl::kNeon}) {
+                            GfImpl::kNeon, GfImpl::kGfni, GfImpl::kAvx512}) {
     const auto back = GfImplFromName(GfImplName(impl));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, impl);
@@ -138,7 +138,7 @@ TEST(Gf256DispatchTest, ImplNamesRoundtrip) {
 TEST(Gf256DispatchTest, SetImplRejectsUnavailableBackends) {
   const GfImpl before = GfActiveImpl();
   for (const GfImpl impl : {GfImpl::kScalar, GfImpl::kSsse3, GfImpl::kAvx2,
-                            GfImpl::kNeon}) {
+                            GfImpl::kNeon, GfImpl::kGfni, GfImpl::kAvx512}) {
     if (!GfImplAvailable(impl)) {
       EXPECT_FALSE(GfSetImpl(impl));
       EXPECT_EQ(GfActiveImpl(), before);

@@ -1,0 +1,138 @@
+// GF(2^16) field properties: the log/exp tables against a bitwise
+// carryless-multiply reference, inverse/division round-trips, and the
+// dispatched span kernels (AVX2 where the host has it) against the
+// always-scalar reference on ragged, unaligned spans.
+#include "fec/gf65536.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppr::fec {
+namespace {
+
+// Bitwise reference multiply: shift-and-xor, reduced by the primitive
+// polynomial — no tables involved.
+Gf16 RefMul(Gf16 a, Gf16 b) {
+  std::uint32_t acc = 0;
+  std::uint32_t x = a;
+  for (unsigned i = 0; i < 16; ++i) {
+    if (b & (1u << i)) acc ^= x << i;
+  }
+  for (int bit = 31; bit >= 16; --bit) {
+    if (acc & (1u << bit)) acc ^= kGf16PrimitivePoly << (bit - 16);
+  }
+  return static_cast<Gf16>(acc);
+}
+
+TEST(Gf65536Test, AlphaIsPrimitive) {
+  // alpha = 2 must have full order: its powers hit every nonzero
+  // element exactly once before cycling.
+  std::vector<bool> seen(65536, false);
+  for (unsigned p = 0; p < 65535; ++p) {
+    const Gf16 v = Gf16Exp(p);
+    ASSERT_NE(v, 0u);
+    ASSERT_FALSE(seen[v]) << "power " << p;
+    seen[v] = true;
+  }
+  EXPECT_EQ(Gf16Exp(65535), Gf16Exp(0));  // doubled table wraps
+  EXPECT_EQ(Gf16Exp(0), 1u);
+}
+
+TEST(Gf65536Test, MulMatchesCarrylessReference) {
+  Rng rng(9001);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a = static_cast<Gf16>(rng.UniformInt(65536));
+    const auto b = static_cast<Gf16>(rng.UniformInt(65536));
+    ASSERT_EQ(Gf16Mul(a, b), RefMul(a, b)) << a << " * " << b;
+  }
+  EXPECT_EQ(Gf16Mul(0, 0x1234), 0u);
+  EXPECT_EQ(Gf16Mul(0x1234, 0), 0u);
+  EXPECT_EQ(Gf16Mul(1, 0xFFFF), 0xFFFFu);
+  EXPECT_EQ(Gf16Mul(0xFFFF, 1), 0xFFFFu);
+}
+
+TEST(Gf65536Test, InverseAndDivisionRoundTrip) {
+  Rng rng(9002);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a = static_cast<Gf16>(1 + rng.UniformInt(65535));
+    const auto b = static_cast<Gf16>(1 + rng.UniformInt(65535));
+    ASSERT_EQ(Gf16Mul(a, Gf16Inv(a)), 1u) << a;
+    ASSERT_EQ(Gf16Div(Gf16Mul(a, b), b), a);
+    ASSERT_EQ(Gf16Mul(Gf16Div(a, b), b), a);
+  }
+  EXPECT_EQ(Gf16Div(0, 0x4242), 0u);
+}
+
+TEST(Gf65536Test, LogExpRoundTrip) {
+  Rng rng(9003);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const auto a = static_cast<Gf16>(1 + rng.UniformInt(65535));
+    ASSERT_EQ(Gf16Exp(Gf16Log(a)), a);
+  }
+}
+
+// The dispatched span ops against the scalar reference, across ragged
+// lengths (tails, sub-vector spans) and offset starts (unaligned
+// loads), with sentinel padding proving nothing writes out of range.
+TEST(Gf65536Test, SpanKernelsMatchReference) {
+  Rng rng(9004);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{31},
+                              std::size_t{32}, std::size_t{33},
+                              std::size_t{100}, std::size_t{1023}}) {
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+      std::vector<Gf16> src(n + offset + 4), dst(n + offset + 4),
+          want(n + offset + 4);
+      for (auto& v : src) v = static_cast<Gf16>(rng.UniformInt(65536));
+      for (auto& v : dst) v = static_cast<Gf16>(rng.UniformInt(65536));
+      want = dst;
+      for (const Gf16 coef :
+           {Gf16{0}, Gf16{1}, Gf16{2}, static_cast<Gf16>(rng.UniformInt(65536)),
+            Gf16{0xFFFF}}) {
+        auto got = dst;
+        Gf16Axpy({got.data() + offset, n}, coef, {src.data() + offset, n});
+        auto exp = want;
+        gf16_ref::Axpy({exp.data() + offset, n}, coef, {src.data() + offset, n});
+        ASSERT_EQ(got, exp) << "axpy n=" << n << " coef=" << coef;
+
+        auto gs = dst;
+        Gf16Scale({gs.data() + offset, n}, coef);
+        auto es = want;
+        gf16_ref::Scale({es.data() + offset, n}, coef);
+        ASSERT_EQ(gs, es) << "scale n=" << n << " coef=" << coef;
+      }
+    }
+  }
+}
+
+TEST(Gf65536Test, FusedButterfliesMatchComposition) {
+  Rng rng(9005);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{31}, std::size_t{64}, std::size_t{513}}) {
+    std::vector<Gf16> x(n), y(n);
+    for (auto& v : x) v = static_cast<Gf16>(rng.UniformInt(65536));
+    for (auto& v : y) v = static_cast<Gf16>(rng.UniformInt(65536));
+    for (const Gf16 skew :
+         {Gf16{0}, Gf16{1}, static_cast<Gf16>(rng.UniformInt(65536))}) {
+      // Forward: x ^= skew*y; y ^= x.
+      auto fx = x, fy = y;
+      Gf16ButterflyFwd(fx, fy, skew);
+      auto wx = x, wy = y;
+      gf16_ref::Axpy(wx, skew, wy);
+      for (std::size_t i = 0; i < n; ++i) wy[i] ^= wx[i];
+      ASSERT_EQ(fx, wx) << "fwd n=" << n << " skew=" << skew;
+      ASSERT_EQ(fy, wy);
+
+      // Inverse: y ^= x; x ^= skew*y — and it must undo the forward.
+      Gf16ButterflyInv(fx, fy, skew);
+      ASSERT_EQ(fx, x) << "inv n=" << n << " skew=" << skew;
+      ASSERT_EQ(fy, y);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppr::fec

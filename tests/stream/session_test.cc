@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "common/bitvec.h"
 
@@ -126,6 +127,68 @@ TEST(StreamSessionTest, BackpressureEngagesWhenWindowOutrunsAcks) {
   EXPECT_GT(stats.backpressure_stalls, 0u);
   EXPECT_EQ(stats.delivered, config.total_packets);
   EXPECT_EQ(stats.payload_mismatches, 0u);
+}
+
+StreamSessionConfig RsConfig() {
+  StreamSessionConfig config = SmallConfig();
+  config.codec = fec::CodecKind::kReedSolomon;
+  config.rs_generation = 8;
+  config.rs_parity = 4;
+  return config;
+}
+
+TEST(StreamSessionTest, ReedSolomonCleanChannelSendsNoParity) {
+  const auto config = RsConfig();
+  const auto controller = MakeAckDeficitController();
+  const auto stats = RunStreamSession(config, *controller, CleanChannel());
+  EXPECT_EQ(stats.delivered, config.total_packets);
+  EXPECT_EQ(stats.recovered, 0u);
+  EXPECT_EQ(stats.repair_sent, 0u);
+  EXPECT_EQ(stats.payload_mismatches, 0u);
+}
+
+TEST(StreamSessionTest, ReedSolomonGenerationsRecoverLossyStream) {
+  const auto config = RsConfig();
+  const auto controller = MakeAckDeficitController();
+  const auto stats =
+      RunStreamSession(config, *controller, PeriodicErasureChannel(5));
+  EXPECT_EQ(stats.delivered, config.total_packets);
+  EXPECT_EQ(stats.undelivered, 0u);
+  EXPECT_GT(stats.recovered, 0u);
+  EXPECT_GT(stats.repair_sent, 0u);
+  EXPECT_EQ(stats.payload_mismatches, 0u);
+}
+
+TEST(StreamSessionTest, ReedSolomonIsDeterministicAcrossRuns) {
+  const auto config = RsConfig();
+  const auto run = [&] {
+    const auto controller = MakeAckDeficitController();
+    return RunStreamSession(config, *controller, PeriodicErasureChannel(4));
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.repair_sent, b.repair_sent);
+  EXPECT_EQ(a.repair_bits, b.repair_bits);
+  EXPECT_EQ(a.finished_at_us, b.finished_at_us);
+  EXPECT_EQ(a.latency_us, b.latency_us);
+}
+
+TEST(StreamSessionTest, ReedSolomonRejectsBadShapes) {
+  const auto controller = MakeAckDeficitController();
+  {
+    auto config = RsConfig();
+    config.symbol_bytes = 15;  // odd: GF(2^16) symbols are 2-byte words
+    EXPECT_THROW(RunStreamSession(config, *controller, CleanChannel()),
+                 std::invalid_argument);
+  }
+  {
+    auto config = RsConfig();
+    config.rs_generation = config.window_capacity + 1;
+    EXPECT_THROW(RunStreamSession(config, *controller, CleanChannel()),
+                 std::invalid_argument);
+  }
 }
 
 }  // namespace
