@@ -16,6 +16,12 @@ std::uint64_t Mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Domain separator for SeedForCollisionRound. SeedForTransmission
+// chains start from Mix64(medium_seed); salting the medium seed first
+// puts collision chains in a different orbit of the same mix, so the
+// two families cannot alias for any (sender, tx) / (tx_a, tx_b) pair.
+constexpr std::uint64_t kCollisionSeedSalt = 0xC011D0D0C011D0D0ULL;
+
 }  // namespace
 
 std::uint64_t SeedForTransmission(std::uint64_t medium_seed,
@@ -24,6 +30,13 @@ std::uint64_t SeedForTransmission(std::uint64_t medium_seed,
   std::uint64_t s = Mix64(medium_seed);
   s = Mix64(s ^ static_cast<std::uint64_t>(sender));
   return Mix64(s ^ tx_index);
+}
+
+std::uint64_t SeedForCollisionRound(std::uint64_t medium_seed,
+                                    std::uint64_t tx_a, std::uint64_t tx_b) {
+  std::uint64_t s = Mix64(medium_seed ^ kCollisionSeedSalt);
+  s = Mix64(s ^ tx_a);
+  return Mix64(s ^ tx_b);
 }
 
 double OverhearLossGivenDirectLoss(const ListenerLossStats& stats) {
@@ -46,6 +59,9 @@ void AccumulateJointLossStats(const std::vector<ReceptionLossFlags>& receptions,
   ++medium.broadcast_frames;
   if (ref_collided) ++medium.reference_collision_frames;
   if (ref_corrupted) ++medium.reference_corrupted_frames;
+  if (ref_collided && !ref_corrupted) {
+    ++medium.reference_collided_recovered_frames;
+  }
   bool other_collided = false;
   bool other_corrupted = false;
   for (std::size_t i = 0; i < listeners.size(); ++i) {
@@ -53,6 +69,9 @@ void AccumulateJointLossStats(const std::vector<ReceptionLossFlags>& receptions,
     ++s.broadcast_frames;
     if (receptions[i].collided) ++s.collision_frames;
     if (receptions[i].corrupted) ++s.corrupted_frames;
+    if (receptions[i].collided && !receptions[i].corrupted) {
+      ++s.collided_recovered_frames;
+    }
     if (ref_collided && receptions[i].collided) ++s.joint_collision_frames;
     if (ref_corrupted) {
       ++s.reference_corrupted_frames;
@@ -65,6 +84,9 @@ void AccumulateJointLossStats(const std::vector<ReceptionLossFlags>& receptions,
   if (ref_corrupted && other_corrupted) ++medium.joint_corrupted_frames;
   obs::Count("medium.broadcasts");
   if (ref_collided) obs::Count("medium.ref_collisions");
+  if (ref_collided && !ref_corrupted) {
+    obs::Count("medium.ref_collisions_recovered");
+  }
   if (ref_corrupted) obs::Count("medium.ref_losses");
   if (ref_collided && other_collided) obs::Count("medium.joint_collisions");
   if (ref_corrupted && other_corrupted) {

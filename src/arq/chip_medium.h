@@ -36,6 +36,16 @@ namespace ppr::arq {
 std::uint64_t SeedForTransmission(std::uint64_t medium_seed,
                                   std::size_t sender, std::uint64_t tx_index);
 
+// Deterministic seed for one collision episode between two
+// transmissions (src/collide/): a pure function of the medium seed and
+// the two colliding transmission identities. Salted so its outputs
+// never alias any SeedForTransmission value on the same medium — the
+// collision subsystem's draws (interferer packet contents, overlap
+// offsets, chip noise) come from a provably disjoint stream, keeping
+// collision-off runs bit-identical to today's.
+std::uint64_t SeedForCollisionRound(std::uint64_t medium_seed,
+                                    std::uint64_t tx_a, std::uint64_t tx_b);
+
 // Per-listener joint-loss accounting over broadcast transmissions.
 // "Collision" means the interferer (the bad state / a burst)
 // overlapped this listener's copy; "corrupted" means at least one
@@ -44,6 +54,11 @@ struct ListenerLossStats {
   std::size_t broadcast_frames = 0;
   std::size_t collision_frames = 0;
   std::size_t corrupted_frames = 0;
+  // Collided frames that nonetheless decoded clean (capture effect, or
+  // a downstream resolver recovered them). Kept distinct from
+  // `corrupted_frames` so strategy comparisons do not fold recovered
+  // collisions into losses.
+  std::size_t collided_recovered_frames = 0;
   // Correlation against the reference listener (listener 0), counted
   // on the same transmission:
   std::size_t joint_collision_frames = 0;  // collided here AND at ref
@@ -63,6 +78,7 @@ struct SharedMediumStats {
   std::size_t broadcast_frames = 0;
   std::size_t reference_collision_frames = 0;
   std::size_t reference_corrupted_frames = 0;
+  std::size_t reference_collided_recovered_frames = 0;
   std::size_t joint_collision_frames = 0;
   std::size_t joint_corrupted_frames = 0;
 };

@@ -416,14 +416,9 @@ class CodedReceiverBase : public RecoveryReceiver {
     return valid;
   }
 
- private:
-  bool BodyCrcOk(const BitVec& body) const {
-    const std::size_t payload_bits = body.size() - 32;
-    const auto stored =
-        static_cast<std::uint32_t>(body.ReadUint(payload_bits, 32));
-    return Crc32Bits(body.Slice(0, payload_bits)) == stored;
-  }
-
+  // Session lifecycle, exposed to subclasses that accept equations
+  // outside the feedback loop (the collision path banks rank BEFORE the
+  // first feedback round runs).
   void EnsureSession() {
     if (session_.has_value()) return;
     const std::size_t cps = config_.codewords_per_fec_symbol;
@@ -449,6 +444,14 @@ class CodedReceiverBase : public RecoveryReceiver {
       // most suspect rows and keep consuming rank.
       if (session_->EvictSuspects() == 0) return;
     }
+  }
+
+ private:
+  bool BodyCrcOk(const BitVec& body) const {
+    const std::size_t payload_bits = body.size() - 32;
+    const auto stored =
+        static_cast<std::uint32_t>(body.ReadUint(payload_bits, 32));
+    return Crc32Bits(body.Slice(0, payload_bits)) == stored;
   }
 
   PpArqConfig config_;
@@ -512,6 +515,72 @@ class CodedRepairStrategy : public RecoveryStrategy {
       std::uint16_t seq, std::size_t total_codewords) const override {
     return std::make_unique<CodedRepairReceiver>(seq, total_codewords,
                                                  config_);
+  }
+
+ private:
+  PpArqConfig config_;
+};
+
+// ---------------------------------------------------------- collision-resolve
+
+// The coded destination with the collision side door: equations the
+// listener distilled from collided receptions are banked into the same
+// decoder session, evictable as a group under the collision provenance
+// tag. Everything else — feedback sizing, repair ingestion — is
+// two-party coded repair unchanged, so composing the strategies costs
+// nothing when no collision occurs.
+class CollisionResolveReceiver : public CodedRepairReceiver,
+                                 public CollisionEquationConsumer {
+ public:
+  using CodedRepairReceiver::CodedRepairReceiver;
+
+  std::size_t IngestCollisionEquations(
+      const std::vector<collide::CollisionEquation>& equations) override {
+    EnsureSession();
+    const std::size_t before = session().Deficit();
+    for (const auto& eq : equations) {
+      if (eq.coefs.size() != NumSourceSymbols()) continue;
+      if (eq.data.size() != session().symbol_bytes()) continue;
+      session().ConsumeEquation(eq.coefs, eq.data, eq.suspicion,
+                                /*evictable=*/true,
+                                /*party=*/fec::kCollisionResolvedParty);
+    }
+    const std::size_t gained = before - session().Deficit();
+    TryFinish();
+    return gained;
+  }
+};
+
+class CollisionResolveStrategy : public RecoveryStrategy {
+ public:
+  explicit CollisionResolveStrategy(const PpArqConfig& config)
+      : config_(config) {
+    const std::size_t symbol_bits =
+        config.bits_per_codeword * config.codewords_per_fec_symbol;
+    if (symbol_bits == 0 || symbol_bits % 8 != 0) {
+      throw std::invalid_argument(
+          "CollisionResolveStrategy: FEC symbol must be whole octets");
+    }
+    // Collision equations are arbitrary sparse combinations (unit rows,
+    // two-term XOR rows); only the elimination decoder consumes those.
+    if (config.fec_codec != fec::CodecKind::kRlnc) {
+      throw std::invalid_argument(
+          "CollisionResolveStrategy: collision equations require "
+          "CodecKind::kRlnc");
+    }
+  }
+
+  const char* Name() const override { return "collision-resolve"; }
+
+  std::unique_ptr<RecoverySender> MakeSender(const BitVec& body_bits,
+                                             std::uint16_t seq) const override {
+    return std::make_unique<CodedRepairSender>(body_bits, seq, config_);
+  }
+
+  std::unique_ptr<RecoveryReceiver> MakeReceiver(
+      std::uint16_t seq, std::size_t total_codewords) const override {
+    return std::make_unique<CollisionResolveReceiver>(seq, total_codewords,
+                                                      config_);
   }
 
  private:
@@ -874,6 +943,8 @@ std::unique_ptr<RecoveryStrategy> MakeRecoveryStrategy(
       return std::make_unique<CodedRepairStrategy>(config);
     case RecoveryMode::kRelayCodedRepair:
       return std::make_unique<RelayCodedStrategy>(config);
+    case RecoveryMode::kCollisionResolve:
+      return std::make_unique<CollisionResolveStrategy>(config);
   }
   throw std::logic_error("MakeRecoveryStrategy: unknown mode");
 }

@@ -1,7 +1,7 @@
 // Pluggable recovery strategies for PP-ARQ.
 //
 // A strategy owns one question: given the receiver's view of a partial
-// packet, what goes on the air to finish it? Three implementations ship:
+// packet, what goes on the air to finish it? Four implementations ship:
 //
 //   kChunkRetransmit — the paper's protocol: the receiver's dynamic
 //     program picks chunks, the sender retransmits exactly those bits
@@ -20,6 +20,11 @@
 //     all repair parties in proportion to their observed delivery
 //     rates, and the session engine schedules relay airtime
 //     (ExOR-style ranking + per-round budget, recovery_session.h).
+//   kCollisionResolve — coded repair composed with the collision
+//     listener (src/collide/): the receiver also implements
+//     CollisionEquationConsumer, banking equations distilled from
+//     collided receptions into the same decoder session under a
+//     collision provenance tag.
 //
 // All parties of a strategy share a wire format for feedback; the run
 // loops (arq/link_sim.h: RunRecoveryExchange for the duplex case,
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "arq/pp_arq.h"
+#include "collide/equations.h"
 #include "common/bitvec.h"
 #include "phy/despreader.h"
 
@@ -131,6 +137,23 @@ class RecoveryReceiver {
   virtual BitVec AssembledPayload() const = 0;
 
   virtual std::size_t rounds() const = 0;
+};
+
+// Side door for the collision-resolution listener (src/collide/): a
+// receiver that additionally accepts GF(256) equations distilled from
+// collided receptions. kCollisionResolve receivers implement this
+// alongside RecoveryReceiver; callers discover it by dynamic_cast so
+// the base interface stays untouched for every other strategy.
+class CollisionEquationConsumer {
+ public:
+  virtual ~CollisionEquationConsumer() = default;
+
+  // Banks the equations into the decoder (evictable, under the
+  // collision provenance tag) and returns the rank actually gained.
+  // Equations whose coefficient width does not match the FEC block are
+  // skipped.
+  virtual std::size_t IngestCollisionEquations(
+      const std::vector<collide::CollisionEquation>& equations) = 0;
 };
 
 // Multi-party session roles (arq/recovery_session.h). Every strategy

@@ -1,0 +1,109 @@
+#include "collide/ledger.h"
+
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bitvec.h"
+
+namespace ppr::collide {
+
+CollisionLedger::CollisionLedger(std::size_t a_codewords,
+                                 std::size_t codewords_per_fec_symbol)
+    : a_codewords_(a_codewords),
+      codewords_per_symbol_(codewords_per_fec_symbol) {
+  if (codewords_per_symbol_ == 0 ||
+      a_codewords_ % codewords_per_symbol_ != 0) {
+    throw std::invalid_argument(
+        "CollisionLedger: FEC symbols must tile the body exactly");
+  }
+}
+
+void CollisionLedger::Bank(const CollisionCapture& capture) {
+  if (capture.a_codewords != a_codewords_) {
+    throw std::invalid_argument("CollisionLedger: capture shape mismatch");
+  }
+  captures_.push_back(BankedCapture{capture.offset, capture.overlap_begin,
+                                    capture.overlap_end,
+                                    capture.overlap_chips});
+}
+
+std::vector<CollisionEquation> CollisionLedger::CrossCancel(
+    const phy::ChipCodebook& codebook, const StripResult& strip,
+    const StripConfig& config) const {
+  std::vector<CollisionEquation> out;
+  const std::size_t cps = codewords_per_symbol_;
+  const std::size_t num_symbols = a_codewords_ / cps;
+
+  const auto symbol_resolved = [&](std::size_t s) {
+    for (std::size_t i = s * cps; i < (s + 1) * cps; ++i) {
+      if (i >= strip.a.size() || !strip.a[i].known) return false;
+    }
+    return true;
+  };
+
+  std::set<std::pair<std::size_t, std::size_t>> emitted;
+  struct Constraint {
+    std::uint8_t value = 0;
+    int distance = 0;
+  };
+  for (std::size_t p = 0; p < captures_.size(); ++p) {
+    for (std::size_t q = p + 1; q < captures_.size(); ++q) {
+      const BankedCapture& lo =
+          captures_[p].offset <= captures_[q].offset ? captures_[p]
+                                                     : captures_[q];
+      const BankedCapture& hi = &lo == &captures_[p] ? captures_[q]
+                                                     : captures_[p];
+      if (lo.offset == hi.offset) continue;
+      const std::size_t delta = hi.offset - lo.offset;
+      if (delta % cps != 0) continue;
+      const std::size_t sym_delta = delta / cps;
+
+      // Best XOR constraint per lower A position: the shared B
+      // codeword cancels wherever both captures observed it.
+      std::vector<std::optional<Constraint>> xr(a_codewords_);
+      for (std::size_t i = lo.begin; i < lo.end; ++i) {
+        const std::size_t partner = i + delta;
+        if (partner < hi.begin || partner >= hi.end) continue;
+        const phy::ChipWord w =
+            lo.chips[i - lo.begin] ^ hi.chips[partner - hi.begin];
+        int distance = 0;
+        const std::uint8_t x = DecodeXorNibble(codebook, w, &distance);
+        if (distance > config.max_hint) continue;
+        if (!xr[i].has_value() || distance < xr[i]->distance) {
+          xr[i] = Constraint{x, distance};
+        }
+      }
+
+      for (std::size_t s = 0; s + sym_delta < num_symbols; ++s) {
+        const std::size_t s2 = s + sym_delta;
+        if (emitted.count({s, s2}) != 0) continue;
+        if (symbol_resolved(s) && symbol_resolved(s2)) continue;
+        bool covered = true;
+        for (std::size_t i = s * cps; covered && i < (s + 1) * cps; ++i) {
+          covered = xr[i].has_value();
+        }
+        if (!covered) continue;
+
+        CollisionEquation eq;
+        eq.coefs.assign(num_symbols, 0);
+        eq.coefs[s] = 1;
+        eq.coefs[s2] = 1;
+        BitVec packed;
+        int worst = 0;
+        for (std::size_t i = s * cps; i < (s + 1) * cps; ++i) {
+          packed.AppendUint(xr[i]->value, 4);
+          if (xr[i]->distance > worst) worst = xr[i]->distance;
+        }
+        eq.data = packed.ToBytes();
+        eq.suspicion = static_cast<double>(worst);
+        out.push_back(std::move(eq));
+        emitted.insert({s, s2});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ppr::collide

@@ -1,0 +1,63 @@
+// Banks unresolved-but-characterized superpositions and turns them
+// into decoder equations.
+//
+// When the zigzag stripper bails on a low-confidence region, the
+// collision is not wasted: two captures of the same pair at offsets
+// d1 < d2 can be XORed chip-by-chip wherever they share a B codeword.
+// B cancels, leaving chips(A_i) ^ chips(A_{i+delta}) ^ noise with
+// delta = d2 - d1. The DSSS codebook is not GF(2)-linear, so the pair
+// XOR is decoded by `DecodeXorNibble` (exhaustive codeword-pair
+// search) with a genuine Hamming confidence. Nibble XOR is GF(256)
+// addition, so a run of such constraints covering a whole FEC symbol
+// becomes the two-term equation S_s ^ S_{s+delta/cps} = data — rank
+// the coded-repair session can bank even though neither symbol is
+// individually known.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "collide/capture.h"
+#include "collide/equations.h"
+#include "collide/zigzag.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::collide {
+
+class CollisionLedger {
+ public:
+  // `a_codewords` must be a multiple of `codewords_per_fec_symbol`
+  // (the coded-repair framing guarantees whole-octet symbols tile the
+  // body exactly).
+  CollisionLedger(std::size_t a_codewords,
+                  std::size_t codewords_per_fec_symbol);
+
+  // Copies the capture's superposed overlap into the bank. Only the
+  // geometry and raw chip words are retained.
+  void Bank(const CollisionCapture& capture);
+
+  std::size_t banked() const { return captures_.size(); }
+
+  // Emits two-term GF(256) equations from every banked pair with
+  // distinct, symbol-aligned offsets. Pairs of symbols the stripper
+  // already fully resolved are skipped (a unit equation per symbol is
+  // strictly stronger). `config.max_hint` bounds each XOR decode.
+  std::vector<CollisionEquation> CrossCancel(const phy::ChipCodebook& codebook,
+                                             const StripResult& strip,
+                                             const StripConfig& config) const;
+
+ private:
+  struct BankedCapture {
+    std::size_t offset = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::vector<phy::ChipWord> chips;
+  };
+
+  std::size_t a_codewords_;
+  std::size_t codewords_per_symbol_;
+  std::vector<BankedCapture> captures_;
+};
+
+}  // namespace ppr::collide

@@ -1,0 +1,95 @@
+#include "collide/listener.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "collide/ledger.h"
+#include "common/bitvec.h"
+#include "obs/obs.h"
+
+namespace ppr::collide {
+
+CollisionStats& CollisionStats::operator+=(const CollisionStats& o) {
+  episodes_seen += o.episodes_seen;
+  codewords_stripped += o.codewords_stripped;
+  equations_banked += o.equations_banked;
+  cross_cancelled += o.cross_cancelled;
+  episodes_abandoned += o.episodes_abandoned;
+  strip_rounds += o.strip_rounds;
+  pairs_resolved += o.pairs_resolved;
+  return *this;
+}
+
+ResolvedCollision CollisionListener::Resolve(const phy::ChipCodebook& codebook,
+                                             const CollisionEpisode& episode) {
+  ResolvedCollision r;
+  r.strip = StripPair(codebook, episode.first, episode.second, config_.strip);
+  r.a_resolved = r.strip.a_complete;
+  r.b_resolved = r.strip.b_complete;
+
+  const std::size_t cps = config_.codewords_per_fec_symbol;
+  const std::size_t a_cw = episode.first.a_codewords;
+  const bool aligned = cps != 0 && a_cw % cps == 0;
+  if (aligned) {
+    const std::size_t num_symbols = a_cw / cps;
+    const auto in_first_overlap = [&](std::size_t i) {
+      return i >= episode.first.overlap_begin && i < episode.first.overlap_end;
+    };
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      bool complete = true;
+      bool novel = false;
+      double worst = 0.0;
+      for (std::size_t i = s * cps; i < (s + 1) * cps; ++i) {
+        const KnownNibble& k = r.strip.a[i];
+        complete = complete && k.known;
+        novel = novel || k.via_strip || in_first_overlap(i);
+        worst = std::max(worst, k.suspicion);
+      }
+      if (!complete || !novel) continue;
+      CollisionEquation eq;
+      eq.coefs.assign(num_symbols, 0);
+      eq.coefs[s] = 1;
+      BitVec packed;
+      for (std::size_t i = s * cps; i < (s + 1) * cps; ++i) {
+        packed.AppendUint(r.strip.a[i].value, 4);
+      }
+      eq.data = packed.ToBytes();
+      eq.suspicion = worst;
+      r.equations.push_back(std::move(eq));
+    }
+
+    CollisionLedger ledger(a_cw, cps);
+    ledger.Bank(episode.first);
+    ledger.Bank(episode.second);
+    std::vector<CollisionEquation> cross =
+        ledger.CrossCancel(codebook, r.strip, config_.strip);
+    stats_.cross_cancelled += cross.size();
+    for (CollisionEquation& eq : cross) r.equations.push_back(std::move(eq));
+  }
+
+  ++stats_.episodes_seen;
+  stats_.codewords_stripped += r.strip.stripped;
+  stats_.equations_banked += r.equations.size();
+  stats_.strip_rounds += r.strip.rounds;
+  if (r.strip.abandoned) ++stats_.episodes_abandoned;
+  if (r.a_resolved && r.b_resolved) ++stats_.pairs_resolved;
+
+  obs::Count("collide.seen");
+  obs::Count("collide.stripped", r.strip.stripped);
+  obs::Count("collide.banked", r.equations.size());
+  if (r.strip.abandoned) obs::Count("collide.abandoned");
+  obs::TraceComplete("collide.strip", "collide", 0,
+                     std::uint64_t{1} + r.strip.rounds, [&] {
+                       return obs::TraceArgs{
+                           {"rounds",
+                            static_cast<std::int64_t>(r.strip.rounds)},
+                           {"stripped",
+                            static_cast<std::int64_t>(r.strip.stripped)},
+                           {"abandoned",
+                            static_cast<std::int64_t>(r.strip.abandoned)}};
+                     });
+  return r;
+}
+
+}  // namespace ppr::collide

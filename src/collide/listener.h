@@ -1,0 +1,70 @@
+// Orchestrates one collision episode end to end: strip what the
+// confidences allow, then bank the rest algebraically.
+//
+// The listener sits between the medium (which hands it two captures
+// of the same colliding pair) and the decoder (which consumes GF(256)
+// equations). Its output is deliberately decoder-shaped: fully
+// stripped FEC symbols become unit equations, unresolved-but-
+// characterized symbol pairs become two-term cross-cancellation
+// equations from the ledger. Everything carries a suspicion score so
+// a poisoned stripping chain can be evicted as a group downstream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "collide/capture.h"
+#include "collide/equations.h"
+#include "collide/zigzag.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::collide {
+
+struct CollisionListenerConfig {
+  StripConfig strip;
+  // How many DSSS codewords one coded-repair source symbol spans
+  // (symbol_bytes * 2 for the 4-bit codebook). The algebraic path is
+  // skipped when symbols do not tile the body exactly.
+  std::size_t codewords_per_fec_symbol = 16;
+};
+
+struct CollisionStats {
+  std::size_t episodes_seen = 0;
+  std::size_t codewords_stripped = 0;
+  std::size_t equations_banked = 0;   // total equations handed out
+  std::size_t cross_cancelled = 0;    // two-term subset of the above
+  std::size_t episodes_abandoned = 0;
+  std::size_t strip_rounds = 0;
+  std::size_t pairs_resolved = 0;  // both packets fully stripped
+
+  CollisionStats& operator+=(const CollisionStats& o);
+};
+
+struct ResolvedCollision {
+  std::vector<CollisionEquation> equations;
+  bool a_resolved = false;
+  bool b_resolved = false;
+  StripResult strip;
+};
+
+class CollisionListener {
+ public:
+  explicit CollisionListener(CollisionListenerConfig config)
+      : config_(config) {}
+
+  // Runs the stripper and the ledger over one episode and returns the
+  // decoder equations for packet A. The caller is expected to have
+  // ingested `InitialSymbolsFromCapture(episode.first)` already, so
+  // unit equations are emitted only for symbols carrying information
+  // the first capture's clean regions did not.
+  ResolvedCollision Resolve(const phy::ChipCodebook& codebook,
+                            const CollisionEpisode& episode);
+
+  const CollisionStats& stats() const { return stats_; }
+
+ private:
+  CollisionListenerConfig config_;
+  CollisionStats stats_;
+};
+
+}  // namespace ppr::collide

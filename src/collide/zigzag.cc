@@ -1,0 +1,85 @@
+#include "collide/zigzag.h"
+
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace ppr::collide {
+
+namespace {
+
+// Merges a clean-region decode into the known map when it clears the
+// trust threshold (best hint wins on repeats across captures).
+void SeedClean(std::vector<KnownNibble>& known, std::size_t index,
+               const phy::DecodedSymbol& d, const StripConfig& config) {
+  if (d.hint > static_cast<double>(config.max_hint)) return;
+  if (known[index].known && known[index].suspicion <= d.hint) return;
+  known[index] = KnownNibble{true, false, d.symbol, d.hint};
+}
+
+}  // namespace
+
+StripResult StripPair(const phy::ChipCodebook& codebook,
+                      const CollisionCapture& first,
+                      const CollisionCapture& second,
+                      const StripConfig& config) {
+  if (first.a_codewords != second.a_codewords ||
+      first.b_codewords != second.b_codewords) {
+    throw std::invalid_argument("StripPair: captures disagree on pair shape");
+  }
+  StripResult r;
+  r.a.resize(first.a_codewords);
+  r.b.resize(first.b_codewords);
+
+  const CollisionCapture* captures[2] = {&first, &second};
+  for (const CollisionCapture* c : captures) {
+    for (std::size_t i = 0; i < c->a_codewords; ++i) {
+      if (i >= c->overlap_begin && i < c->overlap_end) continue;
+      SeedClean(r.a, i, c->a_symbols[i], config);
+    }
+    for (std::size_t t = 0; t < c->b_tail.size(); ++t) {
+      SeedClean(r.b, c->TailBegin() + t, c->b_tail[t], config);
+    }
+  }
+
+  // Alternating passes: each pass visits every overlap position of
+  // both captures and strips wherever exactly one side is known. A
+  // value accepted in this pass immediately unlocks positions later in
+  // the same pass, so convergence usually takes few rounds; the loop
+  // stops at a fixpoint (or max_rounds as a backstop).
+  for (r.rounds = 0; r.rounds < config.max_rounds; ++r.rounds) {
+    bool progress = false;
+    for (const CollisionCapture* c : captures) {
+      for (std::size_t i = c->overlap_begin; i < c->overlap_end; ++i) {
+        const std::size_t j = c->BIndexAt(i);
+        const bool a_known = r.a[i].known;
+        const bool b_known = r.b[j].known;
+        if (a_known == b_known) continue;  // both known or both unknown
+        const KnownNibble& parent = a_known ? r.a[i] : r.b[j];
+        const phy::ChipWord residual =
+            c->overlap_chips[i - c->overlap_begin] ^
+            codebook.Codeword(parent.value);
+        int distance = 0;
+        const int sym = codebook.DecodeHard(residual, &distance);
+        if (distance > config.max_hint) continue;
+        const double chain = parent.suspicion + static_cast<double>(distance);
+        if (chain > config.max_chain_suspicion) continue;  // clean bail
+        KnownNibble& child = a_known ? r.b[j] : r.a[i];
+        child = KnownNibble{true, true, static_cast<std::uint8_t>(sym), chain};
+        ++r.stripped;
+        progress = true;
+      }
+    }
+    if (!progress) break;
+  }
+
+  r.a_complete = true;
+  for (const KnownNibble& k : r.a) r.a_complete = r.a_complete && k.known;
+  r.b_complete = true;
+  for (const KnownNibble& k : r.b) r.b_complete = r.b_complete && k.known;
+  r.abandoned = !(r.a_complete && r.b_complete);
+  obs::Count("collide.strip_rounds", r.rounds);
+  return r;
+}
+
+}  // namespace ppr::collide

@@ -1,0 +1,69 @@
+// The two-party ZigZag-style iterative stripper.
+//
+// Given two captures of the same (A, B) packet pair colliding at
+// DIFFERENT offsets, the clean region of one capture resolves
+// codewords that sit inside the other capture's overlap; subtracting
+// (XOR at chip level) the known party's codeword from the superposed
+// chip word leaves the other party's codeword plus noise, which
+// despreads with a genuine Hamming-distance confidence. Each accepted
+// residual decode extends the known region, which unlocks the next
+// position in the OTHER capture — the zigzag. SoftPHY confidences
+// bound every step: a residual decode is accepted only when its own
+// hint clears `max_hint` AND the accumulated suspicion of the chain
+// that produced it stays under `max_chain_suspicion`, so a noisy
+// region stops the chain cleanly instead of silently propagating
+// garbage (the ledger's algebraic path then takes over).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "collide/capture.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::collide {
+
+struct StripConfig {
+  // A residual (or clean) decode is trusted only when its chip Hamming
+  // distance is at most this.
+  int max_hint = 4;
+  // A stripping chain abandons once its accumulated suspicion (sum of
+  // the hints along the chain that produced a value) exceeds this.
+  double max_chain_suspicion = 16.0;
+  std::size_t max_rounds = 64;
+};
+
+struct KnownNibble {
+  bool known = false;
+  bool via_strip = false;  // resolved by a residual decode (not a clean region)
+  std::uint8_t value = 0;
+  // Accumulated chain suspicion: the clean seed's hint plus every
+  // residual-decode hint along the chain to this position.
+  double suspicion = 0.0;
+};
+
+struct StripResult {
+  std::vector<KnownNibble> a;  // one per A codeword
+  std::vector<KnownNibble> b;  // one per B codeword
+  std::size_t rounds = 0;      // full passes over both captures
+  std::size_t stripped = 0;    // residual decodes accepted
+  bool a_complete = false;
+  bool b_complete = false;
+  // Bailed with unresolved positions remaining (low confidence or an
+  // unobservable span): the clean abandon the ledger's banking path
+  // picks up.
+  bool abandoned = false;
+};
+
+// Runs the stripper over two captures of the same pair. The captures
+// must agree on a_codewords/b_codewords and should have distinct
+// offsets (with equal offsets the captures carry identical geometry,
+// so only single-capture cancellation chains run — legal, just
+// weaker).
+StripResult StripPair(const phy::ChipCodebook& codebook,
+                      const CollisionCapture& first,
+                      const CollisionCapture& second,
+                      const StripConfig& config);
+
+}  // namespace ppr::collide

@@ -108,6 +108,8 @@ RecoveryComparison CompareRecoveryStrategies(
     out.relay = RunWaveformMultiRelayRecovery(payload_octets, arq_config,
                                               params, {*relay}, relay_rng,
                                               correlation, &out.relay_medium);
+    out.collided_recovered =
+        out.relay_medium.medium.reference_collided_recovered_frames;
   }
   return out;
 }

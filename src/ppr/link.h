@@ -119,6 +119,12 @@ struct RecoveryComparison {
   std::optional<arq::SessionRunStats> relay;
   // Relay leg only: the shared medium's joint-loss view.
   WaveformMediumStats relay_medium;
+  // Relay leg only: initial transmissions that collided on the shared
+  // medium yet decoded clean at the destination. Previously these were
+  // indistinguishable from corrupted-then-retransmitted frames in this
+  // report; counting them separately lets the sim report
+  // collision-recovery yield honestly.
+  std::size_t collided_recovered = 0;
 };
 
 RecoveryComparison CompareRecoveryStrategies(

@@ -13,6 +13,7 @@
 #include "arq/chip_medium.h"
 #include "arq/link_sim.h"
 #include "arq/recovery_session.h"
+#include "collide/runner.h"
 #include "fec/gf256.h"
 #include "obs/obs.h"
 #include "phy/channel.h"
@@ -221,10 +222,67 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
         codebook, LinkGeParams(config, job.snr_db), channel_rng);
   }
 
+  // Collision episodes ride only on two-party kCollisionResolve links;
+  // their draws come from SeedForCollisionRound — disjoint from every
+  // channel/payload stream, so contention 0 consumes nothing and the
+  // run is bit-identical to plain coded repair.
+  const bool collision_mode =
+      !use_relay &&
+      recovery.arq.recovery == arq::RecoveryMode::kCollisionResolve &&
+      recovery.collision_contention > 0.0;
+  const std::uint64_t link_medium_seed =
+      arq::SeedForTransmission(recovery.seed, job.sender, job.receiver);
+  collide::CollisionListenerConfig listener_config;
+  listener_config.strip = recovery.collision_strip;
+  listener_config.codewords_per_fec_symbol =
+      recovery.arq.codewords_per_fec_symbol;
+  collide::CollisionEpisodeParams episode_params;
+  episode_params.b_octets = recovery.collision_interferer_octets
+                                ? recovery.collision_interferer_octets
+                                : recovery.payload_octets;
+  episode_params.chip_error_p = recovery.collision_chip_error_p;
+  episode_params.max_offset = recovery.collision_max_offset;
+
   for (std::size_t p = 0; p < recovery.packets_per_link; ++p) {
     BitVec payload;
     for (std::size_t b = 0; b < recovery.payload_octets; ++b) {
       payload.AppendUint(payload_rng.UniformInt(256), 8);
+    }
+    if (collision_mode) {
+      // Under kSharedInterferer one interferer draw serves the whole
+      // broadcast (the episode is a property of the transmission);
+      // under kIndependent each receiver experiences its own collision
+      // draw, so the receiver identity salts the stream.
+      const std::uint64_t episode_seed =
+          recovery.correlation == arq::CollisionCorrelation::kSharedInterferer
+              ? arq::SeedForCollisionRound(link_medium_seed, p, 0)
+              : arq::SeedForCollisionRound(link_medium_seed, p,
+                                           1 + job.receiver);
+      Rng episode_rng(episode_seed);
+      if (episode_rng.Bernoulli(recovery.collision_contention)) {
+        const auto outcome = collide::RunCollisionRecoveryExchange(
+            payload, recovery.arq, fallback, channel, episode_params,
+            episode_rng, listener_config, recovery.collision_resolve,
+            recovery.max_rounds);
+        ++link.packets;
+        if (outcome.totals.success) {
+          ++link.completed;
+          ++link.collided_recovered_frames;
+        }
+        link.feedback_bits += outcome.totals.feedback_bits;
+        link.feedback_rounds += outcome.rounds;
+        for (const auto bits : outcome.totals.retransmission_bits) {
+          link.repair_bits += bits;
+          link.source_repair_bits += bits;
+        }
+        ++link.collision_episodes;
+        link.collision_codewords_stripped += outcome.collide.codewords_stripped;
+        link.collision_equations_banked += outcome.equations_banked;
+        link.collision_pairs_resolved += outcome.collide.pairs_resolved;
+        link.collision_abandoned += outcome.collide.episodes_abandoned;
+        link.collision_rank_gained += outcome.rank_gained;
+        continue;
+      }
     }
     arq::SessionRunStats stats;
     if (use_relay) {
@@ -257,6 +315,7 @@ LinkRecoveryStats RunOneLink(const ExperimentConfig& config,
     link.joint_collision_frames = ms.joint_collision_frames;
     link.direct_loss_frames = ms.reference_corrupted_frames;
     link.joint_loss_frames = ms.joint_corrupted_frames;
+    link.collided_recovered_frames = ms.reference_collided_recovered_frames;
   }
   for (const fec::GfImpl impl : gf_impls) {
     const fec::GfOpStats delta =
@@ -364,6 +423,14 @@ RecoveryExperimentResult RunLinkRecoveryExperiment(
     result.total_joint_collision_frames += link.joint_collision_frames;
     result.total_direct_loss_frames += link.direct_loss_frames;
     result.total_joint_loss_frames += link.joint_loss_frames;
+    result.total_collision_episodes += link.collision_episodes;
+    result.total_collision_codewords_stripped +=
+        link.collision_codewords_stripped;
+    result.total_collision_equations_banked += link.collision_equations_banked;
+    result.total_collision_pairs_resolved += link.collision_pairs_resolved;
+    result.total_collision_abandoned += link.collision_abandoned;
+    result.total_collision_rank_gained += link.collision_rank_gained;
+    result.total_collided_recovered_frames += link.collided_recovered_frames;
   }
   return result;
 }

@@ -10,6 +10,7 @@
 
 #include "arq/link_sim.h"
 #include "arq/pp_arq.h"
+#include "collide/zigzag.h"
 #include "obs/metrics.h"
 #include "sim/delivery.h"
 #include "sim/medium.h"
@@ -142,6 +143,20 @@ struct RecoveryExperimentConfig {
   // destination its copy usually costs the overhearers theirs too.
   arq::CollisionCorrelation correlation =
       arq::CollisionCorrelation::kIndependent;
+  // kCollisionResolve: probability that a packet's initial transmission
+  // is a two-party double collision (the same interfering packet heard
+  // twice at different offsets — the ZigZag precondition). Episode
+  // draws come from arq::SeedForCollisionRound, a stream disjoint from
+  // every existing seed chain, so 0.0 keeps any mode bit-identical to
+  // a run without the subsystem.
+  double collision_contention = 0.0;
+  std::size_t collision_interferer_octets = 0;  // 0 = payload_octets
+  double collision_chip_error_p = 0.005;  // chip noise inside a collision
+  std::size_t collision_max_offset = 0;   // codewords; 0 = auto (body/4)
+  collide::StripConfig collision_strip;
+  // Off = the discard baseline: episodes still collide (and cost the
+  // same initial airtime) but nothing is distilled from them.
+  bool collision_resolve = true;
 };
 
 inline constexpr std::size_t kNoRelay = static_cast<std::size_t>(-1);
@@ -180,6 +195,17 @@ struct LinkRecoveryStats {
   // overhear-loss-given-direct-loss correlation. 0 without relays or
   // direct losses.
   double OverhearLossGivenDirectLoss() const;
+  // kCollisionResolve: collision-episode accounting on this link
+  // (src/collide/). `collided_recovered_frames` counts initially
+  // collided packets the exchange nonetheless delivered — on relay
+  // links it is the shared medium's collided-but-clean count instead.
+  std::size_t collision_episodes = 0;
+  std::size_t collision_codewords_stripped = 0;
+  std::size_t collision_equations_banked = 0;
+  std::size_t collision_pairs_resolved = 0;
+  std::size_t collision_abandoned = 0;
+  std::size_t collision_rank_gained = 0;
+  std::size_t collided_recovered_frames = 0;
 };
 
 struct RecoveryExperimentResult {
@@ -194,6 +220,13 @@ struct RecoveryExperimentResult {
   std::size_t total_joint_collision_frames = 0;
   std::size_t total_direct_loss_frames = 0;
   std::size_t total_joint_loss_frames = 0;
+  std::size_t total_collision_episodes = 0;
+  std::size_t total_collision_codewords_stripped = 0;
+  std::size_t total_collision_equations_banked = 0;
+  std::size_t total_collision_pairs_resolved = 0;
+  std::size_t total_collision_abandoned = 0;
+  std::size_t total_collision_rank_gained = 0;
+  std::size_t total_collided_recovered_frames = 0;
   // Per-link obs::MetricRegistry snapshots (sessions, coded repair,
   // medium, GF(256) backend bytes), merged in link order. Per-link
   // work is deterministic and wall-clock timings are excluded, so this

@@ -1,0 +1,81 @@
+// SeedForCollisionRound: a pure, salted seed derivation whose stream
+// can never alias the per-transmission seed chain on the same medium —
+// plus the collided-but-recovered accounting that keeps resolved
+// collisions out of the corruption column.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arq/chip_medium.h"
+
+namespace ppr::arq {
+namespace {
+
+TEST(SeedForCollisionRoundTest, IsPure) {
+  EXPECT_EQ(SeedForCollisionRound(1, 2, 3), SeedForCollisionRound(1, 2, 3));
+  EXPECT_NE(SeedForCollisionRound(1, 2, 3), SeedForCollisionRound(1, 2, 4));
+  EXPECT_NE(SeedForCollisionRound(1, 2, 3), SeedForCollisionRound(1, 3, 3));
+  EXPECT_NE(SeedForCollisionRound(2, 2, 3), SeedForCollisionRound(1, 2, 3));
+}
+
+TEST(SeedForCollisionRoundTest, DoesNotOverlapTransmissionSeeds) {
+  // Exhaustive small-grid check: the collision-round orbit and the
+  // transmission orbit of the same medium seed are disjoint, so a
+  // collision resolver drawing noise can never replay (or be replayed
+  // by) a transmission's channel draws.
+  constexpr std::uint64_t kGrid = 24;
+  for (const std::uint64_t medium : {1ull, 42ull, 0x9E3779B97F4A7C15ull}) {
+    std::set<std::uint64_t> transmission;
+    for (std::uint64_t s = 0; s < kGrid; ++s) {
+      for (std::uint64_t t = 0; t < kGrid; ++t) {
+        transmission.insert(SeedForTransmission(medium, s, t));
+      }
+    }
+    for (std::uint64_t a = 0; a < kGrid; ++a) {
+      for (std::uint64_t b = 0; b < kGrid; ++b) {
+        EXPECT_EQ(transmission.count(SeedForCollisionRound(medium, a, b)),
+                  0u)
+            << "medium=" << medium << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(SeedForCollisionRoundTest, DistinctArgumentsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    for (std::uint64_t b = 0; b < 32; ++b) {
+      seen.insert(SeedForCollisionRound(7, a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 32u);
+}
+
+TEST(JointLossStatsTest, CollidedButCleanCountsAsRecoveredNotCorrupted) {
+  ListenerLossStats ref, other;
+  SharedMediumStats medium;
+  const std::vector<ListenerLossStats*> listeners = {&ref, &other};
+
+  // Broadcast 1: the reference collides but decodes clean (capture
+  // effect or a resolver recovered it); the other listener is clean.
+  AccumulateJointLossStats({{true, false}, {false, false}}, listeners,
+                           medium);
+  // Broadcast 2: the reference collides AND corrupts.
+  AccumulateJointLossStats({{true, true}, {false, false}}, listeners,
+                           medium);
+  // Broadcast 3: nothing happens.
+  AccumulateJointLossStats({{false, false}, {false, false}}, listeners,
+                           medium);
+
+  EXPECT_EQ(ref.broadcast_frames, 3u);
+  EXPECT_EQ(ref.collision_frames, 2u);
+  EXPECT_EQ(ref.corrupted_frames, 1u);
+  EXPECT_EQ(ref.collided_recovered_frames, 1u);
+  EXPECT_EQ(other.collided_recovered_frames, 0u);
+  EXPECT_EQ(medium.reference_collision_frames, 2u);
+  EXPECT_EQ(medium.reference_corrupted_frames, 1u);
+  EXPECT_EQ(medium.reference_collided_recovered_frames, 1u);
+}
+
+}  // namespace
+}  // namespace ppr::arq

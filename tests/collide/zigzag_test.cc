@@ -1,0 +1,136 @@
+// ZigZag stripper properties: full round-trip resolution at zero
+// noise across offsets, correctness of accepted values under light
+// noise, and clean abandonment under hostile thresholds.
+#include "collide/zigzag.h"
+
+#include <gtest/gtest.h>
+
+#include "collide/capture.h"
+#include "common/rng.h"
+#include "phy/chip_sequences.h"
+
+namespace ppr::collide {
+namespace {
+
+BitVec RandomBody(Rng& rng, std::size_t codewords) {
+  BitVec bits;
+  for (std::size_t i = 0; i < codewords; ++i) {
+    bits.AppendUint(rng.UniformInt(16), 4);
+  }
+  return bits;
+}
+
+std::uint8_t NibbleOf(const BitVec& body, std::size_t codeword) {
+  return static_cast<std::uint8_t>(body.ReadUint(codeword * 4, 4));
+}
+
+TEST(ZigZagTest, ZeroNoiseResolvesBothPacketsAcrossOffsets) {
+  const phy::ChipCodebook codebook;
+  Rng rng(101);
+  const StripConfig config;
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const std::size_t a_cw = 16 + 4 * trial;
+    const BitVec a = RandomBody(rng, a_cw);
+    const BitVec b = RandomBody(rng, a_cw);
+    // Every distinct offset pair with full mutual overlap.
+    for (std::size_t d1 = 1; d1 <= 4; ++d1) {
+      const std::size_t d2 = d1 + 1 + trial % 3;
+      const auto c1 =
+          SimulateCollisionCapture(codebook, a, b, d1, 0.0, rng);
+      const auto c2 =
+          SimulateCollisionCapture(codebook, a, b, d2, 0.0, rng);
+      const StripResult r = StripPair(codebook, c1, c2, config);
+      EXPECT_TRUE(r.a_complete) << "a_cw=" << a_cw << " d1=" << d1;
+      EXPECT_TRUE(r.b_complete) << "a_cw=" << a_cw << " d1=" << d1;
+      EXPECT_FALSE(r.abandoned);
+      EXPECT_GT(r.stripped, 0u);
+      for (std::size_t i = 0; i < a_cw; ++i) {
+        ASSERT_TRUE(r.a[i].known);
+        EXPECT_EQ(r.a[i].value, NibbleOf(a, i)) << "A codeword " << i;
+      }
+      for (std::size_t j = 0; j < r.b.size(); ++j) {
+        ASSERT_TRUE(r.b[j].known);
+        EXPECT_EQ(r.b[j].value, NibbleOf(b, j)) << "B codeword " << j;
+      }
+    }
+  }
+}
+
+TEST(ZigZagTest, AcceptedValuesCorrectUnderLightNoise) {
+  const phy::ChipCodebook codebook;
+  Rng rng(211);
+  StripConfig config;
+  config.max_hint = 3;
+  config.max_chain_suspicion = 24.0;
+  std::size_t accepted = 0, correct = 0;
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    const BitVec a = RandomBody(rng, 24);
+    const BitVec b = RandomBody(rng, 24);
+    const auto c1 = SimulateCollisionCapture(codebook, a, b, 2, 0.01, rng);
+    const auto c2 = SimulateCollisionCapture(codebook, a, b, 5, 0.01, rng);
+    const StripResult r = StripPair(codebook, c1, c2, config);
+    for (std::size_t i = 0; i < r.a.size(); ++i) {
+      if (!r.a[i].known || !r.a[i].via_strip) continue;
+      ++accepted;
+      if (r.a[i].value == NibbleOf(a, i)) ++correct;
+    }
+    for (std::size_t j = 0; j < r.b.size(); ++j) {
+      if (!r.b[j].known || !r.b[j].via_strip) continue;
+      ++accepted;
+      if (r.b[j].value == NibbleOf(b, j)) ++correct;
+    }
+  }
+  ASSERT_GT(accepted, 0u);
+  // Confidence-bounded stripping: nearly everything accepted is right.
+  EXPECT_GE(correct * 100, accepted * 95);
+}
+
+TEST(ZigZagTest, HostileThresholdsAbandonCleanly) {
+  const phy::ChipCodebook codebook;
+  Rng rng(307);
+  const BitVec a = RandomBody(rng, 24);
+  const BitVec b = RandomBody(rng, 24);
+  const auto c1 = SimulateCollisionCapture(codebook, a, b, 2, 0.0, rng);
+  const auto c2 = SimulateCollisionCapture(codebook, a, b, 7, 0.0, rng);
+  StripConfig config;
+  config.max_chain_suspicion = -1.0;  // no chain is ever acceptable
+  const StripResult r = StripPair(codebook, c1, c2, config);
+  EXPECT_TRUE(r.abandoned);
+  EXPECT_EQ(r.stripped, 0u);
+  // Clean regions remain seeded: abandonment loses the overlap only.
+  for (std::size_t i = 0; i < c1.overlap_begin; ++i) {
+    EXPECT_TRUE(r.a[i].known);
+  }
+}
+
+TEST(ZigZagTest, ChainSuspicionAccumulatesAlongStrips) {
+  const phy::ChipCodebook codebook;
+  Rng rng(401);
+  const BitVec a = RandomBody(rng, 20);
+  const BitVec b = RandomBody(rng, 20);
+  const auto c1 = SimulateCollisionCapture(codebook, a, b, 2, 0.0, rng);
+  const auto c2 = SimulateCollisionCapture(codebook, a, b, 4, 0.0, rng);
+  const StripResult r = StripPair(codebook, c1, c2, StripConfig{});
+  for (std::size_t i = 0; i < r.a.size(); ++i) {
+    if (r.a[i].via_strip) {
+      // A stripped value's chain includes its parent's suspicion.
+      EXPECT_GE(r.a[i].suspicion, 0.0);
+    }
+  }
+  EXPECT_GT(r.rounds, 0u);
+}
+
+TEST(ZigZagTest, MismatchedShapesThrow) {
+  const phy::ChipCodebook codebook;
+  Rng rng(503);
+  const BitVec a = RandomBody(rng, 16);
+  const BitVec a_short = RandomBody(rng, 12);
+  const BitVec b = RandomBody(rng, 16);
+  const auto c1 = SimulateCollisionCapture(codebook, a, b, 2, 0.0, rng);
+  const auto c2 = SimulateCollisionCapture(codebook, a_short, b, 3, 0.0, rng);
+  EXPECT_THROW(StripPair(codebook, c1, c2, StripConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppr::collide

@@ -1,0 +1,137 @@
+// Collision provenance: equations banked under kCollisionResolvedParty
+// form one eviction group. A poisoned stripping chain (confidently
+// wrong values threaded through every equation it emitted) must be
+// evictable in one step without stranding the decoder's basis.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fec/coded_repair.h"
+#include "fec/rlnc.h"
+
+namespace ppr::fec {
+namespace {
+
+BitVec RandomBody(Rng& rng, std::size_t bits) {
+  BitVec body;
+  for (std::size_t i = 0; i < bits; ++i) body.PushBack(rng.Bernoulli(0.5));
+  return body;
+}
+
+struct Fixture {
+  BitVec body;
+  std::vector<std::vector<std::uint8_t>> truth;
+  RlncEncoder encoder;
+
+  Fixture(Rng& rng, std::size_t codewords)
+      : body(RandomBody(rng, codewords * 4)),
+        truth(BodyToSymbols(body, 4, 8)),
+        encoder(truth) {}
+};
+
+// A unit equation naming symbol `s` with the given data bytes.
+std::vector<std::uint8_t> UnitCoefs(std::size_t n, std::size_t s) {
+  std::vector<std::uint8_t> coefs(n, 0);
+  coefs[s] = 1;
+  return coefs;
+}
+
+TEST(CollisionPartyTest, TagIsOutsideTheRelayRoster) {
+  // Relay rosters are capped well below 0xFF, so the collision tag can
+  // never alias a relay's eviction group.
+  EXPECT_EQ(kCollisionResolvedParty, 0xFF);
+}
+
+TEST(CollisionPartyTest, PoisonedStrippingChainEvictsAsOneGroup) {
+  Rng rng(1201);
+  Fixture f(rng, 128);  // 16 symbols of 8 codewords
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  std::vector<double> suspicion(f.truth.size(), 0.0);
+  // Three symbols were lost to the collision overlap.
+  for (const std::size_t s : {2u, 7u, 8u}) {
+    good[s] = false;
+    suspicion[s] = 16.0;
+    for (auto& b : received[s]) b ^= 0xFF;
+  }
+  CodedRepairSession session(received, good, suspicion);
+  ASSERT_EQ(session.Deficit(), 3u);
+
+  // A stripping chain that went wrong early threads the same error
+  // through every value it resolved: all three banked equations are
+  // confidently wrong.
+  for (const std::size_t s : {2u, 7u, 8u}) {
+    auto data = f.truth[s];
+    data[0] ^= 0x40;  // the chain's propagated miss
+    ASSERT_TRUE(session.ConsumeEquation(UnitCoefs(f.truth.size(), s), data,
+                                        /*suspicion=*/8.0,
+                                        /*evictable=*/true,
+                                        /*party=*/kCollisionResolvedParty));
+  }
+  ASSERT_EQ(session.equations_from(kCollisionResolvedParty), 3u);
+  ASSERT_TRUE(session.CanDecode());
+  EXPECT_NE(session.Decode(), f.truth);  // the poison is in the basis
+
+  // External verification fails -> one eviction pass distrusts the
+  // WHOLE collision group, not one equation at a time.
+  EXPECT_EQ(session.EvictSuspects(), 3u);
+  EXPECT_EQ(session.equations_from(kCollisionResolvedParty), 0u);
+  EXPECT_EQ(session.Deficit(), 3u);
+
+  // The basis is not stranded: ordinary source repairs finish the job.
+  std::uint32_t seed = 1;
+  while (!session.CanDecode()) {
+    session.ConsumeRepair(f.encoder.MakeRepair(seed++));
+    ASSERT_LT(seed, 16u);
+  }
+  EXPECT_EQ(session.Decode(), f.truth);
+}
+
+TEST(CollisionPartyTest, HonestCollisionEquationsSurviveRelayEviction) {
+  Rng rng(1301);
+  Fixture f(rng, 64);  // 8 symbols
+  auto received = f.truth;
+  std::vector<bool> good(f.truth.size(), true);
+  std::vector<double> suspicion(f.truth.size(), 0.0);
+  for (const std::size_t s : {1u, 4u}) {
+    good[s] = false;
+    suspicion[s] = 16.0;
+    for (auto& b : received[s]) b ^= 0xFF;
+  }
+  CodedRepairSession session(received, good, suspicion);
+  ASSERT_EQ(session.Deficit(), 2u);
+
+  // The collision listener banked a correct unit equation (low
+  // suspicion: the chain was short and confident).
+  ASSERT_TRUE(session.ConsumeEquation(UnitCoefs(f.truth.size(), 1),
+                                      f.truth[1], /*suspicion=*/1.0,
+                                      /*evictable=*/true,
+                                      kCollisionResolvedParty));
+  // A relay's stream carries a confident miss for the other hole.
+  const std::vector<bool> have(f.truth.size(), true);
+  auto poisoned_copy = f.truth;
+  poisoned_copy[4][1] ^= 0x08;
+  const std::uint32_t seed = PartySeed(1, 1);
+  const auto repair = MakeMaskedRepair(poisoned_copy, have, seed);
+  ASSERT_TRUE(session.ConsumeEquation(MaskedCoefficients(seed, have),
+                                      repair.data, /*suspicion=*/6.0,
+                                      /*evictable=*/true, /*party=*/1));
+  ASSERT_TRUE(session.CanDecode());
+  EXPECT_NE(session.Decode(), f.truth);
+
+  // Eviction targets the most suspect group: the relay, not the
+  // collision bank.
+  EXPECT_EQ(session.EvictSuspects(), 1u);
+  EXPECT_EQ(session.equations_from(1), 0u);
+  EXPECT_EQ(session.equations_from(kCollisionResolvedParty), 1u);
+  std::uint32_t source_seed = 1;
+  while (!session.CanDecode()) {
+    session.ConsumeRepair(f.encoder.MakeRepair(source_seed++));
+    ASSERT_LT(source_seed, 16u);
+  }
+  EXPECT_EQ(session.Decode(), f.truth);
+}
+
+}  // namespace
+}  // namespace ppr::fec

@@ -116,6 +116,8 @@ TEST(WaveformRelayTest, ComparisonGrowsRelayLegOnDemand) {
   EXPECT_FALSE(duplex.relay.has_value());
   EXPECT_TRUE(duplex.chunk.success);
   EXPECT_TRUE(duplex.coded.success);
+  // No relay leg -> no shared medium -> nothing to recover from.
+  EXPECT_EQ(duplex.collided_recovered, 0u);
 }
 
 TEST(WaveformRelayTest, RelayRecoversOverDegradedDirectLink) {
@@ -146,6 +148,12 @@ TEST(WaveformRelayTest, RelayRecoversOverDegradedDirectLink) {
   EXPECT_GT(coded_repair_bits, 0u);
   EXPECT_LE(cmp.relay->parties[arq::kSessionSourceId].repair_bits,
             coded_repair_bits);
+  // Collided-but-clean frames are reported separately from corrupted
+  // ones and mirror the shared medium's reference count.
+  EXPECT_EQ(cmp.collided_recovered,
+            cmp.relay_medium.medium.reference_collided_recovered_frames);
+  EXPECT_LE(cmp.collided_recovered,
+            cmp.relay_medium.medium.reference_collision_frames);
 }
 
 TEST(WaveformRelayTest, TwoRelaySessionRunsOverRealChannels) {
